@@ -1,0 +1,98 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"interweave"
+)
+
+// makeCheckpoint produces a real checkpoint directory by running a
+// client against a checkpointing server.
+func makeCheckpoint(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := interweave.NewServer(interweave.ServerOptions{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	c, err := interweave.NewClient(interweave.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open(ln.Addr().String() + "/dumpme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	st, err := interweave.StructOf("rec",
+		interweave.Field{Name: "k", Type: interweave.Int32()},
+		interweave.Field{Name: "v", Type: interweave.Float64()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(h, st, 5, "records"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := srv.Close(); err != nil { // final checkpoint
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDumpDirectory(t *testing.T) {
+	dir := makeCheckpoint(t)
+	outPath := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{dir}, f); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/dumpme", "records", "rec{k int32; v float64}", "version 1"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"/nonexistent"}, os.Stdout); err == nil {
+		t.Error("missing path accepted")
+	}
+	empty := t.TempDir()
+	if err := run([]string{empty}, os.Stdout); err == nil {
+		t.Error("empty directory accepted")
+	}
+	bad := filepath.Join(empty, "bad.iwseg")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, os.Stdout); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

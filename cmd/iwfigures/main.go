@@ -1,0 +1,175 @@
+// Command iwfigures regenerates the paper's evaluation figures
+// (Section 4) on the simulated substrate:
+//
+//	iwfigures fig4            # translation cost vs RPC/XDR, 9 mixes
+//	iwfigures fig5            # diff cost vs modification granularity
+//	iwfigures fig6            # pointer swizzling cost
+//	iwfigures fig7            # datamining bandwidth
+//	iwfigures all             # everything
+//
+// Absolute times differ from the paper's 500 MHz Pentium III; the
+// figures' content is the relative shape, which EXPERIMENTS.md
+// records against the paper's claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"interweave/internal/bench"
+	"interweave/internal/seqmine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iwfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iwfigures", flag.ContinueOnError)
+	iters := fs.Int("iters", 3, "timing iterations per measurement")
+	swizzles := fs.Int("swizzles", 200000, "pointer operations per fig6 case")
+	updates := fs.Int("updates", 20, "incremental updates in fig7")
+	paperScale := fs.Bool("paper-scale", false, "use the paper's full 100k-customer database in fig7")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	which := fs.Args()
+	if len(which) == 0 {
+		return fmt.Errorf("usage: iwfigures [flags] fig4|fig5|fig6|fig7|trserver|hetero|all")
+	}
+	for _, w := range which {
+		switch w {
+		case "fig4":
+			if err := runFig4(*iters); err != nil {
+				return err
+			}
+		case "fig5":
+			if err := runFig5(*iters); err != nil {
+				return err
+			}
+		case "fig6":
+			if err := runFig6(*swizzles); err != nil {
+				return err
+			}
+		case "fig7":
+			if err := runFig7(*updates, *paperScale); err != nil {
+				return err
+			}
+		case "trserver":
+			if err := runTRServer(*iters); err != nil {
+				return err
+			}
+		case "hetero":
+			if err := runHetero(*iters); err != nil {
+				return err
+			}
+		case "all":
+			if err := run([]string{"fig4", "fig5", "fig6", "fig7", "trserver", "hetero"}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown figure %q", w)
+		}
+	}
+	return nil
+}
+
+func runFig4(iters int) error {
+	fmt.Println("Figure 4: client cost to translate 1MB of data (fully modified)")
+	fmt.Printf("%-14s %12s %14s %13s %12s %11s %10s\n",
+		"mix", "RPC XDR", "collect block", "collect diff", "apply block", "apply diff", "wire KB")
+	rows, err := bench.Fig4(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s %12v %14v %13v %12v %11v %10d\n",
+			r.Name, r.RPCXDR, r.CollectBlock, r.CollectDiff, r.ApplyBlock, r.ApplyDiff, r.WireBytes/1024)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig5(iters int) error {
+	fmt.Println("Figure 5: diff management cost vs modification granularity (1MB int array)")
+	fmt.Printf("%6s %14s %13s %12s %12s %13s %13s %9s\n",
+		"ratio", "cl collect", "cl apply", "cl wordiff", "cl xlate", "sv collect", "sv apply", "wire KB")
+	rows, err := bench.Fig5(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%6d %14v %13v %12v %12v %13v %13v %9d\n",
+			r.Ratio, r.ClientCollectDiff, r.ClientApplyDiff, r.ClientWordDiff,
+			r.ClientTranslate, r.ServerCollectDiff, r.ServerApplyDiff, r.WireBytes/1024)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig6(ops int) error {
+	fmt.Println("Figure 6: pointer swizzling cost per pointer")
+	fmt.Printf("%-12s %14s %14s\n", "case", "collect (swz)", "apply (unswz)")
+	rows, err := bench.Fig6(ops)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %14v %14v\n", r.Case, r.Collect, r.Apply)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTRServer(iters int) error {
+	fmt.Println("TR experiment: server-side data management cost for 1MB")
+	fmt.Printf("%-14s %14s %14s %14s\n", "mix", "server apply", "server collect", "client collect")
+	rows, err := bench.TRServer(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s %14v %14v %14v\n", r.Name, r.ServerApply, r.ServerCollect, r.ClientCollect)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runHetero(iters int) error {
+	fmt.Println("Heterogeneity matrix: 1MB int_double, collect on src / apply on dst")
+	fmt.Printf("%-12s %-12s %12s %12s\n", "src", "dst", "collect", "apply")
+	rows, err := bench.Hetero(iters)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12s %12v %12v\n", r.Src, r.Dst, r.Collect, r.Apply)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig7(updates int, paperScale bool) error {
+	cfg := bench.DefaultFig7Config()
+	cfg.Updates = updates
+	if paperScale {
+		cfg.DB = seqmine.DefaultConfig()
+		cfg.MinSupport = 200
+	}
+	fmt.Printf("Figure 7: datamining bandwidth (%d customers, %d updates of 1%%)\n",
+		cfg.DB.Customers, cfg.Updates)
+	fmt.Printf("%-15s %12s %8s\n", "configuration", "total MB", "syncs")
+	rows, err := bench.Fig7(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-15s %12.2f %8d\n", r.Config, float64(r.Bytes)/(1<<20), r.Syncs)
+	}
+	fmt.Println()
+	return nil
+}

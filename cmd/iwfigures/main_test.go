@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunArgErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no figure arguments accepted")
+	}
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-iters", "x", "fig4"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunFig6Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	if err := run([]string{"-swizzles", "500", "fig6"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Command iwidl compiles InterWeave IDL declarations into Go
+// bindings: type descriptors plus typed accessor views (the Go
+// analogue of the original compiler's generated C/C++/Java/Fortran
+// declarations).
+//
+// Usage:
+//
+//	iwidl -pkg bindings -o bindings.go types.idl
+//	iwidl -check types.idl        # syntax/semantics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"interweave/internal/idl"
+	"interweave/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iwidl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iwidl", flag.ContinueOnError)
+	pkgName := fs.String("pkg", "bindings", "Go package name for generated code")
+	out := fs.String("o", "", "output file (default stdout)")
+	check := fs.Bool("check", false, "only check the IDL; print a type summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: iwidl [-pkg name] [-o file] [-check] <file.idl>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pkg, err := idl.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	if *check {
+		return summarize(pkg)
+	}
+	code, err := idl.GenerateGo(pkg, *pkgName)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}
+
+func summarize(pkg *idl.Package) error {
+	for _, name := range pkg.StructOrder {
+		t := pkg.Structs[name]
+		fp, err := types.Fingerprint(t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("struct %-20s %2d fields %4d units fingerprint %016x\n",
+			name, t.NumFields(), t.PrimCount(), fp)
+	}
+	var tds []string
+	for name := range pkg.Typedefs {
+		tds = append(tds, name)
+	}
+	sort.Strings(tds)
+	for _, name := range tds {
+		fmt.Printf("typedef %-19s = %s\n", name, pkg.Typedefs[name])
+	}
+	return nil
+}

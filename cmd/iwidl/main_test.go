@@ -1,0 +1,71 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleIDL = `
+typedef double vec3[3];
+struct probe {
+    int32  id;
+    string label<16>;
+    vec3   pos;
+    probe *next;
+};
+`
+
+func TestRunGeneratesParsableGo(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "probe.idl")
+	out := filepath.Join(dir, "probe_gen.go")
+	if err := os.WriteFile(in, []byte(sampleIDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pkg", "probes", "-o", out, in}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, out, src, 0)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v", err)
+	}
+	if f.Name.Name != "probes" {
+		t.Errorf("package = %s", f.Name.Name)
+	}
+}
+
+func TestRunCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "probe.idl")
+	if err := os.WriteFile(in, []byte(sampleIDL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", in}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"/nonexistent/file.idl"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.idl")
+	if err := os.WriteFile(bad, []byte("struct {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("malformed IDL accepted")
+	}
+}

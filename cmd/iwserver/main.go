@@ -1,0 +1,71 @@
+// Command iwserver runs a standalone InterWeave server.
+//
+// Usage:
+//
+//	iwserver -addr :7777 -checkpoint /var/lib/interweave -every 30s
+//
+// The server maintains the master copy of every segment clients
+// create under its address, arbitrates write locks, serves
+// wire-format diffs under relaxed coherence, pushes invalidation
+// notifications, and periodically checkpoints segments to the
+// checkpoint directory (from which it also restores at startup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"interweave/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iwserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iwserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":7777", "listen address")
+	ckptDir := fs.String("checkpoint", "", "checkpoint directory (restore at startup, save periodically)")
+	every := fs.Duration("every", 30*time.Second, "checkpoint interval")
+	quiet := fs.Bool("quiet", false, "suppress diagnostics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := server.Options{
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *every,
+	}
+	if !*quiet {
+		logger := log.New(os.Stderr, "iwserver: ", log.LstdFlags)
+		opts.Logf = logger.Printf
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	if !*quiet {
+		log.Printf("iwserver: listening on %s", *addr)
+	}
+	select {
+	case s := <-sig:
+		if !*quiet {
+			log.Printf("iwserver: %v, shutting down", s)
+		}
+		return srv.Close()
+	case err := <-errc:
+		return err
+	}
+}

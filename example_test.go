@@ -1,0 +1,156 @@
+package interweave_test
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"interweave"
+)
+
+// Example reproduces the paper's Figure 1 workflow end to end: a
+// writer on one simulated architecture builds a shared structure, and
+// a reader on a different architecture maps it through a
+// machine-independent pointer and reads it with ordinary accesses.
+func Example() {
+	// A server would normally be `iwserver` on another host.
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	segName := ln.Addr().String() + "/points"
+
+	point, err := interweave.StructOf("point",
+		interweave.Field{Name: "x", Type: interweave.Float64()},
+		interweave.Field{Name: "y", Type: interweave.Float64()},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Writer: big-endian 32-bit machine.
+	writer, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileSparc()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+	wh, err := writer.Open(segName) // IW_open_segment
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writer.WLock(wh); err != nil { // IW_wl_acquire
+		log.Fatal(err)
+	}
+	blk, err := writer.Alloc(wh, point, 1, "origin") // IW_malloc
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := interweave.RefTo(writer, blk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := ref.Field("x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := x.SetF64(3.5); err != nil { // an ordinary write
+		log.Fatal(err)
+	}
+	if err := writer.WUnlock(wh); err != nil { // IW_wl_release: the diff travels
+		log.Fatal(err)
+	}
+
+	// Reader: little-endian 64-bit machine, entering through a MIP.
+	reader, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileAlpha()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+	addr, err := reader.MIPToPtr(segName + "#origin") // IW_mip_to_ptr
+	if err != nil {
+		log.Fatal(err)
+	}
+	rh, err := reader.Open(segName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reader.RLock(rh); err != nil { // IW_rl_acquire: fetch
+		log.Fatal(err)
+	}
+	rref, err := interweave.RefAt(reader, addr, point)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rx, err := rref.Field("x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := rx.F64()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reader.RUnlock(rh); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("origin.x = %v\n", v)
+	// Output: origin.x = 3.5
+}
+
+// ExampleClient_TxCommit shows the transactional extension: two
+// segments move to their new versions atomically.
+func ExampleClient_TxCommit() {
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	c, err := interweave.NewClient(interweave.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	accounts, err := c.Open(addr + "/accounts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit, err := c.Open(addr + "/audit")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := c.TxLock(accounts, audit); err != nil {
+		log.Fatal(err)
+	}
+	balance, err := c.Alloc(accounts, interweave.Int64(), 1, "balance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := c.Alloc(audit, interweave.Int64(), 1, "entries")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Heap().WriteI64(balance.Addr, 100); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Heap().WriteI64(entries.Addr, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.TxCommit(accounts, audit); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("versions: %d %d\n", accounts.Version(), audit.Version())
+	// Output: versions: 1 1
+}

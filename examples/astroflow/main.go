@@ -1,0 +1,123 @@
+// The astroflow example reproduces the paper's Section 4.5: a
+// simulation engine (standing in for the Fortran stellar-dynamics
+// code) publishes its state into an InterWeave segment, and an
+// on-line visualization client renders it, controlling its own update
+// frequency simply by choosing a temporal coherence bound — the
+// change that turned the original Astroflow from an off-line into an
+// on-line tool.
+//
+//	go run ./examples/astroflow [-steps 40] [-every 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"interweave"
+	"interweave/internal/astro"
+)
+
+func main() {
+	steps := flag.Int("steps", 40, "simulation steps to run")
+	every := flag.Int("every", 8, "render a frame every N steps")
+	flag.Parse()
+	if err := run(*steps, *every); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(steps, every int) error {
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	segName := ln.Addr().String() + "/astroflow"
+
+	// Simulation engine ("the cluster").
+	simClient, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileAlpha(), Name: "simulator",
+	})
+	if err != nil {
+		return err
+	}
+	defer simClient.Close()
+	sim, err := astro.NewSim(64, 32, 2003)
+	if err != nil {
+		return err
+	}
+	pub, err := astro.NewPublisher(simClient, segName, sim)
+	if err != nil {
+		return err
+	}
+
+	// Visualization front end ("the Pentium desktop"), temporal
+	// coherence: it never needs frames more often than it draws.
+	vizClient, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileX86(), Name: "visualizer",
+	})
+	if err != nil {
+		return err
+	}
+	defer vizClient.Close()
+	viewer, err := astro.NewViewer(vizClient, segName, interweave.Full())
+	if err != nil {
+		return err
+	}
+
+	for s := 0; s <= steps; s++ {
+		if s > 0 {
+			sim.Step()
+		}
+		if err := pub.PublishFrame(); err != nil {
+			return err
+		}
+		if s%every != 0 {
+			continue
+		}
+		stats, grid, err := viewer.Frame()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("step %3d  density [%.3f, %.3f] mean %.3f  center of mass (%.1f, %.1f)\n",
+			stats.Step, stats.Min, stats.Max, stats.Mean, stats.Cx, stats.Cy)
+		fmt.Print(astro.Render(sim.W, sim.H, grid, 64, 16))
+		fmt.Println()
+	}
+
+	// Steering (Section 4.5): the front end controls its own update
+	// frequency simply by specifying a temporal bound on relaxed
+	// coherence — no change to the simulator.
+	if err := vizClient.SetPolicy(viewer.Segment(), interweave.Temporal(time.Hour)); err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		sim.Step()
+		if err := pub.PublishFrame(); err != nil {
+			return err
+		}
+	}
+	stats, _, err := viewer.Frame()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steering: with a 1h temporal bound the viewer still shows step %d (simulator is at %d)\n",
+		stats.Step, sim.StepCount())
+	if err := vizClient.SetPolicy(viewer.Segment(), interweave.Full()); err != nil {
+		return err
+	}
+	stats, _, err = viewer.Frame()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steering: tightened to full coherence, the viewer jumps to step %d\n", stats.Step)
+	return nil
+}

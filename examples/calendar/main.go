@@ -1,0 +1,229 @@
+// The calendar example is the CSCW scenario the paper's introduction
+// motivates: several users on different machines share a group
+// calendar — a pointer-rich structure of strings and integers — and
+// see each other's changes through ordinary reads and writes, with
+// coherence handled entirely by InterWeave.
+//
+//	go run ./examples/calendar
+//
+// Bindings in bindings.go are generated from calendar.idl by
+// cmd/iwidl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"interweave"
+)
+
+const daysPerWeek = 5
+
+var dayNames = [daysPerWeek]string{"Mon", "Tue", "Wed", "Thu", "Fri"}
+
+func main() {
+	server := flag.String("server", "", "InterWeave server address (empty = in-process)")
+	flag.Parse()
+	if err := run(*server); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type user struct {
+	name  string
+	c     *interweave.Client
+	h     *interweave.Segment
+	types map[string]*interweave.Type
+}
+
+func newUser(name, segName string, prof *interweave.Profile) (*user, error) {
+	c, err := interweave.NewClient(interweave.Options{Profile: prof, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	h, err := c.Open(segName)
+	if err != nil {
+		return nil, err
+	}
+	declared, err := Types()
+	if err != nil {
+		return nil, err
+	}
+	return &user{name: name, c: c, h: h, types: declared}, nil
+}
+
+// book adds an appointment at the head of a day's list.
+func (u *user) book(day, hour int32, title string) error {
+	if err := u.c.WLock(u.h); err != nil {
+		return err
+	}
+	defer func() { _ = u.c.WUnlock(u.h) }()
+	dayBlk, ok := u.h.Mem().BlockByName("week")
+	if !ok {
+		return fmt.Errorf("calendar not initialized")
+	}
+	weekRef, err := interweave.RefTo(u.c, dayBlk)
+	if err != nil {
+		return err
+	}
+	dayRef, err := weekRef.Elem(int(day))
+	if err != nil {
+		return err
+	}
+	dl := NewDayListView(dayRef)
+
+	blk, err := u.c.Alloc(u.h, u.types["appt"], 1, "")
+	if err != nil {
+		return err
+	}
+	ref, err := interweave.RefTo(u.c, blk)
+	if err != nil {
+		return err
+	}
+	a := NewApptView(ref)
+	if err := a.SetDay(day); err != nil {
+		return err
+	}
+	if err := a.SetHour(hour); err != nil {
+		return err
+	}
+	if err := a.SetTitle(title); err != nil {
+		return err
+	}
+	if err := a.SetOwner(u.name); err != nil {
+		return err
+	}
+	oldHead, err := dl.Head()
+	if err != nil {
+		return err
+	}
+	if err := a.SetNext(oldHead); err != nil {
+		return err
+	}
+	if err := dl.SetHead(ref.Addr()); err != nil {
+		return err
+	}
+	n, err := dl.Count()
+	if err != nil {
+		return err
+	}
+	return dl.SetCount(n + 1)
+}
+
+// show prints the whole week as this user's cached copy sees it.
+func (u *user) show() error {
+	if err := u.c.RLock(u.h); err != nil {
+		return err
+	}
+	defer func() { _ = u.c.RUnlock(u.h) }()
+	dayBlk, ok := u.h.Mem().BlockByName("week")
+	if !ok {
+		return fmt.Errorf("calendar not initialized")
+	}
+	weekRef, err := interweave.RefTo(u.c, dayBlk)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %s's view (%s) --\n", u.name, u.c.Profile())
+	for d := 0; d < daysPerWeek; d++ {
+		dayRef, err := weekRef.Elem(d)
+		if err != nil {
+			return err
+		}
+		dl := NewDayListView(dayRef)
+		n, err := dl.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s (%d):", dayNames[d], n)
+		a, err := dl.HeadDeref()
+		for err == nil {
+			hour, herr := a.Hour()
+			if herr != nil {
+				return herr
+			}
+			title, terr := a.Title()
+			if terr != nil {
+				return terr
+			}
+			owner, oerr := a.Owner()
+			if oerr != nil {
+				return oerr
+			}
+			fmt.Printf("  %02d:00 %s (%s)", hour, title, owner)
+			a, err = a.NextDeref()
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func run(serverAddr string) error {
+	if serverAddr == "" {
+		srv, err := interweave.NewServer(interweave.ServerOptions{})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		serverAddr = ln.Addr().String()
+	}
+	segName := serverAddr + "/calendar"
+
+	alice, err := newUser("alice", segName, interweave.ProfileAlpha())
+	if err != nil {
+		return err
+	}
+	defer alice.c.Close()
+
+	// Alice initializes the week: one day_list per weekday in a
+	// single block.
+	if err := alice.c.WLock(alice.h); err != nil {
+		return err
+	}
+	if _, err := alice.c.Alloc(alice.h, alice.types["day_list"], daysPerWeek, "week"); err != nil {
+		return err
+	}
+	if err := alice.c.WUnlock(alice.h); err != nil {
+		return err
+	}
+
+	bob, err := newUser("bob", segName, interweave.ProfileSparc())
+	if err != nil {
+		return err
+	}
+	defer bob.c.Close()
+	carol, err := newUser("carol", segName, interweave.ProfileX86())
+	if err != nil {
+		return err
+	}
+	defer carol.c.Close()
+
+	if err := alice.book(0, 9, "standup"); err != nil {
+		return err
+	}
+	if err := bob.book(0, 14, "design review"); err != nil {
+		return err
+	}
+	if err := carol.book(2, 11, "1:1 alice/carol"); err != nil {
+		return err
+	}
+	if err := bob.book(4, 16, "demo"); err != nil {
+		return err
+	}
+
+	// Everyone sees the same calendar, each through their own cached
+	// copy in their own local data format.
+	for _, u := range []*user{alice, bob, carol} {
+		if err := u.show(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

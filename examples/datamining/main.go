@@ -1,0 +1,131 @@
+// The datamining example reproduces the application of the paper's
+// Section 4.4: a database server performs incremental sequence mining
+// over a growing transaction database and shares the summary lattice
+// — a pointer-rich structure — through an InterWeave segment; a
+// mining client answers queries from its cached copy under a relaxed
+// coherence model, saving translation and communication by tolerating
+// slightly stale summaries.
+//
+//	go run ./examples/datamining [-updates 10] [-delta 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"interweave"
+	"interweave/internal/seqmine"
+)
+
+func main() {
+	updates := flag.Int("updates", 10, "incremental 1% updates after the initial half")
+	delta := flag.Uint("delta", 2, "mining client tolerates this many versions of staleness")
+	flag.Parse()
+	if err := run(*updates, uint32(*delta)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(updates int, delta uint32) error {
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	segName := ln.Addr().String() + "/lattice"
+
+	// The transaction database (a scaled-down Quest-style synthetic
+	// set; see internal/seqmine for the paper's full parameters).
+	cfg := seqmine.SmallConfig()
+	cfg.Customers = 10000
+	db, err := seqmine.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("database: %d customers, %d items, %.1f MB\n",
+		cfg.Customers, cfg.Items, float64(db.SizeBytes())/(1<<20))
+
+	// Database server: an Alpha-like machine.
+	dbClient, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileAlpha(), Name: "dbserver",
+	})
+	if err != nil {
+		return err
+	}
+	defer dbClient.Close()
+	pub, err := seqmine.NewPublisher(dbClient, segName)
+	if err != nil {
+		return err
+	}
+
+	lat, err := seqmine.NewLattice(cfg.PatternLen, 20)
+	if err != nil {
+		return err
+	}
+	half := cfg.Customers / 2
+	lat.AddSequences(db.Slice(0, half))
+	if err := pub.Publish(lat); err != nil {
+		return err
+	}
+	fmt.Printf("initial summary from %d%% of the database: %d lattice nodes (version %d)\n",
+		50, lat.Nodes(), pub.Segment().Version())
+
+	// Mining client: a Sparc-like machine under Delta coherence.
+	mineClient, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileSparc(), Name: "miner",
+	})
+	if err != nil {
+		return err
+	}
+	defer mineClient.Close()
+	sub, err := seqmine.NewSubscriber(mineClient, segName, interweave.Delta(delta))
+	if err != nil {
+		return err
+	}
+
+	onePct := cfg.Customers / 100
+	for u := 1; u <= updates; u++ {
+		lo := half + (u-1)*onePct
+		lat.AddSequences(db.Slice(lo, lo+onePct))
+		if err := pub.Publish(lat); err != nil {
+			return err
+		}
+		before := sub.Segment().Version()
+		snap, err := sub.Snapshot()
+		if err != nil {
+			return err
+		}
+		after := sub.Segment().Version()
+		status := "cache hit (stale but within bound)"
+		if after != before {
+			status = fmt.Sprintf("updated %d -> %d", before, after)
+		}
+		top := snap.Frequent(int32(cfg.Customers/25), 3)
+		fmt.Printf("update %2d: server v%d, miner %-32s top: %s\n",
+			u, pub.Segment().Version(), status, renderPatterns(top))
+	}
+	return nil
+}
+
+func renderPatterns(pats []seqmine.Pattern) string {
+	if len(pats) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, 0, len(pats))
+	for _, p := range pats {
+		items := make([]string, len(p.Seq))
+		for i, it := range p.Seq {
+			items[i] = fmt.Sprint(it)
+		}
+		parts = append(parts, fmt.Sprintf("<%s>x%d", strings.Join(items, ","), p.Support))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,220 @@
+// The quickstart example reproduces the paper's Figure 1: a shared
+// linked list, built by a "writer" client and searched by a "reader"
+// client on a different (simulated) machine architecture, with the
+// reader bootstrapping through a machine-independent pointer.
+//
+// Run it self-contained (it starts an in-process server):
+//
+//	go run ./examples/quickstart
+//
+// Or against a running iwserver:
+//
+//	go run ./examples/quickstart -server 127.0.0.1:7777
+//
+// The node_t bindings in bindings.go are generated from list.idl by
+// cmd/iwidl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"interweave"
+)
+
+func main() {
+	server := flag.String("server", "", "InterWeave server address (empty = start one in-process)")
+	flag.Parse()
+	if err := run(*server); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(serverAddr string) error {
+	if serverAddr == "" {
+		srv, err := interweave.NewServer(interweave.ServerOptions{})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		serverAddr = ln.Addr().String()
+		fmt.Println("started in-process server on", serverAddr)
+	}
+	segName := serverAddr + "/list"
+
+	declared, err := Types()
+	if err != nil {
+		return err
+	}
+	nodeT := declared["node_t"]
+
+	// --- Writer: a big-endian 32-bit "Sparc" client. ---
+	writer, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileSparc(),
+		Name:    "writer",
+	})
+	if err != nil {
+		return err
+	}
+	defer writer.Close()
+
+	wl := &list{c: writer, nodeT: nodeT}
+	if wl.h, err = writer.Open(segName); err != nil {
+		return err
+	}
+	// list_init: create the unused header node.
+	if err := writer.WLock(wl.h); err != nil {
+		return err
+	}
+	head, err := writer.Alloc(wl.h, nodeT, 1, "head")
+	if err != nil {
+		return err
+	}
+	if err := writer.WUnlock(wl.h); err != nil {
+		return err
+	}
+	wl.head, err = interweave.RefTo(writer, head)
+	if err != nil {
+		return err
+	}
+
+	for _, key := range []int32{30, 20, 10} {
+		if err := wl.insert(key); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("writer (%s) built list: ", writer.Profile())
+	if err := wl.print(); err != nil {
+		return err
+	}
+
+	// --- Reader: a little-endian 64-bit "Alpha" client entering
+	// through a MIP, as Figure 1's list_init does. ---
+	reader, err := interweave.NewClient(interweave.Options{
+		Profile: interweave.ProfileAlpha(),
+		Name:    "reader",
+	})
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+
+	headAddr, err := reader.MIPToPtr(segName + "#head")
+	if err != nil {
+		return err
+	}
+	rh, err := reader.Open(segName)
+	if err != nil {
+		return err
+	}
+	headRef, err := interweave.RefAt(reader, headAddr, nodeT)
+	if err != nil {
+		return err
+	}
+	rl := &list{c: reader, h: rh, nodeT: nodeT, head: headRef}
+
+	for _, probe := range []int32{20, 99} {
+		found, err := rl.search(probe)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reader (%s) search(%d) = %v\n", reader.Profile(), probe, found)
+	}
+
+	// The reader inserts too; the writer sees it.
+	if err := rl.insert(5); err != nil {
+		return err
+	}
+	fmt.Printf("after reader insert(5), writer sees: ")
+	return wl.print()
+}
+
+// list wraps the Figure 1 operations for one client.
+type list struct {
+	c     *interweave.Client
+	h     *interweave.Segment
+	nodeT *interweave.Type
+	head  interweave.Ref
+}
+
+// insert is Figure 1's list_insert: allocate, link after head.
+func (l *list) insert(key int32) error {
+	if err := l.c.WLock(l.h); err != nil {
+		return err
+	}
+	defer func() { _ = l.c.WUnlock(l.h) }()
+	blk, err := l.c.Alloc(l.h, l.nodeT, 1, "")
+	if err != nil {
+		return err
+	}
+	ref, err := interweave.RefTo(l.c, blk)
+	if err != nil {
+		return err
+	}
+	node := NewNodeTView(ref)
+	if err := node.SetKey(key); err != nil {
+		return err
+	}
+	headNode := NewNodeTView(l.head)
+	first, err := headNode.Next()
+	if err != nil {
+		return err
+	}
+	if err := node.SetNext(first); err != nil {
+		return err
+	}
+	return headNode.SetNext(ref.Addr())
+}
+
+// search is Figure 1's list_search.
+func (l *list) search(key int32) (bool, error) {
+	if err := l.c.RLock(l.h); err != nil {
+		return false, err
+	}
+	defer func() { _ = l.c.RUnlock(l.h) }()
+	node := NewNodeTView(l.head)
+	for {
+		next, err := node.NextDeref()
+		if err != nil {
+			return false, nil // nil next: not found
+		}
+		k, err := next.Key()
+		if err != nil {
+			return false, err
+		}
+		if k == key {
+			return true, nil
+		}
+		node = next
+	}
+}
+
+// print walks the list under a read lock.
+func (l *list) print() error {
+	if err := l.c.RLock(l.h); err != nil {
+		return err
+	}
+	defer func() { _ = l.c.RUnlock(l.h) }()
+	node := NewNodeTView(l.head)
+	for {
+		next, err := node.NextDeref()
+		if err != nil {
+			break
+		}
+		k, err := next.Key()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d -> ", k)
+		node = next
+	}
+	fmt.Println("nil")
+	return nil
+}

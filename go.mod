@@ -1,0 +1,3 @@
+module interweave
+
+go 1.22

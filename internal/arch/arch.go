@@ -1,0 +1,167 @@
+// Package arch defines simulated machine architecture profiles.
+//
+// InterWeave's defining challenge is sharing typed data across
+// heterogeneous machines: different byte orders, pointer sizes, and
+// alignment rules. In the original system each client ran on real
+// hardware (Alpha, Sparc, x86, MIPS); in this reproduction a client's
+// "machine" is a Profile that parameterizes its local data format.
+// All local-format layout decisions (endianness, sizes, padding) are
+// derived from the profile, so two clients with different profiles
+// exercise exactly the translation paths the paper describes.
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page geometry of the simulated virtual memory system. The paper's
+// evaluation (Figure 5) shows a knee at a modification stride of 1024
+// 32-bit words, i.e. 4 KiB pages, which this reproduction matches.
+const (
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// PageSize is the size in bytes of a virtual memory page.
+	PageSize = 1 << PageShift
+	// WordBytes is the granularity of twin/diff comparison: 32-bit
+	// words, matching the paper's modification ratios and the
+	// diff-run splicing description.
+	WordBytes = 4
+	// PageWords is the number of diff words per page.
+	PageWords = PageSize / WordBytes
+)
+
+// Profile describes the local data format of one simulated machine
+// architecture. Profiles are immutable after creation; the predefined
+// profiles returned by the constructor functions below must not be
+// modified.
+type Profile struct {
+	// Name identifies the profile in logs and error messages.
+	Name string
+	// Order is the byte order of local-format multi-byte values.
+	Order binary.ByteOrder
+	// WordSize is the pointer size in bytes (4 or 8).
+	WordSize int
+	// Int64Align is the alignment of 64-bit integers.
+	Int64Align int
+	// Float64Align is the alignment of 64-bit floats. On i386 this
+	// is famously 4, not 8.
+	Float64Align int
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p *Profile) Validate() error {
+	switch {
+	case p == nil:
+		return fmt.Errorf("arch: nil profile")
+	case p.Name == "":
+		return fmt.Errorf("arch: profile has empty name")
+	case p.Order == nil:
+		return fmt.Errorf("arch: profile %q has nil byte order", p.Name)
+	case p.WordSize != 4 && p.WordSize != 8:
+		return fmt.Errorf("arch: profile %q has word size %d, want 4 or 8", p.Name, p.WordSize)
+	case p.Int64Align != 4 && p.Int64Align != 8:
+		return fmt.Errorf("arch: profile %q has int64 alignment %d, want 4 or 8", p.Name, p.Int64Align)
+	case p.Float64Align != 4 && p.Float64Align != 8:
+		return fmt.Errorf("arch: profile %q has float64 alignment %d, want 4 or 8", p.Name, p.Float64Align)
+	}
+	return nil
+}
+
+// MaxAlign is the strictest alignment any primitive requires under
+// this profile. Block starting addresses are aligned to this.
+func (p *Profile) MaxAlign() int {
+	a := p.WordSize
+	if p.Int64Align > a {
+		a = p.Int64Align
+	}
+	if p.Float64Align > a {
+		a = p.Float64Align
+	}
+	return a
+}
+
+// BigEndian reports whether the profile stores multi-byte values most
+// significant byte first.
+func (p *Profile) BigEndian() bool {
+	return p.Order == binary.ByteOrder(binary.BigEndian)
+}
+
+// String implements fmt.Stringer.
+func (p *Profile) String() string { return p.Name }
+
+// The predefined profiles mirror the platforms the original
+// InterWeave ran on (Section 3 of the paper). Each function returns a
+// shared immutable instance.
+
+var (
+	_x86 = &Profile{
+		Name:         "x86-32le",
+		Order:        binary.LittleEndian,
+		WordSize:     4,
+		Int64Align:   4,
+		Float64Align: 4,
+	}
+	_alpha = &Profile{
+		Name:         "alpha-64le",
+		Order:        binary.LittleEndian,
+		WordSize:     8,
+		Int64Align:   8,
+		Float64Align: 8,
+	}
+	_sparc = &Profile{
+		Name:         "sparc-32be",
+		Order:        binary.BigEndian,
+		WordSize:     4,
+		Int64Align:   8,
+		Float64Align: 8,
+	}
+	_mips64 = &Profile{
+		Name:         "mips-64be",
+		Order:        binary.BigEndian,
+		WordSize:     8,
+		Int64Align:   8,
+		Float64Align: 8,
+	}
+	_amd64 = &Profile{
+		Name:         "x86-64le",
+		Order:        binary.LittleEndian,
+		WordSize:     8,
+		Int64Align:   8,
+		Float64Align: 8,
+	}
+)
+
+// X86 is a 32-bit little-endian profile with i386 ABI alignment
+// (doubles aligned to 4 bytes).
+func X86() *Profile { return _x86 }
+
+// Alpha is a 64-bit little-endian profile.
+func Alpha() *Profile { return _alpha }
+
+// Sparc is a 32-bit big-endian profile with natural alignment for
+// 8-byte quantities.
+func Sparc() *Profile { return _sparc }
+
+// MIPS64 is a 64-bit big-endian profile.
+func MIPS64() *Profile { return _mips64 }
+
+// AMD64 is a 64-bit little-endian profile matching the host most
+// benchmarks run on.
+func AMD64() *Profile { return _amd64 }
+
+// Profiles returns all predefined profiles. The returned slice is
+// freshly allocated; the profiles themselves are shared and immutable.
+func Profiles() []*Profile {
+	return []*Profile{_x86, _alpha, _sparc, _mips64, _amd64}
+}
+
+// ByName returns the predefined profile with the given name.
+func ByName(name string) (*Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown profile %q", name)
+}

@@ -1,0 +1,120 @@
+package arch
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestPredefinedProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q failed validation: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfilesAreDistinctAndCoverHeterogeneity(t *testing.T) {
+	seen := make(map[string]bool)
+	var hasBE, hasLE, has32, has64, hasLooseDouble bool
+	for _, p := range Profiles() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.BigEndian() {
+			hasBE = true
+		} else {
+			hasLE = true
+		}
+		if p.WordSize == 4 {
+			has32 = true
+		}
+		if p.WordSize == 8 {
+			has64 = true
+		}
+		if p.Float64Align == 4 {
+			hasLooseDouble = true
+		}
+	}
+	if !hasBE || !hasLE {
+		t.Error("profiles must cover both byte orders")
+	}
+	if !has32 || !has64 {
+		t.Error("profiles must cover both word sizes")
+	}
+	if !hasLooseDouble {
+		t.Error("profiles must include an i386-style 4-byte double alignment")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *Profile
+	}{
+		{"nil", nil},
+		{"empty name", &Profile{Order: binary.BigEndian, WordSize: 4, Int64Align: 4, Float64Align: 4}},
+		{"nil order", &Profile{Name: "x", WordSize: 4, Int64Align: 4, Float64Align: 4}},
+		{"bad word size", &Profile{Name: "x", Order: binary.BigEndian, WordSize: 2, Int64Align: 4, Float64Align: 4}},
+		{"bad int64 align", &Profile{Name: "x", Order: binary.BigEndian, WordSize: 4, Int64Align: 16, Float64Align: 4}},
+		{"bad float64 align", &Profile{Name: "x", Order: binary.BigEndian, WordSize: 4, Int64Align: 4, Float64Align: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); err == nil {
+				t.Errorf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestMaxAlign(t *testing.T) {
+	tests := []struct {
+		p    *Profile
+		want int
+	}{
+		{X86(), 4},
+		{Alpha(), 8},
+		{Sparc(), 8},
+		{MIPS64(), 8},
+		{AMD64(), 8},
+	}
+	for _, tt := range tests {
+		if got := tt.p.MaxAlign(); got != tt.want {
+			t.Errorf("%s MaxAlign() = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, err := ByName(p.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", p.Name, err)
+		}
+		if got != p {
+			t.Errorf("ByName(%q) returned a different instance", p.Name)
+		}
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Error("ByName(vax) = nil error, want error")
+	}
+}
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096 (paper's Figure 5 knee at 1024 words)", PageSize)
+	}
+	if PageWords != 1024 {
+		t.Errorf("PageWords = %d, want 1024", PageWords)
+	}
+	if 1<<PageShift != PageSize {
+		t.Errorf("PageShift %d inconsistent with PageSize %d", PageShift, PageSize)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if got := X86().String(); got != "x86-32le" {
+		t.Errorf("String() = %q, want x86-32le", got)
+	}
+}

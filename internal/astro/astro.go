@@ -1,0 +1,349 @@
+// Package astro reproduces the sharing pattern of the paper's
+// Astroflow application (Section 4.5): a computational-fluid-dynamics
+// simulation engine publishing its state into an InterWeave segment,
+// and a visualization front end reading it on-line under temporal
+// coherence, steering the update frequency simply by adjusting its
+// coherence bound.
+//
+// The original simulator was a Fortran stellar-dynamics code running
+// on an AlphaServer cluster under Cashmere; the substitute here is a
+// small 2-D advection-diffusion solver — the physics is irrelevant to
+// what the experiment exercises (a large numeric grid, whole-grid
+// updates each step, a read-mostly remote client).
+package astro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"interweave"
+)
+
+// Sim is a 2-D advection-diffusion simulation of a density field —
+// gas clouds drifting and spreading.
+type Sim struct {
+	W, H    int
+	Density []float64
+	// vx, vy is the bulk drift velocity in cells per step.
+	vx, vy float64
+	// diff is the diffusion coefficient.
+	diff float64
+	step int
+	rng  *rand.Rand
+}
+
+// NewSim seeds a deterministic simulation with a few gaussian clumps
+// ("protostars").
+func NewSim(w, h int, seed int64) (*Sim, error) {
+	if w < 4 || h < 4 {
+		return nil, fmt.Errorf("astro: grid %dx%d too small", w, h)
+	}
+	s := &Sim{
+		W:       w,
+		H:       h,
+		Density: make([]float64, w*h),
+		vx:      0.35,
+		vy:      0.15,
+		diff:    0.08,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < 3+s.rng.Intn(3); i++ {
+		s.injectClump()
+	}
+	return s, nil
+}
+
+func (s *Sim) injectClump() {
+	cx := float64(s.rng.Intn(s.W))
+	cy := float64(s.rng.Intn(s.H))
+	amp := 0.5 + s.rng.Float64()
+	sigma := 1.5 + 2*s.rng.Float64()
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			s.Density[y*s.W+x] += amp * math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma))
+		}
+	}
+}
+
+// Step advances the simulation one timestep: semi-Lagrangian
+// advection, explicit diffusion, and occasional new clumps.
+func (s *Sim) Step() {
+	w, h := s.W, s.H
+	next := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Advect: sample upstream with bilinear interpolation.
+			sx := float64(x) - s.vx
+			sy := float64(y) - s.vy
+			v := s.sample(sx, sy)
+			// Diffuse: blend with the 4-neighbourhood mean.
+			n := s.at(x, y-1) + s.at(x, y+1) + s.at(x-1, y) + s.at(x+1, y)
+			v = (1-s.diff)*v + s.diff*n/4
+			next[y*w+x] = v
+		}
+	}
+	s.Density = next
+	s.step++
+	if s.step%37 == 0 {
+		s.injectClump() // a new star is born
+	}
+}
+
+// at reads with toroidal wraparound.
+func (s *Sim) at(x, y int) float64 {
+	x = ((x % s.W) + s.W) % s.W
+	y = ((y % s.H) + s.H) % s.H
+	return s.Density[y*s.W+x]
+}
+
+func (s *Sim) sample(x, y float64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := x-x0, y-y0
+	ix, iy := int(x0), int(y0)
+	return (1-fx)*(1-fy)*s.at(ix, iy) +
+		fx*(1-fy)*s.at(ix+1, iy) +
+		(1-fx)*fy*s.at(ix, iy+1) +
+		fx*fy*s.at(ix+1, iy+1)
+}
+
+// StepCount returns the number of completed steps.
+func (s *Sim) StepCount() int { return s.step }
+
+// Stats summarizes a frame for the visualization front end.
+type Stats struct {
+	Step     int32
+	Min, Max float64
+	Mean     float64
+	// Cx, Cy is the density-weighted center of mass.
+	Cx, Cy float64
+}
+
+// ComputeStats reduces a density grid.
+func ComputeStats(step int32, w, h int, density []float64) Stats {
+	st := Stats{Step: step, Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sx, sy float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := density[y*w+x]
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+			sum += v
+			sx += v * float64(x)
+			sy += v * float64(y)
+		}
+	}
+	if n := float64(w * h); n > 0 {
+		st.Mean = sum / n
+	}
+	if sum > 0 {
+		st.Cx, st.Cy = sx/sum, sy/sum
+	}
+	return st
+}
+
+// Render draws an ASCII contour map — the "visualization" of the
+// example application.
+func Render(w, h int, density []float64, cols, rows int) string {
+	const shades = " .:-=+*#%@"
+	st := ComputeStats(0, w, h, density)
+	span := st.Max - st.Min
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := c * w / cols
+			y := r * h / rows
+			v := (density[y*w+x] - st.Min) / span
+			idx := int(v * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Shared segment layout: a header block and a grid block.
+
+// HeaderType declares the frame header.
+func HeaderType() (*interweave.Type, error) {
+	return interweave.StructOf("frame_hdr",
+		interweave.Field{Name: "step", Type: interweave.Int32()},
+		interweave.Field{Name: "width", Type: interweave.Int32()},
+		interweave.Field{Name: "height", Type: interweave.Int32()},
+	)
+}
+
+// Publisher shares a simulation into a segment.
+type Publisher struct {
+	c    *interweave.Client
+	h    *interweave.Segment
+	sim  *Sim
+	grid *interweave.Block
+	hdr  interweave.Ref
+}
+
+// NewPublisher opens the segment and allocates the shared frame.
+func NewPublisher(c *interweave.Client, segName string, sim *Sim) (*Publisher, error) {
+	if c == nil || sim == nil {
+		return nil, errors.New("astro: nil client or sim")
+	}
+	h, err := c.Open(segName)
+	if err != nil {
+		return nil, err
+	}
+	hdrT, err := HeaderType()
+	if err != nil {
+		return nil, err
+	}
+	p := &Publisher{c: c, h: h, sim: sim}
+	if err := c.WLock(h); err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.WUnlock(h) }()
+	hb, err := c.Alloc(h, hdrT, 1, "hdr")
+	if err != nil {
+		return nil, err
+	}
+	p.hdr, err = interweave.RefTo(c, hb)
+	if err != nil {
+		return nil, err
+	}
+	if err := setI32(p.hdr, "width", int32(sim.W)); err != nil {
+		return nil, err
+	}
+	if err := setI32(p.hdr, "height", int32(sim.H)); err != nil {
+		return nil, err
+	}
+	p.grid, err = c.Alloc(h, interweave.Float64(), sim.W*sim.H, "grid")
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func setI32(r interweave.Ref, field string, v int32) error {
+	f, err := r.Field(field)
+	if err != nil {
+		return err
+	}
+	return f.SetI32(v)
+}
+
+// Segment returns the shared segment handle.
+func (p *Publisher) Segment() *interweave.Segment { return p.h }
+
+// PublishFrame writes the current simulation state into the segment
+// (one write critical section per frame, as the modified Astroflow
+// replaced its file dumps with segment writes).
+func (p *Publisher) PublishFrame() error {
+	if err := p.c.WLock(p.h); err != nil {
+		return err
+	}
+	heap := p.c.Heap()
+	var err error
+	for i, v := range p.sim.Density {
+		if err = heap.WriteF64(p.grid.Addr+interweave.Addr(8*i), v); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = setI32(p.hdr, "step", int32(p.sim.StepCount()))
+	}
+	if uerr := p.c.WUnlock(p.h); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// Viewer is the visualization client.
+type Viewer struct {
+	c *interweave.Client
+	h *interweave.Segment
+}
+
+// NewViewer opens the shared simulation under the given coherence
+// policy (typically Temporal: the front end controls its own update
+// frequency).
+func NewViewer(c *interweave.Client, segName string, policy interweave.Policy) (*Viewer, error) {
+	if c == nil {
+		return nil, errors.New("astro: nil client")
+	}
+	h, err := c.Open(segName)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetPolicy(h, policy); err != nil {
+		return nil, err
+	}
+	return &Viewer{c: c, h: h}, nil
+}
+
+// Segment returns the viewed segment handle.
+func (v *Viewer) Segment() *interweave.Segment { return v.h }
+
+// Frame reads the current frame under a read lock.
+func (v *Viewer) Frame() (Stats, []float64, error) {
+	if err := v.c.RLock(v.h); err != nil {
+		return Stats{}, nil, err
+	}
+	defer func() { _ = v.c.RUnlock(v.h) }()
+	hb, ok := v.h.Mem().BlockByName("hdr")
+	if !ok {
+		return Stats{}, nil, errors.New("astro: no frame header in segment")
+	}
+	r, err := interweave.RefTo(v.c, hb)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	geti := func(name string) (int32, error) {
+		f, err := r.Field(name)
+		if err != nil {
+			return 0, err
+		}
+		return f.I32()
+	}
+	step, err := geti("step")
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	w, err := geti("width")
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	h, err := geti("height")
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	gb, ok := v.h.Mem().BlockByName("grid")
+	if !ok {
+		return Stats{}, nil, errors.New("astro: no grid in segment")
+	}
+	if int(w)*int(h) != gb.Count {
+		return Stats{}, nil, fmt.Errorf("astro: header %dx%d does not match grid of %d", w, h, gb.Count)
+	}
+	grid := make([]float64, gb.Count)
+	heap := v.c.Heap()
+	for i := range grid {
+		grid[i], err = heap.ReadF64(gb.Addr + interweave.Addr(8*i))
+		if err != nil {
+			return Stats{}, nil, err
+		}
+	}
+	return ComputeStats(step, int(w), int(h), grid), grid, nil
+}

@@ -1,0 +1,193 @@
+package astro
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+
+	"interweave"
+)
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(2, 2, 1); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	s, err := NewSim(16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Density) != 256 {
+		t.Errorf("grid length %d", len(s.Density))
+	}
+}
+
+func TestSimMassApproxConserved(t *testing.T) {
+	s, err := NewSim(32, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := func() float64 {
+		var m float64
+		for _, v := range s.Density {
+			m += v
+		}
+		return m
+	}
+	m0 := mass()
+	for i := 0; i < 36; i++ { // below the injection step
+		s.Step()
+	}
+	m1 := mass()
+	// Semi-Lagrangian advection is slightly dissipative but mass
+	// should stay within a few percent over 36 steps.
+	if math.Abs(m1-m0)/m0 > 0.10 {
+		t.Errorf("mass drifted from %.3f to %.3f", m0, m1)
+	}
+	if s.StepCount() != 36 {
+		t.Errorf("StepCount = %d", s.StepCount())
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a, _ := NewSim(16, 16, 3)
+	b, _ := NewSim(16, 16, 3)
+	for i := 0; i < 50; i++ {
+		a.Step()
+		b.Step()
+	}
+	for i := range a.Density {
+		if a.Density[i] != b.Density[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	grid := []float64{0, 0, 0, 4} // 2x2, all mass at (1,1)
+	st := ComputeStats(9, 2, 2, grid)
+	if st.Step != 9 || st.Min != 0 || st.Max != 4 || st.Mean != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Cx != 1 || st.Cy != 1 {
+		t.Errorf("center of mass = %v,%v", st.Cx, st.Cy)
+	}
+}
+
+func TestRender(t *testing.T) {
+	s, err := NewSim(32, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(s.W, s.H, s.Density, 20, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 || len(lines[0]) != 20 {
+		t.Errorf("render shape = %dx%d", len(lines), len(lines[0]))
+	}
+	if !strings.ContainsAny(out, ":-=+*#%@") {
+		t.Error("render shows no density at all")
+	}
+}
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestPublishAndView(t *testing.T) {
+	addr := startServer(t)
+	seg := addr + "/astroflow"
+
+	// Simulation engine on a 64-bit little-endian machine.
+	cs, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileAlpha()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	sim, err := NewSim(24, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(cs, seg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.PublishFrame(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Visualization front end on a 32-bit big-endian machine.
+	cv, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileSparc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cv.Close()
+	view, err := NewViewer(cv, seg, interweave.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, grid, err := view.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 0 || len(grid) != 24*16 {
+		t.Fatalf("frame = %+v, %d cells", st, len(grid))
+	}
+	want := ComputeStats(0, sim.W, sim.H, sim.Density)
+	if st != want {
+		t.Errorf("viewer stats %+v, sim stats %+v", st, want)
+	}
+
+	// Advance and republish: the viewer observes the new step.
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	if err := pub.PublishFrame(); err != nil {
+		t.Fatal(err)
+	}
+	st2, grid2, err := view.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Step != 5 {
+		t.Errorf("step = %d, want 5", st2.Step)
+	}
+	for i := range grid2 {
+		if grid2[i] != sim.Density[i] {
+			t.Fatalf("cell %d: %v != %v", i, grid2[i], sim.Density[i])
+		}
+	}
+}
+
+func TestViewerErrors(t *testing.T) {
+	addr := startServer(t)
+	c, err := interweave.NewClient(interweave.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := NewViewer(nil, addr+"/x", interweave.Full()); err == nil {
+		t.Error("nil client accepted")
+	}
+	if _, err := NewPublisher(nil, addr+"/x", nil); err == nil {
+		t.Error("nil publisher args accepted")
+	}
+	// A viewer on an empty segment gets a clean error.
+	v, err := NewViewer(c, addr+"/empty", interweave.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Frame(); err == nil {
+		t.Error("frame from empty segment succeeded")
+	}
+}

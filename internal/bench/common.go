@@ -1,0 +1,210 @@
+// Package bench reproduces every figure of the paper's evaluation
+// (Section 4): the translation-cost comparison against RPC/XDR
+// (Figure 4), diff management cost versus modification granularity
+// (Figure 5), pointer swizzling cost (Figure 6), and the datamining
+// bandwidth experiment (Figure 7). cmd/iwfigures prints the rows;
+// the repository-root bench_test.go exposes the same code as
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"interweave/internal/arch"
+	"interweave/internal/diff"
+	"interweave/internal/mem"
+	"interweave/internal/swizzle"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+)
+
+// localSeg is a stand-alone client-side segment (heap + metadata +
+// descriptor registry) used by the translation microbenchmarks, which
+// measure pure library costs without any network.
+type localSeg struct {
+	heap  *mem.Heap
+	seg   *mem.SegMem
+	descs map[uint32]*types.Layout
+	next  uint32
+}
+
+func newLocalSeg(prof *arch.Profile, name string) (*localSeg, error) {
+	h, err := mem.NewHeap(prof)
+	if err != nil {
+		return nil, err
+	}
+	s, err := h.NewSegment(name)
+	if err != nil {
+		return nil, err
+	}
+	return &localSeg{heap: h, seg: s, descs: make(map[uint32]*types.Layout), next: 1}, nil
+}
+
+// alloc allocates a block and registers its descriptor.
+func (ls *localSeg) alloc(t *types.Type, count int, name string) (*mem.Block, error) {
+	l, err := types.Of(t, ls.heap.Profile())
+	if err != nil {
+		return nil, err
+	}
+	b, err := ls.seg.Alloc(l, count, name)
+	if err != nil {
+		return nil, err
+	}
+	b.DescSerial = ls.next
+	ls.descs[ls.next] = l
+	ls.next++
+	return b, nil
+}
+
+// mirror registers the same descriptor serials with layouts for this
+// profile, so diffs can flow between two localSegs.
+func (ls *localSeg) mirror(other *localSeg) error {
+	for serial, l := range other.descs {
+		ml, err := types.Of(l.Type, ls.heap.Profile())
+		if err != nil {
+			return err
+		}
+		ls.descs[serial] = ml
+		if serial >= ls.next {
+			ls.next = serial + 1
+		}
+	}
+	return nil
+}
+
+func (ls *localSeg) swizzler() diff.SwizzleFunc {
+	return swizzle.NewSwizzler(ls.heap).MIPString
+}
+
+func (ls *localSeg) resolver() diff.ResolveFunc {
+	return func(s string) (mem.Addr, error) {
+		m, err := swizzle.Parse(s)
+		if err != nil {
+			return 0, err
+		}
+		if m.IsNil() {
+			return 0, nil
+		}
+		seg, ok := ls.heap.Segment(m.Segment)
+		if !ok {
+			return 0, fmt.Errorf("bench: segment %q not cached", m.Segment)
+		}
+		return swizzle.AddrOfMIP(seg, m)
+	}
+}
+
+// attachDescs adds descriptor definitions for every type the diff's
+// new blocks reference, as the client library does before pushing a
+// diff to a server.
+func (ls *localSeg) attachDescs(d *wire.SegmentDiff) error {
+	seen := make(map[uint32]bool)
+	for _, nb := range d.News {
+		if seen[nb.DescSerial] {
+			continue
+		}
+		seen[nb.DescSerial] = true
+		l, ok := ls.descs[nb.DescSerial]
+		if !ok {
+			return fmt.Errorf("bench: unknown descriptor %d", nb.DescSerial)
+		}
+		b, err := types.Marshal(l.Type)
+		if err != nil {
+			return err
+		}
+		d.Descs = append(d.Descs, wire.DescDef{Serial: nb.DescSerial, Bytes: b})
+	}
+	return nil
+}
+
+func (ls *localSeg) layoutFor(serial uint32) (*types.Layout, error) {
+	l, ok := ls.descs[serial]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown descriptor %d", serial)
+	}
+	return l, nil
+}
+
+// mixTypes builds the nine data mixes of Figure 4. Each returns the
+// element type and a count such that the block occupies about 1 MB in
+// the measuring profile's local format.
+type mixSpec struct {
+	Name  string
+	Type  *types.Type
+	Count int
+	// wantPointers marks mixes whose setup wires pointer targets.
+	wantPointers bool
+}
+
+const megabyte = 1 << 20
+
+func fig4Mixes(prof *arch.Profile) ([]mixSpec, error) {
+	str256, err := types.StringOf(256)
+	if err != nil {
+		return nil, err
+	}
+	str4, err := types.StringOf(4)
+	if err != nil {
+		return nil, err
+	}
+	ptrInt, err := types.PointerTo(types.Int32())
+	if err != nil {
+		return nil, err
+	}
+	intStruct, err := structOfN("int_struct", types.Int32(), 32)
+	if err != nil {
+		return nil, err
+	}
+	dblStruct, err := structOfN("double_struct", types.Float64(), 32)
+	if err != nil {
+		return nil, err
+	}
+	intDouble, err := types.StructOf("int_double",
+		types.Field{Name: "i", Type: types.Int32()},
+		types.Field{Name: "d", Type: types.Float64()},
+	)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := types.StructOf("mix",
+		types.Field{Name: "i", Type: types.Int32()},
+		types.Field{Name: "d", Type: types.Float64()},
+		types.Field{Name: "s", Type: str256},
+		types.Field{Name: "t", Type: str4},
+		types.Field{Name: "p", Type: ptrInt},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := []mixSpec{
+		{Name: "int_array", Type: types.Int32()},
+		{Name: "double_array", Type: types.Float64()},
+		{Name: "int_struct", Type: intStruct},
+		{Name: "double_struct", Type: dblStruct},
+		{Name: "string", Type: str256},
+		{Name: "small_string", Type: str4},
+		{Name: "pointer", Type: ptrInt, wantPointers: true},
+		{Name: "int_double", Type: intDouble},
+		{Name: "mix", Type: mix, wantPointers: true},
+	}
+	for i := range specs {
+		l, err := types.Of(specs[i].Type, prof)
+		if err != nil {
+			return nil, err
+		}
+		specs[i].Count = megabyte / l.Size
+		if specs[i].Count < 1 {
+			specs[i].Count = 1
+		}
+	}
+	return specs, nil
+}
+
+func structOfN(name string, elem *types.Type, n int) (*types.Type, error) {
+	fields := make([]types.Field, n)
+	for i := range fields {
+		fields[i] = types.Field{Name: "f" + strconv.Itoa(i), Type: elem}
+	}
+	return types.StructOf(name, fields...)
+}

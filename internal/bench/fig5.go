@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"interweave/internal/arch"
+	"interweave/internal/diff"
+	"interweave/internal/mem"
+	"interweave/internal/server"
+	"interweave/internal/types"
+)
+
+// Fig5Row is one X position of Figure 5: diff management cost for a
+// 1 MB integer array when every ratio-th word is modified.
+type Fig5Row struct {
+	// Ratio is the distance in words between consecutive modified
+	// words (1 = everything modified).
+	Ratio int
+	// The six curves of the figure.
+	ClientCollectDiff time.Duration
+	ClientApplyDiff   time.Duration
+	ClientWordDiff    time.Duration
+	ClientTranslate   time.Duration
+	ServerCollectDiff time.Duration
+	ServerApplyDiff   time.Duration
+	// WireBytes is the diff size the client produced.
+	WireBytes int
+}
+
+// Fig5Ratios are the paper's X axis.
+func Fig5Ratios() []int {
+	var out []int
+	for r := 1; r <= 16384; r *= 2 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig5 runs the modification-granularity sweep.
+func Fig5(iters int) ([]Fig5Row, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	const words = megabyte / 4
+	prof := arch.AMD64()
+	src, err := newLocalSeg(prof, "b/f5")
+	if err != nil {
+		return nil, err
+	}
+	dst, err := newLocalSeg(prof, "b/f5")
+	if err != nil {
+		return nil, err
+	}
+	block, err := src.alloc(types.Int32(), words, "a")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < words; i++ {
+		if err := src.heap.WriteI32(block.Addr+mem.Addr(4*i), int32(i)); err != nil {
+			return nil, err
+		}
+	}
+	created, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := src.attachDescs(created); err != nil {
+		return nil, err
+	}
+	if err := dst.mirror(src); err != nil {
+		return nil, err
+	}
+	if _, err := diff.ApplySegment(dst.seg, created, diff.ApplyOptions{LayoutFor: dst.layoutFor}); err != nil {
+		return nil, err
+	}
+	svr := server.NewSegment("b/f5")
+	svr.SetDiffCacheCap(0) // measure real server-side collection
+	if _, _, err := svr.ApplyDiff(created); err != nil {
+		return nil, err
+	}
+
+	rows := make([]Fig5Row, 0, 16)
+	seed := 1
+	for _, ratio := range Fig5Ratios() {
+		row := Fig5Row{Ratio: ratio}
+		for it := 0; it < iters; it++ {
+			seed++
+			src.seg.WriteProtect()
+			for w := 0; w < words; w += ratio {
+				if err := src.heap.WriteI32(block.Addr+mem.Addr(4*w), int32(w+seed)); err != nil {
+					return nil, err
+				}
+			}
+			var st diff.Stats
+			start := time.Now()
+			d, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 2, Stats: &st})
+			row.ClientCollectDiff += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			row.ClientWordDiff += st.WordDiff
+			row.ClientTranslate += st.Translate
+			row.WireBytes = d.WireSize()
+			src.seg.DropTwins()
+			src.seg.Unprotect()
+
+			// Server applies the client diff.
+			before := svr.Version
+			start = time.Now()
+			if _, _, err := svr.ApplyDiff(d); err != nil {
+				return nil, err
+			}
+			row.ServerApplyDiff += time.Since(start)
+
+			// Server collects a diff for a one-behind client.
+			start = time.Now()
+			sd, err := svr.CollectDiff(before)
+			row.ServerCollectDiff += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if sd == nil {
+				return nil, fmt.Errorf("bench: server produced no diff at ratio %d", ratio)
+			}
+
+			// Client applies the server-built diff.
+			start = time.Now()
+			if _, err := diff.ApplySegment(dst.seg, sd, diff.ApplyOptions{LayoutFor: dst.layoutFor}); err != nil {
+				return nil, err
+			}
+			row.ClientApplyDiff += time.Since(start)
+		}
+		n := time.Duration(iters)
+		row.ClientCollectDiff /= n
+		row.ClientApplyDiff /= n
+		row.ClientWordDiff /= n
+		row.ClientTranslate /= n
+		row.ServerCollectDiff /= n
+		row.ServerApplyDiff /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/swizzle"
+	"interweave/internal/types"
+)
+
+// Fig6Row is one X position of Figure 6: the cost of swizzling
+// ("collect") and unswizzling ("apply") a single pointer.
+type Fig6Row struct {
+	Case string
+	// Collect is local pointer -> MIP; Apply is MIP -> local
+	// pointer.
+	Collect time.Duration
+	Apply   time.Duration
+}
+
+// Fig6CrossSizes are the cross-segment target-segment block counts of
+// the figure's X axis.
+func Fig6CrossSizes() []int {
+	return []int{1, 16, 64, 256, 1024, 4096, 16384, 65536}
+}
+
+// Fig6 measures pointer swizzling cost per pointed-to object type.
+func Fig6(opsPerCase int) ([]Fig6Row, error) {
+	if opsPerCase < 1 {
+		opsPerCase = 1
+	}
+	var rows []Fig6Row
+
+	// int 1: an intra-segment pointer to the start of an integer
+	// block.
+	intCase, err := swizzleCase("int1", func(ls *localSeg) ([]mem.Addr, error) {
+		b, err := ls.alloc(types.Int32(), 16, "tgt")
+		if err != nil {
+			return nil, err
+		}
+		return []mem.Addr{b.Addr}, nil
+	}, opsPerCase)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, intCase)
+
+	// struct 1: an intra-segment pointer to the middle of a 32-field
+	// structure.
+	structCase, err := swizzleCase("struct1", func(ls *localSeg) ([]mem.Addr, error) {
+		st, err := structOfN("s32", types.Int32(), 32)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ls.alloc(st, 1, "tgt")
+		if err != nil {
+			return nil, err
+		}
+		return []mem.Addr{b.Addr + 16*4}, nil
+	}, opsPerCase)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, structCase)
+
+	// cross #n: cross-segment pointers into a segment with n blocks;
+	// the metadata-tree searches grow with n.
+	for _, n := range Fig6CrossSizes() {
+		row, err := crossCase(n, opsPerCase)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// swizzleCase times PtrToMIP/AddrOfMIP over the addresses produced by
+// setup.
+func swizzleCase(name string, setup func(*localSeg) ([]mem.Addr, error), ops int) (Fig6Row, error) {
+	ls, err := newLocalSeg(arch.AMD64(), "b/f6")
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	addrs, err := setup(ls)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	return timeSwizzles(name, ls, ls.seg, addrs, ops)
+}
+
+func crossCase(n, ops int) (Fig6Row, error) {
+	ls, err := newLocalSeg(arch.AMD64(), "b/f6")
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	// The pointer lives in b/f6; the targets live in b/cross with n
+	// blocks.
+	target, err := ls.heap.NewSegment("b/cross")
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	intL, err := types.Of(types.Int32(), ls.heap.Profile())
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	// Sample up to 256 pointed-to blocks spread across the segment.
+	sample := n
+	if sample > 256 {
+		sample = 256
+	}
+	addrs := make([]mem.Addr, 0, sample)
+	stride := n / sample
+	for i := 0; i < n; i++ {
+		b, err := target.Alloc(intL, 4, "")
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		if i%stride == 0 && len(addrs) < sample {
+			addrs = append(addrs, b.Addr+4) // interior of the block
+		}
+	}
+	return timeSwizzles(fmt.Sprintf("cross%d", n), ls, target, addrs, ops)
+}
+
+func timeSwizzles(name string, ls *localSeg, seg *mem.SegMem, addrs []mem.Addr, ops int) (Fig6Row, error) {
+	row := Fig6Row{Case: name}
+	// Collect: local pointer -> MIP.
+	mips := make([]swizzle.MIP, len(addrs))
+	start := time.Now()
+	count := 0
+	for count < ops {
+		for i, a := range addrs {
+			m, err := swizzle.PtrToMIP(ls.heap, a)
+			if err != nil {
+				return row, err
+			}
+			mips[i] = m
+			count++
+			if count >= ops {
+				break
+			}
+		}
+	}
+	row.Collect = time.Since(start) / time.Duration(count)
+
+	// Apply: MIP -> local pointer (the segment is already cached, as
+	// in the steady state the figure measures).
+	start = time.Now()
+	count = 0
+	for count < ops {
+		for _, m := range mips {
+			if _, err := swizzle.AddrOfMIP(seg, m); err != nil {
+				return row, err
+			}
+			count++
+			if count >= ops {
+				break
+			}
+		}
+	}
+	row.Apply = time.Since(start) / time.Duration(count)
+	return row, nil
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"interweave"
+	"interweave/internal/seqmine"
+)
+
+// Fig7Row is one bar of Figure 7: the mining client's total bandwidth
+// requirement under one coherence configuration.
+type Fig7Row struct {
+	Config string
+	// Bytes is the total data transferred to the mining client.
+	Bytes int64
+	// Syncs is how many updates actually moved data.
+	Syncs int
+}
+
+// Fig7Config scales the datamining experiment. The paper's database
+// (100k customers, ~20 MB) reproduces with DB: seqmine.DefaultConfig();
+// the default here is a reduced database with the same shape, since
+// the bandwidth ratios — the figure's content — are scale-invariant.
+type Fig7Config struct {
+	DB seqmine.Config
+	// Updates is the number of incremental 1% updates after the
+	// initial 50% build (the paper uses the remaining 50).
+	Updates int
+	// MinSupport controls lattice size.
+	MinSupport int32
+}
+
+// DefaultFig7Config returns a laptop-scale configuration.
+func DefaultFig7Config() Fig7Config {
+	db := seqmine.DefaultConfig()
+	db.Customers = 20000
+	db.ItemsPerTrans = 20
+	db.Items = 600
+	db.Patterns = 1200
+	return Fig7Config{DB: db, Updates: 20, MinSupport: 40}
+}
+
+// Fig7 runs the datamining bandwidth experiment: a database server
+// builds the summary lattice from half the database, then repeatedly
+// folds in 1% more and publishes; a mining client keeps its cached
+// copy coherent under each configuration, and we total the bytes it
+// pulls.
+func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
+	db, err := seqmine.Generate(cfg.DB)
+	if err != nil {
+		return nil, err
+	}
+	runs := []struct {
+		name   string
+		policy interweave.Policy
+		full   bool
+	}{
+		{name: "Full transfer", full: true},
+		{name: "Diff-only", policy: interweave.Full()},
+		{name: "Delta-2", policy: interweave.Delta(1)},
+		{name: "Delta-3", policy: interweave.Delta(2)},
+		{name: "Delta-4", policy: interweave.Delta(3)},
+	}
+	rows := make([]Fig7Row, 0, len(runs))
+	for _, run := range runs {
+		row, err := fig7Run(cfg, db, run.name, run.policy, run.full)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig7 %s: %w", run.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// countingConn tallies bytes read from the server — the client's
+// download bandwidth.
+type countingConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func fig7Run(cfg Fig7Config, db *seqmine.Database, name string, policy interweave.Policy, fullTransfer bool) (Fig7Row, error) {
+	row := Fig7Row{Config: name}
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	segName := ln.Addr().String() + "/lattice"
+
+	pubClient, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileAMD64(), Name: "dbserver"})
+	if err != nil {
+		return row, err
+	}
+	defer pubClient.Close()
+	pub, err := seqmine.NewPublisher(pubClient, segName)
+	if err != nil {
+		return row, err
+	}
+
+	lat, err := seqmine.NewLattice(cfg.DB.PatternLen, cfg.MinSupport)
+	if err != nil {
+		return row, err
+	}
+	half := cfg.DB.Customers / 2
+	onePct := cfg.DB.Customers / 100
+	if onePct < 1 {
+		onePct = 1
+	}
+	lat.AddSequences(db.Slice(0, half))
+	if err := pub.Publish(lat); err != nil {
+		return row, err
+	}
+
+	var bytes atomic.Int64
+	var sub *seqmine.Subscriber
+	if fullTransfer {
+		// No caching client: the whole summary travels each time a
+		// new version is available.
+		snap := srv.SegmentSnapshot(segName)
+		if snap == nil {
+			return row, fmt.Errorf("segment missing")
+		}
+		d, err := snap.CollectDiff(0)
+		if err != nil {
+			return row, err
+		}
+		bytes.Add(int64(d.WireSize()))
+		row.Syncs++
+	} else {
+		mineClient, err := interweave.NewClient(interweave.Options{
+			Profile: interweave.ProfileSparc(),
+			Name:    "miner",
+			Dial: func(addr string) (net.Conn, error) {
+				c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+				if err != nil {
+					return nil, err
+				}
+				return countingConn{Conn: c, n: &bytes}, nil
+			},
+		})
+		if err != nil {
+			return row, err
+		}
+		defer mineClient.Close()
+		sub, err = seqmine.NewSubscriber(mineClient, segName, policy)
+		if err != nil {
+			return row, err
+		}
+		before := sub.Segment().Version()
+		if _, err := sub.Snapshot(); err != nil {
+			return row, err
+		}
+		if sub.Segment().Version() != before {
+			row.Syncs++
+		}
+	}
+
+	for u := 0; u < cfg.Updates; u++ {
+		lo := half + u*onePct
+		lat.AddSequences(db.Slice(lo, lo+onePct))
+		if err := pub.Publish(lat); err != nil {
+			return row, err
+		}
+		if fullTransfer {
+			snap := srv.SegmentSnapshot(segName)
+			d, err := snap.CollectDiff(0)
+			if err != nil {
+				return row, err
+			}
+			bytes.Add(int64(d.WireSize()))
+			row.Syncs++
+			continue
+		}
+		before := sub.Segment().Version()
+		// The mining client issues a query (a read lock) after each
+		// published version; the coherence policy decides whether
+		// data moves.
+		if err := lockUnlock(sub); err != nil {
+			return row, err
+		}
+		if sub.Segment().Version() != before {
+			row.Syncs++
+		}
+	}
+	row.Bytes = bytes.Load()
+	return row, nil
+}
+
+// lockUnlock acquires and releases a read lock, triggering whatever
+// update the policy requires — the steady-state mining query.
+func lockUnlock(sub *seqmine.Subscriber) error {
+	h := sub.Segment()
+	c := clientOf(sub)
+	if err := c.RLock(h); err != nil {
+		return err
+	}
+	return c.RUnlock(h)
+}
+
+// clientOf exposes the subscriber's client for lock calls.
+func clientOf(sub *seqmine.Subscriber) *interweave.Client { return sub.Client() }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"time"
+
+	"interweave/internal/arch"
+	"interweave/internal/diff"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+)
+
+// HeteroRow measures one (source, destination) architecture pair: the
+// time to collect 1 MB of int_double structures on the source machine
+// and apply the wire diff on the destination machine. The wire format
+// is canonical (big-endian), so big-endian sources translate with
+// fewer byte swaps than little-endian ones, and layouts differ when
+// alignment rules do — this matrix quantifies the "heterogeneity tax"
+// the paper's translation machinery pays.
+type HeteroRow struct {
+	Src, Dst string
+	Collect  time.Duration
+	Apply    time.Duration
+}
+
+// Hetero measures the full profile-pair matrix.
+func Hetero(iters int) ([]HeteroRow, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	profiles := arch.Profiles()
+	rows := make([]HeteroRow, 0, len(profiles)*len(profiles))
+	for _, src := range profiles {
+		for _, dst := range profiles {
+			row, err := heteroPair(src, dst, iters)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func heteroPair(srcProf, dstProf *arch.Profile, iters int) (HeteroRow, error) {
+	row := HeteroRow{Src: srcProf.Name, Dst: dstProf.Name}
+	intDouble, err := types.StructOf("int_double",
+		types.Field{Name: "i", Type: types.Int32()},
+		types.Field{Name: "d", Type: types.Float64()},
+	)
+	if err != nil {
+		return row, err
+	}
+	src, err := newLocalSeg(srcProf, "b/het")
+	if err != nil {
+		return row, err
+	}
+	dst, err := newLocalSeg(dstProf, "b/het")
+	if err != nil {
+		return row, err
+	}
+	srcLay, err := types.Of(intDouble, srcProf)
+	if err != nil {
+		return row, err
+	}
+	count := megabyte / srcLay.Size
+	blk, err := src.alloc(intDouble, count, "a")
+	if err != nil {
+		return row, err
+	}
+	h := src.heap
+	iF, _ := srcLay.Field("i")
+	dF, _ := srcLay.Field("d")
+	for e := 0; e < count; e++ {
+		base := blk.Addr + mem.Addr(e*srcLay.Size)
+		if err := h.WriteI32(base+mem.Addr(iF.ByteOff), int32(e)); err != nil {
+			return row, err
+		}
+		if err := h.WriteF64(base+mem.Addr(dF.ByteOff), float64(e)*0.5); err != nil {
+			return row, err
+		}
+	}
+	if err := dst.mirror(src); err != nil {
+		return row, err
+	}
+	// Materialize the block on the destination machine first.
+	created, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1})
+	if err != nil {
+		return row, err
+	}
+	if _, err := diff.ApplySegment(dst.seg, created, diff.ApplyOptions{LayoutFor: dst.layoutFor}); err != nil {
+		return row, err
+	}
+
+	var d *wire.SegmentDiff
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if d, err = diff.CollectSegment(src.seg, diff.CollectOptions{Version: 2, NoDiff: true}); err != nil {
+			return row, err
+		}
+	}
+	row.Collect = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := diff.ApplySegment(dst.seg, d, diff.ApplyOptions{LayoutFor: dst.layoutFor}); err != nil {
+			return row, err
+		}
+	}
+	row.Apply = time.Since(start) / time.Duration(iters)
+	return row, nil
+}

@@ -1,0 +1,401 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/diff"
+	"interweave/internal/mem"
+	"interweave/internal/server"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+	"interweave/internal/xdr"
+)
+
+// testing.B adapters: the repository-root bench_test.go drives the
+// same workloads as cmd/iwfigures through these hooks, so
+// `go test -bench` regenerates each figure's data points with the
+// standard benchmark machinery.
+
+// Fig4Ops are the five bars of Figure 4.
+var Fig4Ops = []string{"rpc_xdr", "collect_block", "collect_diff", "apply_block", "apply_diff"}
+
+// Fig4MixNames returns the nine mix names.
+func Fig4MixNames() []string {
+	return []string{"int_array", "double_array", "int_struct", "double_struct",
+		"string", "small_string", "pointer", "int_double", "mix"}
+}
+
+// BenchFig4 runs one (mix, op) cell of Figure 4 under b.N.
+func BenchFig4(b *testing.B, mixName, op string) {
+	b.Helper()
+	prof := arch.AMD64()
+	specs, err := fig4Mixes(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var spec *mixSpec
+	for i := range specs {
+		if specs[i].Name == mixName {
+			spec = &specs[i]
+		}
+	}
+	if spec == nil {
+		b.Fatalf("unknown mix %q", mixName)
+	}
+	c, err := setupFig4Case(prof, *spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(c.block.Size()))
+	switch op {
+	case "rpc_xdr":
+		codec, err := xdr.NewCodec(c.src.heap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.MarshalBlock(c.block); err != nil {
+				b.Fatal(err)
+			}
+		}
+	case "collect_block":
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.CollectSegment(c.src.seg, diff.CollectOptions{
+				Version: 2, NoDiff: true, Swizzle: c.src.swizzler(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	case "collect_diff":
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c.src.seg.WriteProtect()
+			if err := c.fill(i + 1); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := diff.CollectSegment(c.src.seg, diff.CollectOptions{
+				Version: 2, Swizzle: c.src.swizzler(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			c.src.seg.DropTwins()
+			c.src.seg.Unprotect()
+			b.StartTimer()
+		}
+	case "apply_block", "apply_diff":
+		var d *wire.SegmentDiff
+		var err error
+		if op == "apply_block" {
+			d, err = diff.CollectSegment(c.src.seg, diff.CollectOptions{
+				Version: 2, NoDiff: true, Swizzle: c.src.swizzler(),
+			})
+		} else {
+			c.src.seg.WriteProtect()
+			if ferr := c.fill(1); ferr != nil {
+				b.Fatal(ferr)
+			}
+			d, err = diff.CollectSegment(c.src.seg, diff.CollectOptions{
+				Version: 2, Swizzle: c.src.swizzler(),
+			})
+			c.src.seg.DropTwins()
+			c.src.seg.Unprotect()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.ApplySegment(c.dst.seg, d, diff.ApplyOptions{
+				Resolve:   c.dst.resolver(),
+				LayoutFor: c.dst.layoutFor,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	default:
+		b.Fatalf("unknown op %q", op)
+	}
+}
+
+// BenchFig5 runs one ratio of Figure 5's client collect-diff curve
+// under b.N.
+func BenchFig5(b *testing.B, ratio int) {
+	b.Helper()
+	const words = megabyte / 4
+	src, err := newLocalSeg(arch.AMD64(), "b/f5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	block, err := src.alloc(types.Int32(), words, "a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(megabyte)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src.seg.WriteProtect()
+		for w := 0; w < words; w += ratio {
+			if err := src.heap.WriteI32(block.Addr+mem.Addr(4*w), int32(w+i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 2}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		src.seg.DropTwins()
+		src.seg.Unprotect()
+		b.StartTimer()
+	}
+}
+
+// BenchFig6 runs one Figure 6 case (collect direction) under b.N.
+func BenchFig6(b *testing.B, crossBlocks int) {
+	b.Helper()
+	row, err := crossCase(crossBlocks, 1)
+	_ = row
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Re-run with b.N operations for the timing the framework
+	// reports.
+	ls, err := newLocalSeg(arch.AMD64(), "b/f6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := ls.heap.NewSegment("b/cross")
+	if err != nil {
+		b.Fatal(err)
+	}
+	intL, err := types.Of(types.Int32(), ls.heap.Profile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var addrs []mem.Addr
+	for i := 0; i < crossBlocks; i++ {
+		blk, err := target.Alloc(intL, 4, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(addrs) < 64 {
+			addrs = append(addrs, blk.Addr)
+		}
+	}
+	b.ResetTimer()
+	if _, err := timeSwizzles(fmt.Sprintf("cross%d", crossBlocks), ls, target, addrs, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// AblationSplicing compares run splicing on/off at the paper's
+// worst-case stride (ratio 2). It returns the run counts for the two
+// settings so the benchmark can assert the optimization fired.
+func AblationSplicing(b *testing.B, spliceWords int) {
+	b.Helper()
+	const words = 64 * 1024
+	src, err := newLocalSeg(arch.AMD64(), "b/spl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	block, err := src.alloc(types.Int32(), words, "a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src.seg.WriteProtect()
+		for w := 0; w < words; w += 2 {
+			if err := src.heap.WriteI32(block.Addr+mem.Addr(4*w), int32(w+i+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := diff.CollectSegment(src.seg, diff.CollectOptions{
+			Version: 2, SpliceWords: spliceWords,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		src.seg.DropTwins()
+		src.seg.Unprotect()
+		b.StartTimer()
+	}
+}
+
+// AblationPrediction measures diff application over many small blocks
+// with last-block prediction on or off.
+func AblationPrediction(b *testing.B, noPredict bool) {
+	b.Helper()
+	src, err := newLocalSeg(arch.AMD64(), "b/pred")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := newLocalSeg(arch.AMD64(), "b/pred")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 4096
+	var addrs []mem.Addr
+	for i := 0; i < blocks; i++ {
+		blk, err := src.alloc(types.Int32(), 16, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, blk.Addr)
+	}
+	created, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dst.mirror(src); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := diff.ApplySegment(dst.seg, created, diff.ApplyOptions{LayoutFor: dst.layoutFor}); err != nil {
+		b.Fatal(err)
+	}
+	// One modified word per block.
+	src.seg.WriteProtect()
+	for _, a := range addrs {
+		if err := src.heap.WriteI32(a, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.seg.DropTwins()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := diff.ApplySegment(dst.seg, d, diff.ApplyOptions{
+			LayoutFor: dst.layoutFor, NoPredict: noPredict,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !noPredict && res.PredictHits < blocks/2 {
+			b.Fatalf("prediction ineffective: %d hits", res.PredictHits)
+		}
+	}
+}
+
+// AblationIsomorphic measures whole-block translation of a structure
+// of 32 consecutive integers with the isomorphic descriptor
+// optimization enabled (one collapsed 32-element step) or disabled
+// (32 separate steps).
+func AblationIsomorphic(b *testing.B, collapsed bool) {
+	b.Helper()
+	prof := arch.AMD64()
+	st, err := structOfN("s32", types.Int32(), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var l *types.Layout
+	if collapsed {
+		l, err = types.Of(st, prof)
+	} else {
+		l, err = types.OfUncollapsed(st, prof)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if collapsed && len(l.Walk) != 1 {
+		b.Fatalf("collapsed walk has %d steps", len(l.Walk))
+	}
+	if !collapsed && len(l.Walk) != 32 {
+		b.Fatalf("uncollapsed walk has %d steps", len(l.Walk))
+	}
+	h, err := mem.NewHeap(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg, err := h.NewSegment("b/iso")
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk, err := seg.Alloc(l, megabyte/l.Size, "a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := diff.CollectSegment(seg, diff.CollectOptions{Version: 1}); err != nil {
+		b.Fatal(err)
+	}
+	_ = blk
+	b.SetBytes(int64(l.Size * (megabyte / l.Size)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diff.CollectSegment(seg, diff.CollectOptions{Version: 2, NoDiff: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AblationDiffCache measures server-side collection for a one-behind
+// client with the diff cache enabled or disabled.
+func AblationDiffCache(b *testing.B, cacheCap int) {
+	b.Helper()
+	src, err := newLocalSeg(arch.AMD64(), "b/cache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const words = 64 * 1024
+	block, err := src.alloc(types.Int32(), words, "a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	created, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.attachDescs(created); err != nil {
+		b.Fatal(err)
+	}
+	svr := server.NewSegment("b/cache")
+	svr.SetDiffCacheCap(cacheCap)
+	if _, _, err := svr.ApplyDiff(created); err != nil {
+		b.Fatal(err)
+	}
+	// One sparse update.
+	src.seg.WriteProtect()
+	for w := 0; w < words; w += 64 {
+		if err := src.heap.WriteI32(block.Addr+mem.Addr(4*w), int32(w+5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := diff.CollectSegment(src.seg, diff.CollectOptions{Version: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.seg.DropTwins()
+	before := svr.Version
+	if _, _, err := svr.ApplyDiff(d); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := svr.CollectDiff(before)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out == nil {
+			b.Fatal("no diff")
+		}
+	}
+	b.ReportMetric(float64(svr.CacheHits), "cachehits")
+}

@@ -1,0 +1,227 @@
+// Package coherence implements InterWeave's relaxed coherence models
+// (paper Sections 2.2 and 3.2).
+//
+// When a process acquires a read lock, the client library and server
+// collaboratively decide whether the cached copy is "recent enough"
+// under the model the client selected:
+//
+//   - Full coherence: only the current version is acceptable.
+//   - Delta coherence: the copy may be at most x versions out of date.
+//   - Temporal coherence: at most x time units out of date.
+//   - Diff-based coherence: at most x% of the primitive data units
+//     may be out of date; the server tracks modifications with a
+//     conservative single counter per client.
+//
+// An adaptive polling/notification protocol lets the client skip
+// server communication entirely when updates are not required.
+package coherence
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Model selects a coherence model.
+type Model uint8
+
+// Supported models.
+const (
+	ModelInvalid Model = iota
+	ModelFull
+	ModelDelta
+	ModelTemporal
+	ModelDiff
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelFull:
+		return "full"
+	case ModelDelta:
+		return "delta"
+	case ModelTemporal:
+		return "temporal"
+	case ModelDiff:
+		return "diff"
+	default:
+		return "invalid"
+	}
+}
+
+// Policy is a model plus its bound. The bound may be changed
+// dynamically by the process, as the paper specifies.
+type Policy struct {
+	Model Model
+	// Delta is the maximum staleness in versions (ModelDelta).
+	Delta uint32
+	// Window is the maximum staleness in time (ModelTemporal).
+	Window time.Duration
+	// Percent is the maximum fraction (0-100] of primitive units
+	// that may be stale (ModelDiff).
+	Percent float64
+}
+
+// Full returns the strictest policy: always update to the current
+// version.
+func Full() Policy { return Policy{Model: ModelFull} }
+
+// Delta returns a policy tolerating x versions of staleness.
+func Delta(x uint32) Policy { return Policy{Model: ModelDelta, Delta: x} }
+
+// Temporal returns a policy tolerating staleness up to d.
+func Temporal(d time.Duration) Policy { return Policy{Model: ModelTemporal, Window: d} }
+
+// Diff returns a policy tolerating pct percent of stale units.
+func Diff(pct float64) Policy { return Policy{Model: ModelDiff, Percent: pct} }
+
+// Validate reports whether the policy is well formed.
+func (p Policy) Validate() error {
+	switch p.Model {
+	case ModelFull:
+		return nil
+	case ModelDelta:
+		return nil
+	case ModelTemporal:
+		if p.Window <= 0 {
+			return errors.New("coherence: temporal window must be positive")
+		}
+		return nil
+	case ModelDiff:
+		if p.Percent <= 0 || p.Percent > 100 {
+			return fmt.Errorf("coherence: diff percentage %v out of (0,100]", p.Percent)
+		}
+		return nil
+	default:
+		return fmt.Errorf("coherence: invalid model %d", p.Model)
+	}
+}
+
+// State is the client-side freshness record for one cached segment.
+type State struct {
+	// Version is the cached segment version; zero means never
+	// fetched.
+	Version uint32
+	// FetchedAt is when the cached version was obtained.
+	FetchedAt time.Time
+	// Subscribed reports whether the server has promised to notify
+	// when the policy's bound is exceeded.
+	Subscribed bool
+	// Invalidated is set when such a notification arrives.
+	Invalidated bool
+}
+
+// LocallyFresh reports whether a read lock may be granted without
+// contacting the server. This is where relaxed coherence pays off:
+// under temporal coherence the clock decides, and under any model a
+// standing notification subscription substitutes for polling.
+func (p Policy) LocallyFresh(s State, now time.Time) bool {
+	if s.Version == 0 {
+		return false
+	}
+	if s.Subscribed {
+		return !s.Invalidated
+	}
+	if p.Model == ModelTemporal {
+		return now.Sub(s.FetchedAt) <= p.Window
+	}
+	return false
+}
+
+// ShouldUpdate is the server-side decision: given the client's cached
+// version, the current version, and (for diff coherence) the
+// conservative count of units modified since the client's last
+// update, does the policy require sending an update?
+func (p Policy) ShouldUpdate(clientVer, curVer uint32, unitsModified, unitsTotal int) bool {
+	if clientVer >= curVer {
+		return false
+	}
+	switch p.Model {
+	case ModelDelta:
+		return curVer-clientVer > p.Delta
+	case ModelDiff:
+		if unitsTotal == 0 {
+			return true
+		}
+		return float64(unitsModified) > p.Percent/100*float64(unitsTotal)
+	default:
+		// Full always updates; Temporal clients only ask when their
+		// window has expired, at which point they want the current
+		// version.
+		return true
+	}
+}
+
+// Mode selects how a client learns about staleness.
+type Mode uint8
+
+// Modes of the adaptive protocol.
+const (
+	// ModePoll asks the server at each read-lock acquisition.
+	ModePoll Mode = iota + 1
+	// ModeNotify relies on server notifications; read locks are
+	// granted locally while no notification has arrived.
+	ModeNotify
+)
+
+// adaptThreshold is how many consecutive same-outcome checks flip the
+// adaptive protocol between polling and notification.
+const adaptThreshold = 3
+
+// Adaptive tracks the polling/notification decision for one cached
+// segment. The zero value starts in polling mode.
+type Adaptive struct {
+	mode        Mode
+	freshPolls  int
+	staleNotify int
+}
+
+// Mode returns the current mode.
+func (a *Adaptive) Mode() Mode {
+	if a.mode == 0 {
+		return ModePoll
+	}
+	return a.mode
+}
+
+// RecordPoll notes the outcome of a server poll; after enough
+// consecutive "no update needed" polls the protocol switches to
+// notifications (returning true exactly when the mode changes).
+func (a *Adaptive) RecordPoll(updateNeeded bool) bool {
+	if a.Mode() != ModePoll {
+		return false
+	}
+	if updateNeeded {
+		a.freshPolls = 0
+		return false
+	}
+	a.freshPolls++
+	if a.freshPolls >= adaptThreshold {
+		a.mode = ModeNotify
+		a.freshPolls = 0
+		return true
+	}
+	return false
+}
+
+// RecordNotified notes that a read-lock acquisition found the cached
+// copy invalidated by a notification; after enough consecutive
+// invalidations the protocol switches back to polling (returning true
+// exactly when the mode changes).
+func (a *Adaptive) RecordNotified(invalidated bool) bool {
+	if a.Mode() != ModeNotify {
+		return false
+	}
+	if !invalidated {
+		a.staleNotify = 0
+		return false
+	}
+	a.staleNotify++
+	if a.staleNotify >= adaptThreshold {
+		a.mode = ModePoll
+		a.staleNotify = 0
+		return true
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package coherence
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	good := []Policy{
+		Full(),
+		Delta(0),
+		Delta(5),
+		Temporal(time.Second),
+		Diff(1),
+		Diff(100),
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", p, err)
+		}
+	}
+	bad := []Policy{
+		{},
+		{Model: 99},
+		Temporal(0),
+		Temporal(-time.Second),
+		Diff(0),
+		Diff(101),
+		Diff(-3),
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	tests := map[Model]string{
+		ModelFull:     "full",
+		ModelDelta:    "delta",
+		ModelTemporal: "temporal",
+		ModelDiff:     "diff",
+		ModelInvalid:  "invalid",
+	}
+	for m, want := range tests {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestLocallyFresh(t *testing.T) {
+	now := time.Now()
+	tests := []struct {
+		name string
+		p    Policy
+		s    State
+		want bool
+	}{
+		{"never fetched", Full(), State{}, false},
+		{"full unsubscribed", Full(), State{Version: 3, FetchedAt: now}, false},
+		{"subscribed valid", Full(), State{Version: 3, Subscribed: true}, true},
+		{"subscribed invalidated", Full(), State{Version: 3, Subscribed: true, Invalidated: true}, false},
+		{"temporal inside window", Temporal(time.Minute), State{Version: 1, FetchedAt: now.Add(-time.Second)}, true},
+		{"temporal expired", Temporal(time.Minute), State{Version: 1, FetchedAt: now.Add(-2 * time.Minute)}, false},
+		{"delta unsubscribed", Delta(2), State{Version: 1, FetchedAt: now}, false},
+		{"diff subscribed", Diff(10), State{Version: 1, Subscribed: true}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.LocallyFresh(tt.s, now); got != tt.want {
+				t.Errorf("LocallyFresh = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestShouldUpdate(t *testing.T) {
+	tests := []struct {
+		name                      string
+		p                         Policy
+		clientVer, curVer         uint32
+		unitsModified, unitsTotal int
+		want                      bool
+	}{
+		{"up to date", Full(), 5, 5, 0, 100, false},
+		{"client ahead", Full(), 6, 5, 0, 100, false},
+		{"full behind", Full(), 4, 5, 0, 100, true},
+		{"delta within bound", Delta(2), 3, 5, 0, 100, false},
+		{"delta exceeded", Delta(2), 2, 5, 0, 100, true},
+		{"delta zero behaves full", Delta(0), 4, 5, 0, 100, true},
+		{"temporal behind", Temporal(time.Second), 4, 5, 0, 100, true},
+		{"diff under threshold", Diff(10), 1, 9, 5, 100, false},
+		{"diff over threshold", Diff(10), 1, 9, 11, 100, true},
+		{"diff exactly at threshold", Diff(10), 1, 9, 10, 100, false},
+		{"diff empty segment", Diff(10), 1, 2, 0, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.p.ShouldUpdate(tt.clientVer, tt.curVer, tt.unitsModified, tt.unitsTotal)
+			if got != tt.want {
+				t.Errorf("ShouldUpdate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeltaNeverMoreThanXStale(t *testing.T) {
+	// Property: under Delta(x), if ShouldUpdate is obeyed, staleness
+	// never exceeds x.
+	for _, x := range []uint32{0, 1, 3, 7} {
+		p := Delta(x)
+		client := uint32(0)
+		for cur := uint32(1); cur <= 50; cur++ {
+			if p.ShouldUpdate(client, cur, 0, 1) {
+				client = cur
+			}
+			if cur-client > x {
+				t.Fatalf("Delta(%d): staleness %d at version %d", x, cur-client, cur)
+			}
+		}
+	}
+}
+
+func TestAdaptiveStartsPolling(t *testing.T) {
+	var a Adaptive
+	if a.Mode() != ModePoll {
+		t.Errorf("initial mode = %v", a.Mode())
+	}
+}
+
+func TestAdaptiveSwitchToNotify(t *testing.T) {
+	var a Adaptive
+	if a.RecordPoll(true) {
+		t.Error("switched after an update-needed poll")
+	}
+	for i := 0; i < adaptThreshold-1; i++ {
+		if a.RecordPoll(false) {
+			t.Fatalf("switched after %d fresh polls", i+1)
+		}
+	}
+	if !a.RecordPoll(false) {
+		t.Fatal("did not switch after threshold fresh polls")
+	}
+	if a.Mode() != ModeNotify {
+		t.Errorf("mode = %v, want notify", a.Mode())
+	}
+	// Further RecordPoll calls in notify mode are ignored.
+	if a.RecordPoll(false) {
+		t.Error("RecordPoll switched while in notify mode")
+	}
+}
+
+func TestAdaptiveSwitchBackToPoll(t *testing.T) {
+	var a Adaptive
+	for i := 0; i < adaptThreshold; i++ {
+		a.RecordPoll(false)
+	}
+	if a.Mode() != ModeNotify {
+		t.Fatal("setup failed")
+	}
+	// Fresh read-locks keep it in notify mode.
+	if a.RecordNotified(false) {
+		t.Error("switched on a fresh notify-mode check")
+	}
+	for i := 0; i < adaptThreshold-1; i++ {
+		if a.RecordNotified(true) {
+			t.Fatalf("switched after %d invalidations", i+1)
+		}
+	}
+	if !a.RecordNotified(true) {
+		t.Fatal("did not switch back after threshold invalidations")
+	}
+	if a.Mode() != ModePoll {
+		t.Errorf("mode = %v, want poll", a.Mode())
+	}
+}
+
+func TestAdaptiveInterruptedStreak(t *testing.T) {
+	var a Adaptive
+	a.RecordPoll(false)
+	a.RecordPoll(false)
+	a.RecordPoll(true) // resets streak
+	a.RecordPoll(false)
+	a.RecordPoll(false)
+	if a.Mode() != ModePoll {
+		t.Error("switched despite interrupted streak")
+	}
+}

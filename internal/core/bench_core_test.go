@@ -1,0 +1,100 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/coherence"
+	"interweave/internal/server"
+	"interweave/internal/types"
+)
+
+// Benchmarks for the adaptive polling/notification protocol: a read
+// lock that must poll the server pays a round trip; one backed by a
+// notification subscription is granted locally. This is the paper's
+// "adaptive protocol often allows the client library to avoid
+// communication with the server when updates are not required".
+
+func benchClientSegment(b *testing.B) (*Client, *Segment) {
+	b.Helper()
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	b.Cleanup(func() { _ = srv.Close() })
+	c, err := NewClient(Options{Profile: arch.AMD64()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = c.Close() })
+	h, err := c.Open(ln.Addr().String() + "/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Alloc(h, types.Int32(), 64, "a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.WUnlock(h); err != nil {
+		b.Fatal(err)
+	}
+	return c, h
+}
+
+// BenchmarkReadLockPolling forces polling mode: every acquisition is
+// a server round trip over loopback TCP.
+func BenchmarkReadLockPolling(b *testing.B) {
+	c, h := benchClientSegment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reset the adaptive state so the protocol never switches to
+		// notifications.
+		c.mu.Lock()
+		h.s.adaptive = coherence.Adaptive{}
+		c.mu.Unlock()
+		if err := c.RLock(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RUnlock(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadLockNotification lets the adaptive protocol settle
+// into notification mode: acquisitions are granted locally.
+func BenchmarkReadLockNotification(b *testing.B) {
+	c, h := benchClientSegment(b)
+	// Warm up past the adaptive threshold.
+	for i := 0; i < 5; i++ {
+		if err := c.RLock(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RUnlock(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	subscribed := h.s.state.Subscribed
+	c.mu.Unlock()
+	if !subscribed {
+		b.Fatal("adaptive protocol did not subscribe")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.RLock(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.RUnlock(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package core implements the InterWeave client library — the
+// paper's primary contribution. It maps cached copies of shared
+// segments into a simulated local address space, tracks modifications
+// with page twins, collects and applies machine-independent
+// wire-format diffs at lock boundaries, swizzles pointers, and drives
+// the relaxed-coherence protocol against InterWeave servers (paper
+// Sections 2 and 3.1).
+//
+// A Client corresponds to one process linked against the InterWeave
+// library: it owns a heap (the process address space), a set of
+// cached segments, and one multiplexed TCP connection per server.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"interweave/internal/arch"
+	"interweave/internal/coherence"
+	"interweave/internal/mem"
+	"interweave/internal/protocol"
+	"interweave/internal/types"
+)
+
+// Options configures a Client.
+type Options struct {
+	// Profile is the simulated machine architecture; AMD64 if nil.
+	Profile *arch.Profile
+	// Name identifies the client to servers (diagnostics only).
+	Name string
+	// Dial overrides TCP dialing (tests, custom transports).
+	Dial func(addr string) (net.Conn, error)
+	// DefaultPolicy is the coherence policy used by segments that
+	// never called SetPolicy; Full() if unset.
+	DefaultPolicy coherence.Policy
+	// NoDiffOn is the modified fraction at which a segment switches
+	// to no-diff mode (default 0.75); NoDiffOff disables the switch
+	// entirely when negative.
+	NoDiffOn float64
+	// NoDiffResample is how many no-diff critical sections pass
+	// before one diffing section re-samples application behaviour
+	// (default 8).
+	NoDiffResample int
+}
+
+// Client is one InterWeave client process.
+type Client struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	prof    *arch.Profile
+	heap    *mem.Heap
+	opts    Options
+	conns   map[string]*serverConn
+	segs    map[string]*segment
+	layouts types.Cache
+	closed  bool
+}
+
+// NewClient returns a client with an empty heap.
+func NewClient(opts Options) (*Client, error) {
+	if opts.Profile == nil {
+		opts.Profile = arch.AMD64()
+	}
+	if opts.DefaultPolicy.Model == coherence.ModelInvalid {
+		opts.DefaultPolicy = coherence.Full()
+	}
+	if err := opts.DefaultPolicy.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.NoDiffOn == 0 {
+		opts.NoDiffOn = 0.75
+	}
+	if opts.NoDiffResample <= 0 {
+		opts.NoDiffResample = 8
+	}
+	if opts.Dial == nil {
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	h, err := mem.NewHeap(opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		prof:  opts.Profile,
+		heap:  h,
+		opts:  opts,
+		conns: make(map[string]*serverConn),
+		segs:  make(map[string]*segment),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Heap exposes the client's simulated address space for typed reads
+// and writes. Access shared data only under the protection of
+// reader-writer locks, as the paper requires.
+func (c *Client) Heap() *mem.Heap { return c.heap }
+
+// Profile returns the client's machine profile.
+func (c *Client) Profile() *arch.Profile { return c.prof }
+
+// Close releases all server connections. Segments remain readable
+// locally but can no longer be locked or updated.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*serverConn, 0, len(c.conns))
+	for _, sc := range c.conns {
+		conns = append(conns, sc)
+	}
+	c.mu.Unlock()
+	var first error
+	for _, sc := range conns {
+		if err := sc.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// serverAddrOf extracts the server address from a segment URL of the
+// form "host:port/path".
+func serverAddrOf(segName string) (string, error) {
+	i := strings.IndexByte(segName, '/')
+	if i <= 0 || i == len(segName)-1 {
+		return "", fmt.Errorf("core: segment URL %q is not host/path", segName)
+	}
+	return segName[:i], nil
+}
+
+// connFor returns (dialing if necessary) the multiplexed connection
+// to the server managing segName. Callers must hold c.mu; the dial
+// happens with the lock released.
+func (c *Client) connFor(segName string) (*serverConn, error) {
+	addr, err := serverAddrOf(segName)
+	if err != nil {
+		return nil, err
+	}
+	if sc, ok := c.conns[addr]; ok && !sc.isClosed() {
+		return sc, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.opts.Dial(addr)
+	c.mu.Lock()
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting to %s: %w", addr, err)
+	}
+	if c.closed {
+		_ = conn.Close()
+		return nil, errors.New("core: client closed")
+	}
+	if sc, ok := c.conns[addr]; ok && !sc.isClosed() {
+		// Someone else won the race; use theirs.
+		_ = conn.Close()
+		return sc, nil
+	}
+	sc := newServerConn(conn, c.onNotify)
+	c.conns[addr] = sc
+	// Introduce ourselves; failure here surfaces on first real call.
+	go func() {
+		_, err := sc.call(&protocol.Hello{ClientName: c.opts.Name, Profile: c.prof.Name})
+		if err != nil {
+			_ = sc.close()
+		}
+	}()
+	return sc, nil
+}
+
+// callSeg issues a request against a segment's server, re-dialing
+// once when the cached connection has died (e.g. after a server
+// restart from a checkpoint). Lock and subscription state held by the
+// old server instance is gone, so the segment's subscription is
+// dropped; its cached data remains valid and is re-validated by
+// version number on the next lock. Caller holds c.mu.
+func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, error) {
+	reply, err := s.conn.call(m)
+	if err == nil || !s.conn.isClosed() {
+		return reply, err
+	}
+	sc, derr := c.connFor(s.name)
+	if derr != nil {
+		return nil, fmt.Errorf("core: reconnecting to server of %q: %w (original: %v)", s.name, derr, err)
+	}
+	s.conn = sc
+	s.state.Subscribed = false
+	s.state.Invalidated = false
+	return sc.call(m)
+}
+
+// onNotify handles server-pushed invalidations.
+func (c *Client) onNotify(segName string, version uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.segs[segName]; ok {
+		s.state.Invalidated = true
+		s.notifiedVersion = version
+	}
+}
+
+// serverConn multiplexes synchronous calls and asynchronous
+// notifications over one TCP connection — the cached connection of
+// the paper's segment table.
+type serverConn struct {
+	conn   net.Conn
+	notify func(seg string, version uint32)
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan protocol.Message
+	err     error
+	closed  bool
+}
+
+func newServerConn(conn net.Conn, notify func(string, uint32)) *serverConn {
+	sc := &serverConn{
+		conn:    conn,
+		notify:  notify,
+		nextID:  1,
+		pending: make(map[uint32]chan protocol.Message),
+	}
+	go sc.readLoop()
+	return sc
+}
+
+func (sc *serverConn) readLoop() {
+	for {
+		id, msg, err := protocol.ReadFrame(sc.conn)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		if id == 0 {
+			if n, ok := msg.(*protocol.Notify); ok && sc.notify != nil {
+				// Dispatch asynchronously: the client may be holding
+				// its mutex while waiting for a reply on this very
+				// connection, and invalidation order is immaterial.
+				go sc.notify(n.Seg, n.Version)
+			}
+			continue
+		}
+		sc.mu.Lock()
+		ch, ok := sc.pending[id]
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+func (sc *serverConn) fail(err error) {
+	sc.mu.Lock()
+	if sc.err == nil {
+		if errors.Is(err, io.EOF) {
+			err = errors.New("core: server connection closed")
+		}
+		sc.err = err
+	}
+	sc.closed = true
+	pending := sc.pending
+	sc.pending = make(map[uint32]chan protocol.Message)
+	sc.mu.Unlock()
+	_ = sc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (sc *serverConn) isClosed() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.closed
+}
+
+func (sc *serverConn) close() error {
+	sc.fail(errors.New("core: connection closed by client"))
+	return nil
+}
+
+// call sends one request and waits for its reply. ErrorReply payloads
+// are returned as errors.
+func (sc *serverConn) call(m protocol.Message) (protocol.Message, error) {
+	sc.mu.Lock()
+	if sc.closed {
+		err := sc.err
+		sc.mu.Unlock()
+		if err == nil {
+			err = errors.New("core: connection closed")
+		}
+		return nil, err
+	}
+	id := sc.nextID
+	sc.nextID++
+	if sc.nextID == 0 {
+		sc.nextID = 1
+	}
+	ch := make(chan protocol.Message, 1)
+	sc.pending[id] = ch
+	err := protocol.WriteFrame(sc.conn, id, m)
+	sc.mu.Unlock()
+	if err != nil {
+		sc.fail(err)
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		sc.mu.Lock()
+		err := sc.err
+		sc.mu.Unlock()
+		if err == nil {
+			err = errors.New("core: connection closed")
+		}
+		return nil, err
+	}
+	if e, isErr := reply.(*protocol.ErrorReply); isErr {
+		return nil, e
+	}
+	return reply, nil
+}

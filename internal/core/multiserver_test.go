@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/coherence"
+	"interweave/internal/types"
+)
+
+// TestCrossServerPointers places two segments on two different
+// servers and links them with a pointer: MIPs carry the full server
+// address, so following the pointer transparently reaches the second
+// server ("even if embedded pointers refer to data in other
+// segments", Section 2.1 — here, other segments on other servers).
+func TestCrossServerPointers(t *testing.T) {
+	addr1 := startServer(t)
+	addr2 := startServer(t)
+	segA := addr1 + "/a"
+	segB := addr2 + "/b"
+	pi, err := types.PointerTo(types.Int32())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := newTestClient(t, arch.AMD64(), "w")
+	hb, err := w.Open(segB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WLock(hb); err != nil {
+		t.Fatal(err)
+	}
+	target, err := w.Alloc(hb, types.Int32(), 1, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Heap().WriteI32(target.Addr, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WUnlock(hb); err != nil {
+		t.Fatal(err)
+	}
+
+	ha, err := w.Open(segA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WLock(ha); err != nil {
+		t.Fatal(err)
+	}
+	pblk, err := w.Alloc(ha, pi, 1, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Heap().WritePtr(pblk.Addr, target.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WUnlock(ha); err != nil {
+		t.Fatal(err)
+	}
+
+	// The MIP stored at server 1 names server 2.
+	mip, err := w.PtrToMIP(target.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mip != segB+"#t" {
+		t.Fatalf("cross-server MIP = %q", mip)
+	}
+
+	// A second client opens only segment A; the pointer pulls in the
+	// shell of the segment on the other server.
+	r := newTestClient(t, arch.Sparc(), "r")
+	hra, err := r.Open(segA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RLock(hra); err != nil {
+		t.Fatal(err)
+	}
+	pb, ok := hra.Mem().BlockByName("p")
+	if !ok {
+		t.Fatal("pointer block missing")
+	}
+	tgt, err := r.Heap().ReadPtr(pb.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RUnlock(hra); err != nil {
+		t.Fatal(err)
+	}
+	if tgt == 0 {
+		t.Fatal("cross-server pointer is nil")
+	}
+	hrb, err := r.Open(segB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RLock(hrb); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Heap().ReadI32(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RUnlock(hrb); err != nil {
+		t.Fatal(err)
+	}
+	if v != 4096 {
+		t.Errorf("cross-server value = %d, want 4096", v)
+	}
+	// Transactions across servers are rejected cleanly.
+	if err := r.TxLock(hra, hrb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TxCommit(hra, hrb); err == nil {
+		t.Error("cross-server transaction accepted")
+	}
+	_ = r.WUnlock(hra)
+	_ = r.WUnlock(hrb)
+}
+
+func TestClientMiscErrors(t *testing.T) {
+	addr := startServer(t)
+	c := newTestClient(t, arch.AMD64(), "c")
+	// Malformed segment URLs.
+	for _, bad := range []string{"", "nopath", "/leading", "trailing/"} {
+		if _, err := c.Open(bad); err == nil {
+			t.Errorf("Open(%q) succeeded", bad)
+		}
+	}
+	// Unreachable server.
+	if _, err := c.Open("127.0.0.1:1/seg"); err == nil {
+		t.Error("Open against a closed port succeeded")
+	}
+	// Operations after Close fail cleanly.
+	h, err := c.Open(addr + "/m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err == nil {
+		t.Error("WLock after Close succeeded")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(Options{DefaultPolicy: coherence.Policy{Model: 99}}); err == nil {
+		t.Error("invalid default policy accepted")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	addr := startServer(t)
+	c := newTestClient(t, arch.AMD64(), "c")
+	h, err := c.Open(addr + "/ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 4, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heap().WriteI32(blk.Addr, 77); err != nil {
+		t.Fatal(err)
+	}
+	// Eviction while locked is refused.
+	if err := c.Evict(h); err == nil {
+		t.Error("evicted a write-locked segment")
+	}
+	if err := c.WUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(h); err != nil {
+		t.Fatal(err)
+	}
+	// The cached copy is gone.
+	if _, err := c.Heap().ReadI32(blk.Addr); err == nil {
+		t.Error("evicted memory still readable")
+	}
+	// Re-opening refetches the data from the server.
+	h2, err := c.Open(addr + "/ev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RLock(h2); err != nil {
+		t.Fatal(err)
+	}
+	b2, ok := h2.Mem().BlockByName("a")
+	if !ok {
+		t.Fatal("block missing after re-open")
+	}
+	if v, _ := c.Heap().ReadI32(b2.Addr); v != 77 {
+		t.Errorf("refetched value = %d", v)
+	}
+	if err := c.RUnlock(h2); err != nil {
+		t.Fatal(err)
+	}
+	// With a second cached segment, eviction is refused.
+	if _, err := c.Open(addr + "/other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(h2); err == nil {
+		t.Error("evicted while another segment is cached")
+	}
+}

@@ -1,0 +1,650 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/diff"
+	"interweave/internal/mem"
+	"interweave/internal/protocol"
+	"interweave/internal/swizzle"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+)
+
+// Errors returned by lock and allocation operations.
+var (
+	// ErrNotLocked reports an operation that requires a lock the
+	// caller does not hold.
+	ErrNotLocked = errors.New("core: segment is not locked in the required mode")
+	// ErrNoSuchType reports a diff referencing an unregistered type
+	// descriptor.
+	ErrNoSuchType = errors.New("core: unregistered type descriptor")
+)
+
+// hotReleasesToNoDiff is how many consecutive mostly-modified write
+// critical sections trigger no-diff mode.
+const hotReleasesToNoDiff = 2
+
+// segment is the client-side state of one cached segment.
+type segment struct {
+	name string
+	m    *mem.SegMem
+	conn *serverConn
+
+	version         uint32
+	policy          coherence.Policy
+	state           coherence.State
+	adaptive        coherence.Adaptive
+	notifiedVersion uint32
+
+	// Local reader-writer gate among this process's goroutines.
+	readers      int
+	writer       bool
+	writeWaiters int
+
+	// Outgoing bookkeeping.
+	freed         []uint32
+	nextLocalDesc uint32
+	descForType   map[*types.Type]uint32
+	descBytes     map[uint32][]byte
+	// Incoming descriptor registry, keyed by server-global serial.
+	layoutByDesc map[uint32]*types.Layout
+
+	// No-diff mode state (Section 3.3).
+	noDiff      bool
+	noDiffCount int
+	hotReleases int
+
+	// LastCollect reports the most recent diff collection, for
+	// statistics and the benchmark harness.
+	lastCollect diff.Stats
+}
+
+// Segment is an opaque handle to an open segment, the IW_handle_t of
+// the paper's API.
+type Segment struct {
+	c *Client
+	s *segment
+}
+
+// Name returns the segment's URL.
+func (h *Segment) Name() string { return h.s.name }
+
+// Version returns the cached segment version.
+func (h *Segment) Version() uint32 {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.s.version
+}
+
+// Mem exposes the segment's local memory image (block lookups by name
+// or serial). Use it only under a lock.
+func (h *Segment) Mem() *mem.SegMem { return h.s.m }
+
+// LastCollectStats returns statistics from the segment's most recent
+// diff collection.
+func (h *Segment) LastCollectStats() diff.Stats {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.s.lastCollect
+}
+
+// NoDiffMode reports whether the segment currently transmits whole
+// blocks instead of diffing.
+func (h *Segment) NoDiffMode() bool {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	return h.s.noDiff
+}
+
+// Evict drops the segment's cached copy: its subsegments are
+// unmapped, any subscription is cancelled, and the handle becomes
+// unusable. A later Open re-fetches from the server. Eviction
+// requires that no locks are held and — because other cached
+// segments may hold swizzled pointers into this one — is refused
+// while any other cached segment exists (the paper's library never
+// relocates or unmaps live data for the same reason).
+func (c *Client) Evict(h *Segment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := h.s
+	if s.writer || s.readers > 0 {
+		return fmt.Errorf("core: evicting %q while locked", s.name)
+	}
+	for name := range c.segs {
+		if name != s.name {
+			return fmt.Errorf("core: cannot evict %q: segment %q may hold pointers into it", s.name, name)
+		}
+	}
+	if s.state.Subscribed {
+		_, _ = s.conn.call(&protocol.Unsubscribe{Seg: s.name})
+	}
+	if err := c.heap.DropSegment(s.name); err != nil {
+		return err
+	}
+	delete(c.segs, s.name)
+	return nil
+}
+
+// Open opens the named segment — "host:port/path" — creating it at
+// its server if it does not exist (IW_open_segment). The local copy
+// is reserved (blocks get addresses) but no data travels until the
+// first lock acquisition.
+func (c *Client) Open(name string) (*Segment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, err := c.openShell(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{c: c, s: s}, nil
+}
+
+// openShell fetches or creates the segment's local shell. Caller
+// holds c.mu.
+func (c *Client) openShell(name string, create bool) (*segment, error) {
+	if s, ok := c.segs[name]; ok {
+		return s, nil
+	}
+	sc, err := c.connFor(name)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := sc.call(&protocol.OpenSegment{Name: name, Create: create})
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %q: %w", name, err)
+	}
+	or, ok := reply.(*protocol.OpenReply)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected reply %T to open", reply)
+	}
+	// The open may have raced with another goroutine's shell fetch.
+	if s, ok := c.segs[name]; ok {
+		return s, nil
+	}
+	sm, err := c.heap.NewSegment(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{
+		name:          name,
+		m:             sm,
+		conn:          sc,
+		policy:        c.opts.DefaultPolicy,
+		nextLocalDesc: 1,
+		descForType:   make(map[*types.Type]uint32),
+		descBytes:     make(map[uint32][]byte),
+		layoutByDesc:  make(map[uint32]*types.Layout),
+	}
+	c.segs[name] = s
+	if or.Dir != nil {
+		if err := c.applyIncoming(s, or.Dir, false); err != nil {
+			return nil, fmt.Errorf("core: applying directory of %q: %w", name, err)
+		}
+	}
+	return s, nil
+}
+
+// refreshDir re-fetches the block directory, materializing blocks
+// created since the shell was opened. Caller holds c.mu.
+func (c *Client) refreshDir(s *segment) error {
+	reply, err := c.callSeg(s, &protocol.OpenSegment{Name: s.name, Create: false})
+	if err != nil {
+		return err
+	}
+	or, ok := reply.(*protocol.OpenReply)
+	if !ok {
+		return fmt.Errorf("core: unexpected reply %T to open", reply)
+	}
+	if or.Dir == nil {
+		return nil
+	}
+	return c.applyIncoming(s, or.Dir, false)
+}
+
+// registerIncomingDescs decodes and caches descriptors carried by a
+// diff. Caller holds c.mu.
+func (c *Client) registerIncomingDescs(s *segment, d *wire.SegmentDiff) error {
+	for _, dd := range d.Descs {
+		if _, ok := s.layoutByDesc[dd.Serial]; ok {
+			continue
+		}
+		t, err := types.Unmarshal(dd.Bytes)
+		if err != nil {
+			return fmt.Errorf("core: descriptor %d: %w", dd.Serial, err)
+		}
+		l, err := c.layouts.Of(t, c.prof)
+		if err != nil {
+			return fmt.Errorf("core: layout for descriptor %d: %w", dd.Serial, err)
+		}
+		s.layoutByDesc[dd.Serial] = l
+	}
+	return nil
+}
+
+// applyIncoming applies a server diff (or directory) to the local
+// copy. When advance is true the cached version advances to
+// d.Version. Caller holds c.mu.
+func (c *Client) applyIncoming(s *segment, d *wire.SegmentDiff, advance bool) error {
+	if err := c.registerIncomingDescs(s, d); err != nil {
+		return err
+	}
+	// The bulk unswizzler resolves the vast majority of MIPs from
+	// its block cache; the slow path handles MIPs into segments (or
+	// blocks) we have not seen yet, refreshing directories as
+	// needed.
+	uw := swizzle.NewUnswizzler(func(name string) (*mem.SegMem, error) {
+		if seg, ok := c.segs[name]; ok {
+			return seg.m, nil
+		}
+		seg, err := c.openShell(name, false)
+		if err != nil {
+			return nil, err
+		}
+		return seg.m, nil
+	})
+	_, err := diff.ApplySegment(s.m, d, diff.ApplyOptions{
+		Resolve: func(mip string) (mem.Addr, error) {
+			if a, err := uw.Addr(mip); err == nil {
+				return a, nil
+			}
+			return c.resolveMIP(mip)
+		},
+		LayoutFor: func(serial uint32) (*types.Layout, error) {
+			l, ok := s.layoutByDesc[serial]
+			if !ok {
+				return nil, fmt.Errorf("%w: serial %d", ErrNoSuchType, serial)
+			}
+			return l, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if advance {
+		s.version = d.Version
+		s.state.Version = d.Version
+		s.state.FetchedAt = time.Now()
+		s.state.Invalidated = false
+	}
+	return nil
+}
+
+// resolveMIP turns a MIP into a local address, reserving the target
+// segment if it is not yet cached. Caller holds c.mu.
+func (c *Client) resolveMIP(mipStr string) (mem.Addr, error) {
+	m, err := swizzle.Parse(mipStr)
+	if err != nil {
+		return 0, err
+	}
+	if m.IsNil() {
+		return 0, nil
+	}
+	s, ok := c.segs[m.Segment]
+	if !ok {
+		s, err = c.openShell(m.Segment, false)
+		if err != nil {
+			return 0, fmt.Errorf("core: resolving %q: %w", mipStr, err)
+		}
+	}
+	addr, err := swizzle.AddrOfMIP(s.m, m)
+	if err == nil {
+		return addr, nil
+	}
+	// The MIP may reference a block newer than our shell; refresh
+	// the directory once and retry.
+	if rerr := c.refreshDir(s); rerr != nil {
+		return 0, fmt.Errorf("core: resolving %q: %w", mipStr, rerr)
+	}
+	return swizzle.AddrOfMIP(s.m, m)
+}
+
+// MIPToPtr converts a machine-independent pointer into a local
+// address, reserving space for the target segment if needed
+// (IW_mip_to_ptr).
+func (c *Client) MIPToPtr(mip string) (mem.Addr, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolveMIP(mip)
+}
+
+// PtrToMIP converts a local pointer into its machine-independent form
+// (IW_ptr_to_mip).
+func (c *Client) PtrToMIP(addr mem.Addr) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := swizzle.PtrToMIP(c.heap, addr)
+	if err != nil {
+		return "", err
+	}
+	return m.String(), nil
+}
+
+// SetPolicy changes the segment's coherence policy; the bound may be
+// adjusted dynamically, as the paper specifies.
+func (c *Client) SetPolicy(h *Segment, p coherence.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := h.s
+	s.policy = p
+	if s.state.Subscribed {
+		if _, err := c.callSeg(s, &protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: p}); err != nil {
+			s.state.Subscribed = false
+			return err
+		}
+	}
+	return nil
+}
+
+// RLock acquires a read lock (IW_rl_acquire): it blocks out local
+// writers and brings the cached copy up to date if the coherence
+// policy requires.
+func (c *Client) RLock(h *Segment) error {
+	s := h.s
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s.writer || s.writeWaiters > 0 {
+		c.cond.Wait()
+	}
+	if err := c.ensureFresh(s); err != nil {
+		return err
+	}
+	s.readers++
+	return nil
+}
+
+// RUnlock releases a read lock (IW_rl_release).
+func (c *Client) RUnlock(h *Segment) error {
+	s := h.s
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.readers == 0 {
+		return fmt.Errorf("%w: read", ErrNotLocked)
+	}
+	s.readers--
+	if s.readers == 0 {
+		c.cond.Broadcast()
+	}
+	return nil
+}
+
+// ensureFresh implements the read-lock freshness protocol: grant
+// locally when the policy allows, otherwise poll the server and apply
+// whatever diff comes back. Caller holds c.mu.
+func (c *Client) ensureFresh(s *segment) error {
+	now := time.Now()
+	if s.state.Subscribed && s.conn.isClosed() {
+		// The server holding our subscription is gone; notifications
+		// can no longer arrive, so local freshness cannot be trusted.
+		s.state.Subscribed = false
+	}
+	if s.policy.LocallyFresh(s.state, now) {
+		return nil
+	}
+	wasInvalidated := s.state.Invalidated
+	policy := s.policy
+	if s.version == 0 {
+		// "When a process first locks a shared segment, the library
+		// obtains a copy from the segment's server" — relaxed bounds
+		// apply only to subsequent acquisitions.
+		policy = coherence.Full()
+	}
+	reply, err := c.callSeg(s, &protocol.ReadLock{Seg: s.name, HaveVersion: s.version, Policy: policy})
+	if err != nil {
+		return fmt.Errorf("core: read lock on %q: %w", s.name, err)
+	}
+	lr, ok := reply.(*protocol.LockReply)
+	if !ok {
+		return fmt.Errorf("core: unexpected reply %T to read lock", reply)
+	}
+	updated := false
+	if !lr.Fresh && lr.Diff != nil {
+		if err := c.applyIncoming(s, lr.Diff, true); err != nil {
+			return err
+		}
+		updated = true
+	} else {
+		// The server says we are recent enough.
+		s.state.FetchedAt = now
+		s.state.Invalidated = false
+		if s.state.Version == 0 {
+			s.state.Version = s.version
+		}
+	}
+	c.adapt(s, updated, wasInvalidated)
+	return nil
+}
+
+// adapt runs the adaptive polling/notification protocol after a
+// server round trip. Temporal coherence relies purely on the local
+// clock and never subscribes. Caller holds c.mu.
+func (c *Client) adapt(s *segment, updated, wasInvalidated bool) {
+	if s.policy.Model == coherence.ModelTemporal {
+		return
+	}
+	if s.state.Subscribed {
+		if s.adaptive.RecordNotified(wasInvalidated) {
+			// Too many invalidations: notifications are pure
+			// overhead, go back to polling.
+			if _, err := s.conn.call(&protocol.Unsubscribe{Seg: s.name}); err == nil {
+				s.state.Subscribed = false
+			}
+		}
+		return
+	}
+	if s.adaptive.RecordPoll(updated) {
+		if _, err := s.conn.call(&protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: s.policy}); err == nil {
+			s.state.Subscribed = true
+			s.state.Invalidated = false
+		}
+	}
+}
+
+// WLock acquires the segment's exclusive write lock (IW_wl_acquire):
+// it waits out local readers and writers, obtains the server-side
+// write lock, brings the copy up to date, and write-protects the
+// local pages so modifications are tracked.
+func (c *Client) WLock(h *Segment) error {
+	s := h.s
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.writeWaiters++
+	for s.writer || s.readers > 0 {
+		c.cond.Wait()
+	}
+	s.writeWaiters--
+	s.writer = true
+	reply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: s.version, Policy: s.policy})
+	if err == nil {
+		if lr, ok := reply.(*protocol.LockReply); ok {
+			if !lr.Fresh && lr.Diff != nil {
+				err = c.applyIncoming(s, lr.Diff, true)
+			}
+		} else {
+			err = fmt.Errorf("core: unexpected reply %T to write lock", reply)
+		}
+	}
+	if err != nil {
+		s.writer = false
+		c.cond.Broadcast()
+		return fmt.Errorf("core: write lock on %q: %w", s.name, err)
+	}
+	if !s.noDiff {
+		s.m.WriteProtect()
+	}
+	return nil
+}
+
+// WUnlock releases the write lock (IW_wl_release): local changes are
+// gathered into a machine-independent diff — twin comparison plus
+// translation, or whole blocks in no-diff mode — and shipped to the
+// server, which assigns the new segment version.
+func (c *Client) WUnlock(h *Segment) error {
+	s := h.s
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !s.writer {
+		return fmt.Errorf("%w: write", ErrNotLocked)
+	}
+	var st diff.Stats
+	d, err := diff.CollectSegment(s.m, diff.CollectOptions{
+		NoDiff:  s.noDiff,
+		Freed:   s.freed,
+		Stats:   &st,
+		Swizzle: c.swizzler(),
+	})
+	if err != nil {
+		// Leave the lock held: the caller may retry after fixing the
+		// problem (e.g. an unswizzlable private pointer).
+		return fmt.Errorf("core: collecting diff of %q: %w", s.name, err)
+	}
+	s.lastCollect = st
+	attachDescDefs(s, d)
+	var payload *wire.SegmentDiff
+	if !d.Empty() {
+		payload = d
+	}
+	reply, err := c.callSeg(s, &protocol.WriteUnlock{Seg: s.name, Diff: payload})
+	if err != nil {
+		s.releaseWrite(c)
+		return fmt.Errorf("core: write unlock on %q: %w", s.name, err)
+	}
+	vr, ok := reply.(*protocol.VersionReply)
+	if !ok {
+		s.releaseWrite(c)
+		return fmt.Errorf("core: unexpected reply %T to write unlock", reply)
+	}
+	s.version = vr.Version
+	s.state.Version = vr.Version
+	s.state.FetchedAt = time.Now()
+	s.state.Invalidated = false
+	s.freed = nil
+	s.m.DropTwins()
+	s.m.Unprotect()
+	s.updateNoDiff(c, st.Units)
+	s.releaseWrite(c)
+	return nil
+}
+
+func (s *segment) releaseWrite(c *Client) {
+	s.writer = false
+	c.cond.Broadcast()
+}
+
+// updateNoDiff adjusts the no-diff mode after a release: a client
+// that repeatedly modifies most of the data switches to whole-segment
+// transmission, and periodically switches back to diffing to capture
+// changes in application behaviour (Section 3.3).
+func (s *segment) updateNoDiff(c *Client, unitsSent int) {
+	if c.opts.NoDiffOn < 0 {
+		return
+	}
+	total := 0
+	s.m.Blocks(func(b *mem.Block) bool {
+		total += b.PrimCount()
+		return true
+	})
+	if total == 0 {
+		return
+	}
+	if s.noDiff {
+		s.noDiffCount++
+		if s.noDiffCount%c.opts.NoDiffResample == 0 {
+			s.noDiff = false // re-sample with diffing next section
+			s.hotReleases = 0
+		}
+		return
+	}
+	if float64(unitsSent) >= c.opts.NoDiffOn*float64(total) {
+		s.hotReleases++
+		if s.hotReleases >= hotReleasesToNoDiff {
+			s.noDiff = true
+			s.noDiffCount = 0
+		}
+	} else {
+		s.hotReleases = 0
+	}
+}
+
+// attachDescDefs prepends definitions for every client-local type
+// descriptor the diff's new blocks reference.
+func attachDescDefs(s *segment, d *wire.SegmentDiff) {
+	seen := make(map[uint32]bool)
+	for _, nb := range d.News {
+		if seen[nb.DescSerial] {
+			continue
+		}
+		if b, ok := s.descBytes[nb.DescSerial]; ok {
+			seen[nb.DescSerial] = true
+			d.Descs = append(d.Descs, wire.DescDef{Serial: nb.DescSerial, Bytes: b})
+		}
+	}
+}
+
+// swizzler translates local pointers during diff collection. A fresh
+// Swizzler per collection keeps its block cache inside one write
+// critical section, where no frees can invalidate it.
+func (c *Client) swizzler() diff.SwizzleFunc {
+	return swizzle.NewSwizzler(c.heap).MIPString
+}
+
+// Alloc allocates a block of count elements of type t in the segment
+// (IW_malloc). The caller must hold the write lock.
+func (c *Client) Alloc(h *Segment, t *types.Type, count int, name string) (*mem.Block, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := h.s
+	if !s.writer {
+		return nil, fmt.Errorf("%w: write (Alloc)", ErrNotLocked)
+	}
+	l, err := c.layouts.Of(t, c.prof)
+	if err != nil {
+		return nil, err
+	}
+	serial, ok := s.descForType[t]
+	if !ok {
+		b, err := types.Marshal(t)
+		if err != nil {
+			return nil, err
+		}
+		serial = s.nextLocalDesc
+		s.nextLocalDesc++
+		s.descForType[t] = serial
+		s.descBytes[serial] = b
+	}
+	blk, err := s.m.Alloc(l, count, name)
+	if err != nil {
+		return nil, err
+	}
+	blk.DescSerial = serial
+	return blk, nil
+}
+
+// Free releases a block (IW_free). The caller must hold the write
+// lock.
+func (c *Client) Free(h *Segment, b *mem.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := h.s
+	if !s.writer {
+		return fmt.Errorf("%w: write (Free)", ErrNotLocked)
+	}
+	wasPending := b.Pending
+	serial := b.Serial
+	if err := s.m.Free(b); err != nil {
+		return err
+	}
+	if !wasPending {
+		// The server knows this block; tell it on release. Blocks
+		// created and freed within one critical section never leave
+		// the client.
+		s.freed = append(s.freed, serial)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+// TestMultiClientStress runs several heterogeneous clients against
+// one server, each performing mixed read/write critical sections on a
+// shared array of counters, and checks the global invariant: the sum
+// of all counters equals the number of increments performed.
+func TestMultiClientStress(t *testing.T) {
+	addr := startServer(t)
+	segName := addr + "/stress"
+	const (
+		slots       = 64
+		clients     = 4
+		perClient   = 30
+		readsPerSec = 2
+	)
+	profiles := []*arch.Profile{arch.AMD64(), arch.X86(), arch.Sparc(), arch.MIPS64()}
+
+	// Client 0 sets up the segment.
+	setup := newTestClient(t, profiles[0], "setup")
+	hs, err := setup.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WLock(hs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Alloc(hs, types.Int32(), slots, "ctrs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WUnlock(hs); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs <- stressWorker(t, profiles[ci%len(profiles)], segName, ci, perClient, readsPerSec)
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Final invariant check.
+	if err := setup.RLock(hs); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := hs.Mem().BlockByName("ctrs")
+	var sum int64
+	for i := 0; i < slots; i++ {
+		v, err := setup.Heap().ReadI32(blk.Addr + mem.Addr(4*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += int64(v)
+	}
+	if err := setup.RUnlock(hs); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(clients * perClient); sum != want {
+		t.Errorf("counter sum = %d, want %d", sum, want)
+	}
+}
+
+func stressWorker(t *testing.T, prof *arch.Profile, segName string, id, increments, readsPer int) error {
+	c, err := NewClient(Options{Profile: prof, Name: fmt.Sprintf("w%d", id)})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	h, err := c.Open(segName)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < increments; i++ {
+		// Write section: increment one slot.
+		if err := c.WLock(h); err != nil {
+			return err
+		}
+		blk, ok := h.Mem().BlockByName("ctrs")
+		if !ok {
+			return fmt.Errorf("worker %d: counters missing", id)
+		}
+		slot := (id*7 + i*13) % blk.Count
+		a := blk.Addr + mem.Addr(4*slot)
+		v, err := c.Heap().ReadI32(a)
+		if err != nil {
+			return err
+		}
+		if err := c.Heap().WriteI32(a, v+1); err != nil {
+			return err
+		}
+		if err := c.WUnlock(h); err != nil {
+			return err
+		}
+		// Read sections: counters never decrease in sum below the
+		// number of increments this worker has completed.
+		for r := 0; r < readsPer; r++ {
+			if err := c.RLock(h); err != nil {
+				return err
+			}
+			blk, _ := h.Mem().BlockByName("ctrs")
+			var sum int64
+			for s := 0; s < blk.Count; s++ {
+				v, err := c.Heap().ReadI32(blk.Addr + mem.Addr(4*s))
+				if err != nil {
+					return err
+				}
+				sum += int64(v)
+			}
+			if err := c.RUnlock(h); err != nil {
+				return err
+			}
+			if sum < int64(i+1) {
+				return fmt.Errorf("worker %d: sum %d below own progress %d", id, sum, i+1)
+			}
+		}
+	}
+	return nil
+}
+
+// TestLocalLockGate exercises the intra-process reader-writer gate:
+// a writer waits for local readers, and readers wait for the writer.
+func TestLocalLockGate(t *testing.T) {
+	addr := startServer(t)
+	c := newTestClient(t, arch.AMD64(), "c")
+	h, err := c.Open(addr + "/gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(h, types.Int32(), 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold a read lock; a writer goroutine must block until release.
+	if err := c.RLock(h); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := c.WLock(h); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+		_ = c.WUnlock(h)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("writer acquired while reader held the lock")
+	default:
+	}
+	if err := c.RUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+	<-acquired
+}

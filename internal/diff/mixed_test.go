@@ -1,0 +1,167 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+// TestRandomMixedModificationsRoundtrip drives the twin-diff path —
+// not just full transfers — over a segment containing every primitive
+// kind, including strings and pointers, across random heterogeneous
+// profile pairs, and checks bit-exact convergence after every round.
+func TestRandomMixedModificationsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2003))
+	profiles := arch.Profiles()
+	for trial := 0; trial < 6; trial++ {
+		srcProf := profiles[rng.Intn(len(profiles))]
+		dstProf := profiles[rng.Intn(len(profiles))]
+		t.Run(fmt.Sprintf("%s_to_%s_%d", srcProf, dstProf, trial), func(t *testing.T) {
+			runMixedTrial(t, rng, srcProf, dstProf)
+		})
+	}
+}
+
+func runMixedTrial(t *testing.T, rng *rand.Rand, srcProf, dstProf *arch.Profile) {
+	src := newClient(t, srcProf, "h/mx")
+	dst := newClient(t, dstProf, "h/mx")
+	mix := mixType(t)
+	const elems = 64
+	b := src.alloc(t, mix, 1, elems, "data")
+	targets := src.alloc(t, types.Int32(), 2, elems, "targets")
+
+	l := b.Layout
+	h := src.heap
+	field := func(e int, name string) mem.Addr {
+		f, ok := l.Field(name)
+		if !ok {
+			t.Fatalf("field %s", name)
+		}
+		return b.Addr + mem.Addr(e*l.Size+f.ByteOff)
+	}
+	mutate := func(seed int) {
+		t.Helper()
+		// Touch a random subset of elements and fields.
+		for e := 0; e < elems; e++ {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			switch rng.Intn(9) {
+			case 0:
+				mustOK(t, h.WriteI32(field(e, "i"), rng.Int31()))
+			case 1:
+				mustOK(t, h.WriteF64(field(e, "d"), rng.NormFloat64()))
+			case 2:
+				mustOK(t, h.WriteCString(field(e, "s"), 256, fmt.Sprintf("v%d-%d", seed, rng.Int31())))
+			case 3:
+				mustOK(t, h.WriteCString(field(e, "t"), 8, fmt.Sprintf("%06d", rng.Intn(999999))))
+			case 4:
+				if rng.Intn(4) == 0 {
+					mustOK(t, h.WritePtr(field(e, "p"), 0))
+				} else {
+					mustOK(t, h.WritePtr(field(e, "p"), targets.Addr+mem.Addr(4*rng.Intn(elems))))
+				}
+			case 5:
+				mustOK(t, h.WriteU8(field(e, "c"), byte(rng.Intn(256))))
+			case 6:
+				mustOK(t, h.WriteI64(field(e, "j"), rng.Int63()))
+			case 7:
+				mustOK(t, h.WriteF32(field(e, "f"), float32(rng.NormFloat64())))
+			case 8:
+				mustOK(t, h.WriteI16(field(e, "h"), int16(rng.Int31())))
+			}
+		}
+	}
+
+	mutate(0)
+	transfer(t, src, dst, CollectOptions{Version: 1})
+	for round := 0; round < 4; round++ {
+		src.seg.WriteProtect()
+		mutate(round + 1)
+		transfer(t, src, dst, CollectOptions{Version: uint32(round + 2)})
+		src.seg.DropTwins()
+		src.seg.Unprotect()
+		compareMixed(t, src, dst, elems)
+	}
+}
+
+// compareMixed checks field-level equality between the two machines'
+// copies (byte comparison is meaningless across formats).
+func compareMixed(t *testing.T, src, dst *client, elems int) {
+	t.Helper()
+	sb, _ := src.seg.BlockByName("data")
+	db, ok := dst.seg.BlockByName("data")
+	if !ok {
+		t.Fatal("dst missing data block")
+	}
+	st, _ := src.seg.BlockByName("targets")
+	dt, _ := dst.seg.BlockByName("targets")
+	for e := 0; e < elems; e++ {
+		sf := func(name string) mem.Addr {
+			f, _ := sb.Layout.Field(name)
+			return sb.Addr + mem.Addr(e*sb.Layout.Size+f.ByteOff)
+		}
+		df := func(name string) mem.Addr {
+			f, _ := db.Layout.Field(name)
+			return db.Addr + mem.Addr(e*db.Layout.Size+f.ByteOff)
+		}
+		if a, _ := src.heap.ReadI32(sf("i")); true {
+			if b, _ := dst.heap.ReadI32(df("i")); a != b {
+				t.Fatalf("elem %d i: %d != %d", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadF64(sf("d")); true {
+			if b, _ := dst.heap.ReadF64(df("d")); a != b {
+				t.Fatalf("elem %d d: %v != %v", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadCString(sf("s"), 256); true {
+			if b, _ := dst.heap.ReadCString(df("s"), 256); a != b {
+				t.Fatalf("elem %d s: %q != %q", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadCString(sf("t"), 8); true {
+			if b, _ := dst.heap.ReadCString(df("t"), 8); a != b {
+				t.Fatalf("elem %d t: %q != %q", e, a, b)
+			}
+		}
+		// Pointers: both nil, or pointing at the same target offset.
+		pa, _ := src.heap.ReadPtr(sf("p"))
+		pb, _ := dst.heap.ReadPtr(df("p"))
+		switch {
+		case pa == 0 && pb == 0:
+		case pa == 0 || pb == 0:
+			t.Fatalf("elem %d p: nilness differs (%#x vs %#x)", e, uint64(pa), uint64(pb))
+		default:
+			offA := pa - st.Addr
+			offB := pb - dt.Addr
+			if offA != offB {
+				t.Fatalf("elem %d p: offsets differ (%d vs %d)", e, offA, offB)
+			}
+		}
+		if a, _ := src.heap.ReadU8(sf("c")); true {
+			if b, _ := dst.heap.ReadU8(df("c")); a != b {
+				t.Fatalf("elem %d c: %d != %d", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadI64(sf("j")); true {
+			if b, _ := dst.heap.ReadI64(df("j")); a != b {
+				t.Fatalf("elem %d j: %d != %d", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadF32(sf("f")); true {
+			if b, _ := dst.heap.ReadF32(df("f")); a != b {
+				t.Fatalf("elem %d f: %v != %v", e, a, b)
+			}
+		}
+		if a, _ := src.heap.ReadI16(sf("h")); true {
+			if b, _ := dst.heap.ReadI16(df("h")); a != b {
+				t.Fatalf("elem %d h: %d != %d", e, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package idl
+
+import (
+	"errors"
+	"fmt"
+
+	"interweave/internal/types"
+)
+
+// Package is the result of compiling an IDL source: machine-
+// independent type descriptors for every declaration.
+type Package struct {
+	// Structs maps struct names to their completed types.
+	Structs map[string]*types.Type
+	// Typedefs maps alias names to their types.
+	Typedefs map[string]*types.Type
+	// StructOrder lists struct names in declaration order.
+	StructOrder []string
+	// file retains the AST for the code generator.
+	ast *file
+}
+
+// errNotYet signals that a type could not be built because a struct
+// it uses by value is not completed yet; the driver loop retries.
+var errNotYet = errors.New("idl: dependency not completed yet")
+
+// Compile parses and semantically analyses IDL source.
+func Compile(src string) (*Package, error) {
+	f, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		shells:     make(map[string]*types.Type),
+		typedefs:   make(map[string]*typedefDecl),
+		tdCache:    make(map[string]*types.Type),
+		tdVisiting: make(map[string]bool),
+	}
+	pkg := &Package{
+		Structs:  make(map[string]*types.Type),
+		Typedefs: make(map[string]*types.Type),
+		ast:      f,
+	}
+	for i := range f.structs {
+		sd := &f.structs[i]
+		if _, ok := c.shells[sd.name]; ok {
+			return nil, fmt.Errorf("idl: %d:%d: duplicate struct %q", sd.line, sd.col, sd.name)
+		}
+		if isPrimitiveName(sd.name) {
+			return nil, fmt.Errorf("idl: %d:%d: struct name %q shadows a primitive", sd.line, sd.col, sd.name)
+		}
+		c.shells[sd.name] = types.NewStruct(sd.name)
+		pkg.StructOrder = append(pkg.StructOrder, sd.name)
+	}
+	for i := range f.typedefs {
+		td := &f.typedefs[i]
+		if _, ok := c.typedefs[td.name]; ok {
+			return nil, fmt.Errorf("idl: %d:%d: duplicate typedef %q", td.line, td.col, td.name)
+		}
+		if _, ok := c.shells[td.name]; ok {
+			return nil, fmt.Errorf("idl: %d:%d: typedef %q collides with struct", td.line, td.col, td.name)
+		}
+		if isPrimitiveName(td.name) {
+			return nil, fmt.Errorf("idl: %d:%d: typedef name %q shadows a primitive", td.line, td.col, td.name)
+		}
+		c.typedefs[td.name] = td
+	}
+
+	// Complete structs in dependency order: a struct may be
+	// completed once every field it holds by value is complete;
+	// pointer fields may target incomplete shells, which is how
+	// recursion works.
+	pending := make([]*structDecl, 0, len(f.structs))
+	for i := range f.structs {
+		pending = append(pending, &f.structs[i])
+	}
+	for len(pending) > 0 {
+		progress := false
+		var next []*structDecl
+		for _, sd := range pending {
+			fields, err := c.buildFields(sd)
+			switch {
+			case errors.Is(err, errNotYet):
+				next = append(next, sd)
+			case err != nil:
+				return nil, err
+			default:
+				if err := c.shells[sd.name].SetFields(fields...); err != nil {
+					return nil, fmt.Errorf("idl: %d:%d: struct %q: %w", sd.line, sd.col, sd.name, err)
+				}
+				progress = true
+			}
+		}
+		if !progress && len(next) > 0 {
+			return nil, fmt.Errorf("idl: struct %q contains itself (directly or indirectly) without a pointer",
+				next[0].name)
+		}
+		pending = next
+	}
+
+	for name, sh := range c.shells {
+		if err := types.Validate(sh); err != nil {
+			return nil, fmt.Errorf("idl: struct %q: %w", name, err)
+		}
+		pkg.Structs[name] = sh
+	}
+	for name := range c.typedefs {
+		t, err := c.resolveTypedef(name)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Typedefs[name] = t
+	}
+	return pkg, nil
+}
+
+type compiler struct {
+	shells     map[string]*types.Type
+	typedefs   map[string]*typedefDecl
+	tdCache    map[string]*types.Type
+	tdVisiting map[string]bool
+}
+
+func (c *compiler) buildFields(sd *structDecl) ([]types.Field, error) {
+	fields := make([]types.Field, 0, len(sd.fields))
+	for _, fd := range sd.fields {
+		t, err := c.build(fd.typ)
+		if err != nil {
+			if errors.Is(err, errNotYet) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("idl: %d:%d: field %q: %w", fd.line, fd.col, fd.name, err)
+		}
+		fields = append(fields, types.Field{Name: fd.name, Type: t})
+	}
+	return fields, nil
+}
+
+// build materializes a type expression.
+func (c *compiler) build(te typeExpr) (*types.Type, error) {
+	base, err := c.resolveBase(te)
+	if err != nil {
+		return nil, err
+	}
+	t := base
+	for i := 0; i < te.ptr; i++ {
+		p, err := types.PointerTo(t)
+		if err != nil {
+			return nil, err
+		}
+		t = p
+	}
+	// A by-value use of an incomplete struct cannot be built yet.
+	if te.ptr == 0 && !t.Complete() {
+		return nil, errNotYet
+	}
+	for i := len(te.arrayNs) - 1; i >= 0; i-- {
+		a, err := types.ArrayOf(t, te.arrayNs[i])
+		if err != nil {
+			return nil, err
+		}
+		t = a
+	}
+	return t, nil
+}
+
+func (c *compiler) resolveBase(te typeExpr) (*types.Type, error) {
+	switch te.base {
+	case "char":
+		return types.Char(), nil
+	case "int16", "short":
+		return types.Int16(), nil
+	case "int32", "int":
+		return types.Int32(), nil
+	case "int64", "long", "hyper":
+		return types.Int64(), nil
+	case "float32", "float":
+		return types.Float32(), nil
+	case "float64", "double":
+		return types.Float64(), nil
+	case "string":
+		return types.StringOf(te.strCap)
+	}
+	if sh, ok := c.shells[te.base]; ok {
+		return sh, nil
+	}
+	if _, ok := c.typedefs[te.base]; ok {
+		return c.resolveTypedef(te.base)
+	}
+	return nil, fmt.Errorf("idl: %d:%d: unknown type %q", te.line, te.col, te.base)
+}
+
+func (c *compiler) resolveTypedef(name string) (*types.Type, error) {
+	if t, ok := c.tdCache[name]; ok {
+		return t, nil
+	}
+	if c.tdVisiting[name] {
+		return nil, fmt.Errorf("idl: typedef %q is recursive", name)
+	}
+	c.tdVisiting[name] = true
+	defer delete(c.tdVisiting, name)
+	td := c.typedefs[name]
+	t, err := c.build(td.typ)
+	if err != nil {
+		if errors.Is(err, errNotYet) {
+			return nil, fmt.Errorf("idl: %d:%d: typedef %q uses an incomplete struct by value",
+				td.line, td.col, name)
+		}
+		return nil, err
+	}
+	c.tdCache[name] = t
+	return t, nil
+}
+
+func isPrimitiveName(s string) bool {
+	switch s {
+	case "char", "int16", "short", "int32", "int", "int64", "long", "hyper",
+		"float32", "float", "float64", "double", "string":
+		return true
+	}
+	return false
+}

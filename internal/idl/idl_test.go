@@ -1,0 +1,292 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/types"
+)
+
+const listIDL = `
+// The paper's Figure 1 declaration.
+struct node_t {
+    int     key;
+    node_t *next;
+};
+`
+
+const richIDL = `
+typedef double vec3[3];
+typedef vec3 trajectory[8];
+typedef point *point_ref;
+
+struct point {
+    float64 x;
+    float64 y;
+};
+
+struct body {
+    int32      id;
+    string     name<32>;
+    point      center;      // by-value struct (declared later in src order is fine)
+    point     *nearest;
+    vec3       velocity;
+    trajectory path;
+    char       tag;
+    int64      epoch;
+    float32    mass;
+    int16      flags;
+    point_ref  other;
+};
+`
+
+func TestCompileList(t *testing.T) {
+	pkg, err := Compile(listIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := pkg.Structs["node_t"]
+	if !ok {
+		t.Fatal("node_t missing")
+	}
+	if node.PrimCount() != 2 || node.NumFields() != 2 {
+		t.Errorf("node_t = %d fields, %d units", node.NumFields(), node.PrimCount())
+	}
+	if node.Field(1).Type.Kind() != types.KindPointer || node.Field(1).Type.Elem() != node {
+		t.Error("next is not a pointer to node_t")
+	}
+	if err := types.Validate(node); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileRich(t *testing.T) {
+	pkg, err := Compile(richIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := pkg.Structs["body"]
+	if body == nil {
+		t.Fatal("body missing")
+	}
+	if got := body.PrimCount(); got != 1+1+2+1+3+24+1+1+1+1+1 {
+		t.Errorf("body PrimCount = %d", got)
+	}
+	vec3 := pkg.Typedefs["vec3"]
+	if vec3 == nil || vec3.Kind() != types.KindArray || vec3.Len() != 3 {
+		t.Errorf("vec3 = %v", vec3)
+	}
+	traj := pkg.Typedefs["trajectory"]
+	if traj == nil || traj.Kind() != types.KindArray || traj.Len() != 8 || traj.Elem().Kind() != types.KindArray {
+		t.Errorf("trajectory = %v", traj)
+	}
+	pref := pkg.Typedefs["point_ref"]
+	if pref == nil || pref.Kind() != types.KindPointer || pref.Elem() != pkg.Structs["point"] {
+		t.Errorf("point_ref = %v", pref)
+	}
+	// Layouts must compute on every profile.
+	for _, p := range arch.Profiles() {
+		if _, err := types.Of(body, p); err != nil {
+			t.Errorf("layout on %v: %v", p, err)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty struct":        `struct s { };`,
+		"unknown type":        `struct s { widget w; };`,
+		"dup struct":          `struct s { int a; }; struct s { int b; };`,
+		"dup typedef":         `typedef int a; typedef int a;`,
+		"typedef vs struct":   `struct s { int a; }; typedef int s;`,
+		"primitive struct":    `struct int { char c; };`,
+		"primitive typedef":   `typedef char int;`,
+		"value self cycle":    `struct s { s inner; };`,
+		"mutual value cycle":  `struct a { b x; }; struct b { a y; };`,
+		"recursive typedef":   `typedef t2 t1; typedef t1 t2;`,
+		"string no cap":       `struct s { string x; };`,
+		"zero array":          `struct s { int a[0]; };`,
+		"zero string cap":     `struct s { string x<0>; };`,
+		"garbage":             `struct s { int a; ` + "\x01" + ` };`,
+		"missing semicolon":   `struct s { int a }`,
+		"unterminated struct": `struct s { int a;`,
+		"top-level junk":      `int x;`,
+		"unterminated cmt":    `/* struct s { int a; };`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled successfully", name)
+		}
+	}
+}
+
+func TestMutualRecursionThroughPointers(t *testing.T) {
+	src := `
+struct a { b *peer; int x; };
+struct b { a *peer; int y; };
+`
+	pkg, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pkg.Structs["a"], pkg.Structs["b"]
+	if a.Field(0).Type.Elem() != b || b.Field(0).Type.Elem() != a {
+		t.Error("mutual pointers wired wrong")
+	}
+}
+
+func TestByValueForwardReference(t *testing.T) {
+	src := `
+struct outer { inner i; };
+struct inner { int x; };
+`
+	pkg, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Structs["outer"].PrimCount() != 1 {
+		t.Error("forward by-value reference failed")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "struct s { /* inline */ int a; // trailing\n int b; };"
+	pkg, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Structs["s"].NumFields() != 2 {
+		t.Error("comment handling broke fields")
+	}
+}
+
+func TestGenerateGoList(t *testing.T) {
+	pkg, err := Compile(listIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateGo(pkg, "bindings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := string(src)
+	for _, want := range []string{
+		"package bindings",
+		"func Types() (map[string]*interweave.Type, error)",
+		`interweave.NewStruct("node_t")`,
+		"type NodeTView struct",
+		"func (v NodeTView) Key() (int32, error)",
+		"func (v NodeTView) SetKey(x int32) error",
+		"func (v NodeTView) Next() (interweave.Addr, error)",
+		"func (v NodeTView) NextDeref() (NodeTView, error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateGoRich(t *testing.T) {
+	pkg, err := Compile(richIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateGo(pkg, "bindings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := string(src)
+	for _, want := range []string{
+		"func (v BodyView) Name() (string, error)",
+		"func (v BodyView) Center() (PointView, error)",
+		"func (v BodyView) NearestDeref() (PointView, error)",
+		"func (v BodyView) Velocity() (interweave.Ref, error)",
+		"func (v BodyView) Epoch() (int64, error)",
+		"func (v BodyView) SetMass(x float32) error",
+		"func (v BodyView) Tag() (byte, error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateGoNilPackage(t *testing.T) {
+	if _, err := GenerateGo(nil, "x"); err == nil {
+		t.Error("GenerateGo(nil) succeeded")
+	}
+}
+
+func TestExportName(t *testing.T) {
+	tests := map[string]string{
+		"node_t":   "NodeT",
+		"key":      "Key",
+		"my_field": "MyField",
+		"x":        "X",
+		"_":        "X",
+		"already":  "Already",
+	}
+	for in, want := range tests {
+		if got := exportName(in); got != want {
+			t.Errorf("exportName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Compile("struct s {\n  bogus$ x;\n};")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestConstDeclarations(t *testing.T) {
+	src := `
+const WEEK = 7;
+const NAME_LEN = 24;
+struct sched {
+    string  label<NAME_LEN>;
+    double  hours[WEEK];
+    int32   tags[WEEK][2];
+};
+`
+	pkg, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := pkg.Structs["sched"]
+	if sched == nil {
+		t.Fatal("sched missing")
+	}
+	if sched.Field(0).Type.Cap() != 24 {
+		t.Errorf("label cap = %d", sched.Field(0).Type.Cap())
+	}
+	if sched.Field(1).Type.Len() != 7 {
+		t.Errorf("hours len = %d", sched.Field(1).Type.Len())
+	}
+	if got := sched.Field(2).Type; got.Len() != 7 || got.Elem().Len() != 2 {
+		t.Errorf("tags dims = %d x %d", got.Len(), got.Elem().Len())
+	}
+	// Bindings still generate.
+	if _, err := GenerateGo(pkg, "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined const":   `struct s { int a[NOPE]; };`,
+		"use before decl":   `struct s { int a[N]; }; const N = 4;`,
+		"duplicate const":   `const N = 1; const N = 2;`,
+		"nonpositive const": `const N = 0; struct s { int a[N]; };`,
+		"garbage value":     `const N = x;`,
+		"missing equals":    `const N 4;`,
+		"missing semicolon": `const N = 4 struct s { int a; };`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled successfully", name)
+		}
+	}
+}

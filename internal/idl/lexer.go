@@ -1,0 +1,174 @@
+// Package idl implements InterWeave's interface description language
+// compiler. As in multi-language RPC systems, the types of shared
+// data must be declared in an IDL (paper Section 2.1); this compiler
+// translates the declarations into machine-independent type
+// descriptors (interweave/internal/types) and can emit Go bindings —
+// typed accessor views over interweave.Ref — the way the original
+// compiler emitted C, C++, Java, and Fortran declarations.
+//
+// The language is C-flavoured:
+//
+//	const SAMPLES = 16;
+//	typedef double vec3[3];
+//	struct node {
+//	    int32   key;
+//	    string  label<64>;   // fixed-capacity string
+//	    node   *next;        // pointer (recursive types allowed)
+//	    vec3    pos;
+//	    double  samples[SAMPLES];
+//	};
+//
+// Primitive type names: char, int16 (short), int32 (int), int64
+// (long, hyper), float32 (float), float64 (double), string<N>.
+// Integer constants declared with `const` may be used as array
+// lengths and string capacities.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // one of { } [ ] < > * ; , =
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits IDL source into tokens, skipping // and /* */
+// comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("idl: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return token{}, l.errf(startLine, startCol, "unterminated comment")
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	line, col := l.line, l.col
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			sb.WriteByte(l.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), line: line, col: col}, nil
+	case c >= '0' && c <= '9':
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			sb.WriteByte(l.advance())
+		}
+		return token{kind: tokNumber, text: sb.String(), line: line, col: col}, nil
+	case strings.IndexByte("{}[]<>*;,=", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		return token{}, l.errf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

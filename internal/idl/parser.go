@@ -1,0 +1,330 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST node types. The parser produces a flat list of declarations;
+// semantic analysis (compile.go) resolves names and builds type
+// descriptors.
+
+// typeExpr is a parsed type reference: a base name plus decorations.
+type typeExpr struct {
+	base    string // primitive name, struct name, or typedef name
+	strCap  int    // capacity for string<N>
+	ptr     int    // number of '*'s
+	arrayNs []int  // array dimensions, outermost first
+	line    int
+	col     int
+}
+
+// fieldDecl is one struct member.
+type fieldDecl struct {
+	name string
+	typ  typeExpr
+	line int
+	col  int
+}
+
+// structDecl is a struct declaration.
+type structDecl struct {
+	name   string
+	fields []fieldDecl
+	line   int
+	col    int
+}
+
+// typedefDecl aliases a (possibly decorated) type.
+type typedefDecl struct {
+	name string
+	typ  typeExpr
+	line int
+	col  int
+}
+
+// constDecl is a named integer constant, usable as an array length
+// or string capacity in later declarations.
+type constDecl struct {
+	name  string
+	value int
+	line  int
+	col   int
+}
+
+// file is a parsed IDL source.
+type file struct {
+	structs  []structDecl
+	typedefs []typedefDecl
+	consts   []constDecl
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	consts map[string]int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) bump() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("idl: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, found %q", s, t.text)
+	}
+	p.bump()
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected identifier, found %q", t.text)
+	}
+	return p.bump(), nil
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+// parse parses a whole file.
+func parse(src string) (*file, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, consts: make(map[string]int)}
+	f := &file{}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected declaration, found %q", t.text)
+		}
+		switch t.text {
+		case "struct":
+			sd, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			f.structs = append(f.structs, *sd)
+		case "typedef":
+			td, err := p.parseTypedef()
+			if err != nil {
+				return nil, err
+			}
+			f.typedefs = append(f.typedefs, *td)
+		case "const":
+			cd, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			f.consts = append(f.consts, *cd)
+		default:
+			return nil, p.errf(t, "expected 'struct', 'typedef', or 'const', found %q", t.text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseStruct() (*structDecl, error) {
+	kw := p.bump() // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	sd := &structDecl{name: name.text, line: kw.line, col: kw.col}
+	for !p.atPunct("}") {
+		fd, err := p.parseField()
+		if err != nil {
+			return nil, err
+		}
+		sd.fields = append(sd.fields, *fd)
+	}
+	p.bump() // }
+	if p.atPunct(";") {
+		p.bump()
+	}
+	if len(sd.fields) == 0 {
+		return nil, p.errf(kw, "struct %q has no fields", sd.name)
+	}
+	return sd, nil
+}
+
+// parseTypeExpr parses "base", "string<N>", and leading '*'s are not
+// used in this grammar — pointers are written C-style between the
+// base and the member name: "node *next".
+func (p *parser) parseTypeExpr() (typeExpr, error) {
+	base, err := p.expectIdent()
+	if err != nil {
+		return typeExpr{}, err
+	}
+	te := typeExpr{base: base.text, line: base.line, col: base.col}
+	// "string<N> name" puts the capacity on the type; rpcgen's
+	// "string name<N>" puts it after the declarator — both are
+	// accepted, the latter handled by parseCap at the call sites.
+	if base.text == "string" && p.atPunct("<") {
+		capN, err := p.parseCap()
+		if err != nil {
+			return typeExpr{}, err
+		}
+		te.strCap = capN
+	}
+	return te, nil
+}
+
+// parseCap parses "<N>" where N is a number or a declared constant.
+func (p *parser) parseCap() (int, error) {
+	if err := p.expectPunct("<"); err != nil {
+		return 0, err
+	}
+	v, err := p.parseSize("string capacity")
+	if err != nil {
+		return 0, err
+	}
+	if err := p.expectPunct(">"); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseSize reads a positive integer literal or a declared constant.
+func (p *parser) parseSize(what string) (int, error) {
+	n := p.cur()
+	switch n.kind {
+	case tokNumber:
+		p.bump()
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 1 {
+			return 0, p.errf(n, "invalid %s %q", what, n.text)
+		}
+		return v, nil
+	case tokIdent:
+		v, ok := p.consts[n.text]
+		if !ok {
+			return 0, p.errf(n, "unknown constant %q used as %s", n.text, what)
+		}
+		p.bump()
+		if v < 1 {
+			return 0, p.errf(n, "constant %q (%d) is not a valid %s", n.text, v, what)
+		}
+		return v, nil
+	default:
+		return 0, p.errf(n, "expected %s, found %q", what, n.text)
+	}
+}
+
+// parseConst parses "const NAME = VALUE ;".
+func (p *parser) parseConst() (*constDecl, error) {
+	kw := p.bump() // const
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.consts[name.text]; dup {
+		return nil, p.errf(name, "duplicate constant %q", name.text)
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	n := p.cur()
+	if n.kind != tokNumber {
+		return nil, p.errf(n, "expected constant value, found %q", n.text)
+	}
+	p.bump()
+	v, err := strconv.Atoi(n.text)
+	if err != nil {
+		return nil, p.errf(n, "invalid constant value %q", n.text)
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	p.consts[name.text] = v
+	return &constDecl{name: name.text, value: v, line: kw.line, col: kw.col}, nil
+}
+
+// parseField parses "type ['*'...] name ['[' N ']'...] ';'".
+func (p *parser) parseField() (*fieldDecl, error) {
+	te, err := p.parseTypeExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") {
+		p.bump()
+		te.ptr++
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if te.base == "string" && te.strCap == 0 && p.atPunct("<") {
+		capN, err := p.parseCap()
+		if err != nil {
+			return nil, err
+		}
+		te.strCap = capN
+	}
+	for p.atPunct("[") {
+		p.bump()
+		v, err := p.parseSize("array length")
+		if err != nil {
+			return nil, err
+		}
+		te.arrayNs = append(te.arrayNs, v)
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &fieldDecl{name: name.text, typ: te, line: name.line, col: name.col}, nil
+}
+
+// parseTypedef parses "typedef type ['*'...] name ['[' N ']'...] ';'".
+func (p *parser) parseTypedef() (*typedefDecl, error) {
+	kw := p.bump() // typedef
+	te, err := p.parseTypeExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") {
+		p.bump()
+		te.ptr++
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if te.base == "string" && te.strCap == 0 && p.atPunct("<") {
+		capN, err := p.parseCap()
+		if err != nil {
+			return nil, err
+		}
+		te.strCap = capN
+	}
+	for p.atPunct("[") {
+		p.bump()
+		v, err := p.parseSize("array length")
+		if err != nil {
+			return nil, err
+		}
+		te.arrayNs = append(te.arrayNs, v)
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &typedefDecl{name: name.text, typ: te, line: kw.line, col: kw.col}, nil
+}

@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"interweave/internal/arch"
+)
+
+// TestQuickAllocatorModel drives the segment allocator with arbitrary
+// operation sequences and checks it against a simple model: live
+// blocks never overlap, lookups resolve, zeroing holds, and the
+// address space only grows when needed.
+func TestQuickAllocatorModel(t *testing.T) {
+	l := intArrayLayout(t, arch.AMD64(), 1)
+	fn := func(ops []uint16) bool {
+		h, err := NewHeap(arch.AMD64())
+		if err != nil {
+			return false
+		}
+		s, err := h.NewSegment("q/s")
+		if err != nil {
+			return false
+		}
+		type liveBlock struct {
+			b *Block
+		}
+		var live []liveBlock
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				// Free a pseudo-random live block.
+				idx := int(op/3) % len(live)
+				if err := s.Free(live[idx].b); err != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			count := 1 + int(op%97)
+			b, err := s.Alloc(l, count, "")
+			if err != nil {
+				return false
+			}
+			// Fresh blocks are zeroed.
+			v, err := h.View(b.Addr, b.Size())
+			if err != nil {
+				return false
+			}
+			for _, x := range v {
+				if x != 0 {
+					return false
+				}
+			}
+			// Scribble so reuse without zeroing would be caught.
+			if err := h.RawWrite(b.Addr, []byte{0xFF, 0xEE, 0xDD, 0xCC}); err != nil {
+				return false
+			}
+			live = append(live, liveBlock{b})
+		}
+		// Invariants over the survivors.
+		if s.NumBlocks() != len(live) {
+			return false
+		}
+		for i := range live {
+			a := live[i].b
+			got, ok := h.BlockAt(a.Addr + Addr(a.Size()/2))
+			if !ok || got != a {
+				return false
+			}
+			for j := i + 1; j < len(live); j++ {
+				b := live[j].b
+				if a.Addr < b.End() && b.Addr < a.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

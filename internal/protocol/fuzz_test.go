@@ -1,0 +1,89 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"interweave/internal/wire"
+)
+
+// TestQuickReadFrameNeverPanics feeds arbitrary bytes to the frame
+// reader; it must fail cleanly, never panic, and never allocate
+// absurd buffers.
+func TestQuickReadFrameNeverPanics(t *testing.T) {
+	fn := func(data []byte) bool {
+		r := bytes.NewReader(data)
+		for {
+			_, _, err := ReadFrame(r)
+			if err != nil {
+				return true
+			}
+			if r.Len() == 0 {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMutatedFrames takes valid frames and flips random bytes:
+// decoding must never panic.
+func TestQuickMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	msgs := []Message{
+		&Hello{ClientName: "c", Profile: "p"},
+		&OpenReply{Version: 3, Dir: &wire.SegmentDiff{
+			Version: 3,
+			News:    []wire.NewBlock{{Serial: 1, DescSerial: 1, Count: 2, Name: "n"}},
+			Blocks: []wire.BlockDiff{{Serial: 1, Runs: []wire.Run{
+				{Start: 0, Count: 2, Data: []byte{0, 0, 0, 1, 0, 0, 0, 2}},
+			}}},
+		}},
+		&WriteUnlock{Seg: "s", Diff: &wire.SegmentDiff{Version: 9}},
+		&Notify{Seg: "s", Version: 7},
+	}
+	for trial := 0; trial < 800; trial++ {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, uint32(trial), msgs[trial%len(msgs)]); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			raw[rng.Intn(len(raw))] ^= byte(1 << rng.Intn(8))
+		}
+		// Must not panic; errors are fine.
+		_, _, _ = ReadFrame(bytes.NewReader(raw))
+	}
+}
+
+// TestTruncatedFramesAllPrefixes decodes every prefix of a complex
+// frame.
+func TestTruncatedFramesAllPrefixes(t *testing.T) {
+	var buf bytes.Buffer
+	msg := &OpenReply{Created: true, Version: 5, Dir: &wire.SegmentDiff{
+		Version: 5,
+		Descs:   []wire.DescDef{{Serial: 1, Bytes: []byte{1, 2, 3}}},
+		News:    []wire.NewBlock{{Serial: 1, DescSerial: 1, Count: 4, Name: "blk"}},
+		Freed:   []uint32{9},
+		Blocks: []wire.BlockDiff{{Serial: 1, Runs: []wire.Run{
+			{Start: 0, Count: 1, Data: []byte{0, 0, 0, 1}},
+		}}},
+	}}
+	if err := WriteFrame(&buf, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(raw))
+		}
+	}
+	// The full frame still decodes.
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("full frame: %v", err)
+	}
+}

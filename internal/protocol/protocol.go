@@ -1,0 +1,542 @@
+// Package protocol defines the framed message protocol InterWeave
+// clients and servers speak over TCP.
+//
+// Every frame is: a 32-bit payload length, a 32-bit request id, a
+// one-byte message type, and the payload. Replies echo the request
+// id; server-initiated notifications use id zero, so one cached
+// connection per server carries synchronous lock traffic and
+// asynchronous invalidations concurrently (the segment table's cached
+// TCP connection of Figure 2).
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/wire"
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types. Requests flow client to server; Notify flows server
+// to client with request id zero.
+const (
+	TypeInvalid MsgType = iota
+	TypeHello
+	TypeOpenSegment
+	TypeOpenReply
+	TypeReadLock
+	TypeWriteLock
+	TypeLockReply
+	TypeReadUnlock
+	TypeWriteUnlock
+	TypeVersionReply
+	TypeSubscribe
+	TypeUnsubscribe
+	TypeAck
+	TypeNotify
+	TypeError
+	TypeTxCommit
+	TypeTxReply
+)
+
+// maxFrame bounds a single frame; segments larger than this must be
+// pathological.
+const maxFrame = 1 << 30
+
+// Message is one protocol message.
+type Message interface {
+	// Type returns the frame type byte.
+	Type() MsgType
+	// encode appends the payload encoding.
+	encode(buf []byte) []byte
+	// decode parses the payload.
+	decode(r *wire.Reader) error
+}
+
+// Hello introduces a client.
+type Hello struct {
+	ClientName string
+	Profile    string
+}
+
+// OpenSegment opens (or creates) a segment.
+type OpenSegment struct {
+	Name   string
+	Create bool
+}
+
+// OpenReply answers OpenSegment. Dir is a metadata-only segment diff
+// (descriptors and block directory, no data runs) that lets the
+// client reserve local space for the segment without fetching data —
+// the behaviour IW_mip_to_ptr requires.
+type OpenReply struct {
+	Created bool
+	Version uint32
+	Dir     *wire.SegmentDiff
+}
+
+// ReadLock asks to acquire a read lock under a coherence policy.
+type ReadLock struct {
+	Seg         string
+	HaveVersion uint32
+	Policy      coherence.Policy
+}
+
+// WriteLock asks to acquire the exclusive write lock.
+type WriteLock struct {
+	Seg         string
+	HaveVersion uint32
+	Policy      coherence.Policy
+}
+
+// LockReply grants a lock. Diff, when non-nil, brings the client's
+// cached copy up to date first.
+type LockReply struct {
+	Fresh bool // cached copy was recent enough; Diff is nil
+	Diff  *wire.SegmentDiff
+}
+
+// ReadUnlock releases a read lock.
+type ReadUnlock struct {
+	Seg string
+}
+
+// WriteUnlock releases the write lock, carrying the collected diff.
+type WriteUnlock struct {
+	Seg  string
+	Diff *wire.SegmentDiff
+}
+
+// VersionReply acknowledges a WriteUnlock with the version the diff
+// produced.
+type VersionReply struct {
+	Version uint32
+}
+
+// Subscribe asks the server to notify when the policy's bound is
+// exceeded relative to HaveVersion.
+type Subscribe struct {
+	Seg         string
+	HaveVersion uint32
+	Policy      coherence.Policy
+}
+
+// Unsubscribe cancels a subscription.
+type Unsubscribe struct {
+	Seg string
+}
+
+// TxCommit atomically publishes several segments' write critical
+// sections: every segment advances, or none does. The session must
+// hold the write lock on each named segment. (The paper lists
+// transaction support as work in progress; this implements the
+// single-server case.)
+type TxCommit struct {
+	Parts []WriteUnlock
+}
+
+// TxReply acknowledges a TxCommit with the new version of each part,
+// in order.
+type TxReply struct {
+	Versions []uint32
+}
+
+// Ack is an empty success reply.
+type Ack struct{}
+
+// Notify tells a client its cached copy of Seg is no longer recent
+// enough; Version is the server's current version.
+type Notify struct {
+	Seg     string
+	Version uint32
+}
+
+// ErrorReply reports a request failure.
+type ErrorReply struct {
+	Code uint16
+	Text string
+}
+
+// Error codes.
+const (
+	CodeUnknown uint16 = iota + 1
+	CodeNoSegment
+	CodeBadRequest
+	CodeLockState
+	CodeInternal
+)
+
+// Error implements the error interface so ErrorReply can travel as an
+// error.
+func (e *ErrorReply) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Text)
+}
+
+// Type implementations.
+
+func (*Hello) Type() MsgType        { return TypeHello }
+func (*OpenSegment) Type() MsgType  { return TypeOpenSegment }
+func (*OpenReply) Type() MsgType    { return TypeOpenReply }
+func (*ReadLock) Type() MsgType     { return TypeReadLock }
+func (*WriteLock) Type() MsgType    { return TypeWriteLock }
+func (*LockReply) Type() MsgType    { return TypeLockReply }
+func (*ReadUnlock) Type() MsgType   { return TypeReadUnlock }
+func (*WriteUnlock) Type() MsgType  { return TypeWriteUnlock }
+func (*VersionReply) Type() MsgType { return TypeVersionReply }
+func (*Subscribe) Type() MsgType    { return TypeSubscribe }
+func (*Unsubscribe) Type() MsgType  { return TypeUnsubscribe }
+func (*TxCommit) Type() MsgType     { return TypeTxCommit }
+func (*TxReply) Type() MsgType      { return TypeTxReply }
+func (*Ack) Type() MsgType          { return TypeAck }
+func (*Notify) Type() MsgType       { return TypeNotify }
+func (*ErrorReply) Type() MsgType   { return TypeError }
+
+func appendPolicy(buf []byte, p coherence.Policy) []byte {
+	buf = wire.AppendU8(buf, byte(p.Model))
+	buf = wire.AppendU32(buf, p.Delta)
+	buf = wire.AppendU64(buf, uint64(p.Window.Nanoseconds()))
+	buf = wire.AppendF64(buf, p.Percent)
+	return buf
+}
+
+func readPolicy(r *wire.Reader) coherence.Policy {
+	return coherence.Policy{
+		Model:   coherence.Model(r.U8()),
+		Delta:   r.U32(),
+		Window:  time.Duration(r.U64()),
+		Percent: r.F64(),
+	}
+}
+
+func appendDiff(buf []byte, d *wire.SegmentDiff) []byte {
+	if d == nil {
+		return wire.AppendU8(buf, 0)
+	}
+	buf = wire.AppendU8(buf, 1)
+	return d.Marshal(buf)
+}
+
+func readDiff(r *wire.Reader) (*wire.SegmentDiff, error) {
+	if r.U8() == 0 {
+		return nil, r.Err()
+	}
+	return wire.ReadSegmentDiff(r)
+}
+
+func (m *Hello) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.ClientName)
+	return wire.AppendString(buf, m.Profile)
+}
+
+func (m *Hello) decode(r *wire.Reader) error {
+	m.ClientName, m.Profile = r.Str(), r.Str()
+	return r.Err()
+}
+
+func (m *OpenSegment) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Name)
+	if m.Create {
+		return wire.AppendU8(buf, 1)
+	}
+	return wire.AppendU8(buf, 0)
+}
+
+func (m *OpenSegment) decode(r *wire.Reader) error {
+	m.Name = r.Str()
+	m.Create = r.U8() == 1
+	return r.Err()
+}
+
+func (m *OpenReply) encode(buf []byte) []byte {
+	if m.Created {
+		buf = wire.AppendU8(buf, 1)
+	} else {
+		buf = wire.AppendU8(buf, 0)
+	}
+	buf = wire.AppendU32(buf, m.Version)
+	return appendDiff(buf, m.Dir)
+}
+
+func (m *OpenReply) decode(r *wire.Reader) error {
+	m.Created = r.U8() == 1
+	m.Version = r.U32()
+	var err error
+	m.Dir, err = readDiff(r)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+func (m *ReadLock) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendU32(buf, m.HaveVersion)
+	return appendPolicy(buf, m.Policy)
+}
+
+func (m *ReadLock) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	m.HaveVersion = r.U32()
+	m.Policy = readPolicy(r)
+	return r.Err()
+}
+
+func (m *WriteLock) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendU32(buf, m.HaveVersion)
+	return appendPolicy(buf, m.Policy)
+}
+
+func (m *WriteLock) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	m.HaveVersion = r.U32()
+	m.Policy = readPolicy(r)
+	return r.Err()
+}
+
+func (m *LockReply) encode(buf []byte) []byte {
+	if m.Fresh {
+		buf = wire.AppendU8(buf, 1)
+	} else {
+		buf = wire.AppendU8(buf, 0)
+	}
+	return appendDiff(buf, m.Diff)
+}
+
+func (m *LockReply) decode(r *wire.Reader) error {
+	m.Fresh = r.U8() == 1
+	var err error
+	m.Diff, err = readDiff(r)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+func (m *ReadUnlock) encode(buf []byte) []byte { return wire.AppendString(buf, m.Seg) }
+
+func (m *ReadUnlock) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	return r.Err()
+}
+
+func (m *WriteUnlock) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	return appendDiff(buf, m.Diff)
+}
+
+func (m *WriteUnlock) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	var err error
+	m.Diff, err = readDiff(r)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+func (m *VersionReply) encode(buf []byte) []byte { return wire.AppendU32(buf, m.Version) }
+
+func (m *VersionReply) decode(r *wire.Reader) error {
+	m.Version = r.U32()
+	return r.Err()
+}
+
+func (m *Subscribe) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendU32(buf, m.HaveVersion)
+	return appendPolicy(buf, m.Policy)
+}
+
+func (m *Subscribe) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	m.HaveVersion = r.U32()
+	m.Policy = readPolicy(r)
+	return r.Err()
+}
+
+func (m *Unsubscribe) encode(buf []byte) []byte { return wire.AppendString(buf, m.Seg) }
+
+func (m *Unsubscribe) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	return r.Err()
+}
+
+func (m *TxCommit) encode(buf []byte) []byte {
+	buf = wire.AppendU16(buf, uint16(len(m.Parts)))
+	for i := range m.Parts {
+		buf = m.Parts[i].encode(buf)
+	}
+	return buf
+}
+
+func (m *TxCommit) decode(r *wire.Reader) error {
+	n := r.U16()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Parts = make([]WriteUnlock, n)
+	for i := range m.Parts {
+		if err := m.Parts[i].decode(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+func (m *TxReply) encode(buf []byte) []byte {
+	buf = wire.AppendU16(buf, uint16(len(m.Versions)))
+	for _, v := range m.Versions {
+		buf = wire.AppendU32(buf, v)
+	}
+	return buf
+}
+
+func (m *TxReply) decode(r *wire.Reader) error {
+	n := r.U16()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Versions = make([]uint32, n)
+	for i := range m.Versions {
+		m.Versions[i] = r.U32()
+	}
+	return r.Err()
+}
+
+func (*Ack) encode(buf []byte) []byte    { return buf }
+func (*Ack) decode(_ *wire.Reader) error { return nil }
+
+func (m *Notify) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	return wire.AppendU32(buf, m.Version)
+}
+
+func (m *Notify) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	m.Version = r.U32()
+	return r.Err()
+}
+
+func (m *ErrorReply) encode(buf []byte) []byte {
+	buf = wire.AppendU16(buf, m.Code)
+	return wire.AppendString(buf, m.Text)
+}
+
+func (m *ErrorReply) decode(r *wire.Reader) error {
+	m.Code = r.U16()
+	m.Text = r.Str()
+	return r.Err()
+}
+
+// newMessage allocates the concrete type for a frame type byte.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeOpenSegment:
+		return &OpenSegment{}, nil
+	case TypeOpenReply:
+		return &OpenReply{}, nil
+	case TypeReadLock:
+		return &ReadLock{}, nil
+	case TypeWriteLock:
+		return &WriteLock{}, nil
+	case TypeLockReply:
+		return &LockReply{}, nil
+	case TypeReadUnlock:
+		return &ReadUnlock{}, nil
+	case TypeWriteUnlock:
+		return &WriteUnlock{}, nil
+	case TypeVersionReply:
+		return &VersionReply{}, nil
+	case TypeSubscribe:
+		return &Subscribe{}, nil
+	case TypeUnsubscribe:
+		return &Unsubscribe{}, nil
+	case TypeTxCommit:
+		return &TxCommit{}, nil
+	case TypeTxReply:
+		return &TxReply{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeNotify:
+		return &Notify{}, nil
+	case TypeError:
+		return &ErrorReply{}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", t)
+	}
+}
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, id uint32, m Message) error {
+	payload := m.encode(make([]byte, 0, 64))
+	if len(payload) > maxFrame {
+		return fmt.Errorf("protocol: frame of %d bytes exceeds limit", len(payload))
+	}
+	hdr := make([]byte, 0, 9+len(payload))
+	hdr = wire.AppendU32(hdr, uint32(len(payload)))
+	hdr = wire.AppendU32(hdr, id)
+	hdr = wire.AppendU8(hdr, byte(m.Type()))
+	hdr = append(hdr, payload...)
+	_, err := w.Write(hdr)
+	if err != nil {
+		return fmt.Errorf("protocol: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (uint32, Message, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("protocol: reading frame header: %w", err)
+	}
+	n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+	id := uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+	}
+	m, err := newMessage(MsgType(hdr[8]))
+	if err != nil {
+		return 0, nil, err
+	}
+	// Read the payload in bounded chunks: a corrupt length field must
+	// fail after at most one chunk, not provoke a gigabyte
+	// allocation.
+	const chunk = 1 << 20
+	initial := int(n)
+	if initial > chunk {
+		initial = chunk
+	}
+	payload := make([]byte, 0, initial)
+	for remaining := int(n); remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		off := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, fmt.Errorf("protocol: reading frame payload: %w", err)
+		}
+		remaining -= step
+	}
+	wr := wire.NewReader(payload)
+	if err := m.decode(wr); err != nil {
+		return 0, nil, fmt.Errorf("protocol: decoding %T: %w", m, err)
+	}
+	if wr.Remaining() != 0 {
+		return 0, nil, fmt.Errorf("protocol: %d trailing bytes in %T frame", wr.Remaining(), m)
+	}
+	return id, m, nil
+}

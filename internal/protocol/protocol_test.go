@@ -1,0 +1,223 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/wire"
+)
+
+func roundtrip(t *testing.T, id uint32, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, id, m); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	gotID, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if gotID != id {
+		t.Errorf("id = %d, want %d", gotID, id)
+	}
+	if got.Type() != m.Type() {
+		t.Errorf("type = %v, want %v", got.Type(), m.Type())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes left in buffer", buf.Len())
+	}
+	return got
+}
+
+func sampleDiff() *wire.SegmentDiff {
+	return &wire.SegmentDiff{
+		Version: 3,
+		News:    []wire.NewBlock{{Serial: 1, DescSerial: 2, Count: 5, Name: "head"}},
+		Blocks: []wire.BlockDiff{{Serial: 1, Runs: []wire.Run{
+			{Start: 0, Count: 1, Data: []byte{0, 0, 0, 7}},
+		}}},
+	}
+}
+
+func TestHelloRoundtrip(t *testing.T) {
+	got := roundtrip(t, 1, &Hello{ClientName: "miner", Profile: "sparc-32be"}).(*Hello)
+	if got.ClientName != "miner" || got.Profile != "sparc-32be" {
+		t.Errorf("Hello = %+v", got)
+	}
+}
+
+func TestOpenSegmentRoundtrip(t *testing.T) {
+	got := roundtrip(t, 2, &OpenSegment{Name: "host/list", Create: true}).(*OpenSegment)
+	if got.Name != "host/list" || !got.Create {
+		t.Errorf("OpenSegment = %+v", got)
+	}
+}
+
+func TestOpenReplyRoundtrip(t *testing.T) {
+	got := roundtrip(t, 3, &OpenReply{Created: true, Version: 9, Dir: sampleDiff()}).(*OpenReply)
+	if !got.Created || got.Version != 9 || got.Dir == nil || got.Dir.News[0].Name != "head" {
+		t.Errorf("OpenReply = %+v", got)
+	}
+	got2 := roundtrip(t, 4, &OpenReply{Version: 1}).(*OpenReply)
+	if got2.Dir != nil {
+		t.Error("nil Dir became non-nil")
+	}
+}
+
+func TestLockMessagesRoundtrip(t *testing.T) {
+	pol := coherence.Policy{Model: coherence.ModelDiff, Delta: 4, Window: 3 * time.Second, Percent: 12.5}
+	rl := roundtrip(t, 5, &ReadLock{Seg: "s", HaveVersion: 7, Policy: pol}).(*ReadLock)
+	if rl.Seg != "s" || rl.HaveVersion != 7 || rl.Policy != pol {
+		t.Errorf("ReadLock = %+v", rl)
+	}
+	wl := roundtrip(t, 6, &WriteLock{Seg: "s", HaveVersion: 8, Policy: pol}).(*WriteLock)
+	if wl.HaveVersion != 8 || wl.Policy != pol {
+		t.Errorf("WriteLock = %+v", wl)
+	}
+	lr := roundtrip(t, 7, &LockReply{Fresh: false, Diff: sampleDiff()}).(*LockReply)
+	if lr.Fresh || lr.Diff == nil || lr.Diff.Version != 3 {
+		t.Errorf("LockReply = %+v", lr)
+	}
+	lrf := roundtrip(t, 8, &LockReply{Fresh: true}).(*LockReply)
+	if !lrf.Fresh || lrf.Diff != nil {
+		t.Errorf("fresh LockReply = %+v", lrf)
+	}
+	ru := roundtrip(t, 9, &ReadUnlock{Seg: "s"}).(*ReadUnlock)
+	if ru.Seg != "s" {
+		t.Errorf("ReadUnlock = %+v", ru)
+	}
+	wu := roundtrip(t, 10, &WriteUnlock{Seg: "s", Diff: sampleDiff()}).(*WriteUnlock)
+	if wu.Seg != "s" || wu.Diff == nil {
+		t.Errorf("WriteUnlock = %+v", wu)
+	}
+	vr := roundtrip(t, 11, &VersionReply{Version: 42}).(*VersionReply)
+	if vr.Version != 42 {
+		t.Errorf("VersionReply = %+v", vr)
+	}
+}
+
+func TestSubscriptionMessagesRoundtrip(t *testing.T) {
+	pol := coherence.Delta(2)
+	sub := roundtrip(t, 12, &Subscribe{Seg: "s", HaveVersion: 3, Policy: pol}).(*Subscribe)
+	if sub.Seg != "s" || sub.HaveVersion != 3 || sub.Policy != pol {
+		t.Errorf("Subscribe = %+v", sub)
+	}
+	uns := roundtrip(t, 13, &Unsubscribe{Seg: "s"}).(*Unsubscribe)
+	if uns.Seg != "s" {
+		t.Errorf("Unsubscribe = %+v", uns)
+	}
+	n := roundtrip(t, 0, &Notify{Seg: "s", Version: 5}).(*Notify)
+	if n.Seg != "s" || n.Version != 5 {
+		t.Errorf("Notify = %+v", n)
+	}
+}
+
+func TestTxMessagesRoundtrip(t *testing.T) {
+	tx := roundtrip(t, 20, &TxCommit{Parts: []WriteUnlock{
+		{Seg: "a", Diff: sampleDiff()},
+		{Seg: "b"},
+	}}).(*TxCommit)
+	if len(tx.Parts) != 2 || tx.Parts[0].Seg != "a" || tx.Parts[0].Diff == nil || tx.Parts[1].Diff != nil {
+		t.Errorf("TxCommit = %+v", tx)
+	}
+	tr := roundtrip(t, 21, &TxReply{Versions: []uint32{4, 9}}).(*TxReply)
+	if len(tr.Versions) != 2 || tr.Versions[0] != 4 || tr.Versions[1] != 9 {
+		t.Errorf("TxReply = %+v", tr)
+	}
+	empty := roundtrip(t, 22, &TxCommit{}).(*TxCommit)
+	if len(empty.Parts) != 0 {
+		t.Errorf("empty TxCommit = %+v", empty)
+	}
+}
+
+func TestAckAndErrorRoundtrip(t *testing.T) {
+	roundtrip(t, 14, &Ack{})
+	e := roundtrip(t, 15, &ErrorReply{Code: CodeNoSegment, Text: "no such segment"}).(*ErrorReply)
+	if e.Code != CodeNoSegment || e.Text != "no such segment" {
+		t.Errorf("ErrorReply = %+v", e)
+	}
+	if e.Error() == "" {
+		t.Error("ErrorReply.Error() empty")
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Hello{ClientName: "a", Profile: "x86-32le"},
+		&OpenSegment{Name: "s"},
+		&Notify{Seg: "s", Version: 1},
+	}
+	for i, m := range msgs {
+		if err := WriteFrame(&buf, uint32(i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		id, m, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if id != uint32(i) || m.Type() != msgs[i].Type() {
+			t.Errorf("frame %d: id=%d type=%v", i, id, m.Type())
+		}
+	}
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// Truncated header.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, io.EOF) {
+		t.Errorf("truncated header: %v", err)
+	}
+	// Unknown type.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0xEE})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Oversized frame length.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1, byte(TypeAck)})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 9, 0, 0, 0, 1, byte(TypeNotify), 1, 2})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Trailing bytes inside a frame.
+	buf.Reset()
+	if err := WriteFrame(&buf, 1, &Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[3] = 1 // claim 1 payload byte
+	withPad := append(append([]byte{}, raw...), 0xAA)
+	if _, _, err := ReadFrame(bytes.NewReader(withPad)); err == nil {
+		t.Error("trailing payload bytes accepted")
+	}
+}
+
+func TestPolicyEncodingAllModels(t *testing.T) {
+	policies := []coherence.Policy{
+		coherence.Full(),
+		coherence.Delta(7),
+		coherence.Temporal(90 * time.Millisecond),
+		coherence.Diff(33.25),
+	}
+	for _, p := range policies {
+		got := roundtrip(t, 1, &ReadLock{Seg: "s", Policy: p}).(*ReadLock)
+		if got.Policy != p {
+			t.Errorf("policy roundtrip = %+v, want %+v", got.Policy, p)
+		}
+	}
+}

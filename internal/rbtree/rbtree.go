@@ -1,0 +1,328 @@
+// Package rbtree implements a generic left-leaning red-black tree.
+//
+// InterWeave keeps an extensive set of balanced search trees in its
+// metadata: per-segment trees of blocks sorted by serial number and by
+// symbolic name, per-subsegment trees of blocks sorted by address, a
+// global tree of subsegments sorted by address, and server-side trees
+// of blocks and version markers (paper Sections 3.1 and 3.2). This
+// package is the single implementation backing all of them.
+package rbtree
+
+// Tree is an ordered map from K to V implemented as a left-leaning
+// red-black (2-3) tree. The zero value is not usable; construct with
+// New. Tree is not safe for concurrent use.
+type Tree[K, V any] struct {
+	cmp  func(a, b K) int
+	root *node[K, V]
+	size int
+}
+
+type node[K, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty tree ordered by cmp, which must return a
+// negative value if a<b, zero if a==b, and a positive value if a>b.
+func New[K, V any](cmp func(a, b K) int) *Tree[K, V] {
+	return &Tree[K, V]{cmp: cmp}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Clear removes all entries.
+func (t *Tree[K, V]) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	x := t.root
+	for x != nil {
+		c := t.cmp(key, x.key)
+		switch {
+		case c < 0:
+			x = x.left
+		case c > 0:
+			x = x.right
+		default:
+			return x.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value stored under key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	t.root = t.put(t.root, key, val)
+	t.root.red = false
+}
+
+func (t *Tree[K, V]) put(h *node[K, V], key K, val V) *node[K, V] {
+	if h == nil {
+		t.size++
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	c := t.cmp(key, h.key)
+	switch {
+	case c < 0:
+		h.left = t.put(h.left, key, val)
+	case c > 0:
+		h.right = t.put(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h)
+}
+
+// Delete removes the entry stored under key, reporting whether it was
+// present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = t.del(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[K, V]) del(h *node[K, V], key K) *node[K, V] {
+	if t.cmp(key, h.key) < 0 {
+		if !isRed(h.left) && h.left != nil && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.del(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if t.cmp(key, h.key) == 0 && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && h.right != nil && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if t.cmp(key, h.key) == 0 {
+			m := minNode(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.del(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	m := minNode(t.root)
+	return m.key, m.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.root == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	x := t.root
+	for x.right != nil {
+		x = x.right
+	}
+	return x.key, x.val, true
+}
+
+// Floor returns the largest entry with key <= want. This is the
+// lookup that maps an address to the subsegment or block spanning it.
+func (t *Tree[K, V]) Floor(want K) (K, V, bool) {
+	var best *node[K, V]
+	x := t.root
+	for x != nil {
+		c := t.cmp(want, x.key)
+		switch {
+		case c < 0:
+			x = x.left
+		case c > 0:
+			best = x
+			x = x.right
+		default:
+			return x.key, x.val, true
+		}
+	}
+	if best == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceiling returns the smallest entry with key >= want.
+func (t *Tree[K, V]) Ceiling(want K) (K, V, bool) {
+	var best *node[K, V]
+	x := t.root
+	for x != nil {
+		c := t.cmp(want, x.key)
+		switch {
+		case c < 0:
+			best = x
+			x = x.left
+		case c > 0:
+			x = x.right
+		default:
+			return x.key, x.val, true
+		}
+	}
+	if best == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	return best.key, best.val, true
+}
+
+// Ascend calls fn for each entry in ascending key order until fn
+// returns false.
+func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K, V any](h *node[K, V], fn func(K, V) bool) bool {
+	if h == nil {
+		return true
+	}
+	if !ascend(h.left, fn) {
+		return false
+	}
+	if !fn(h.key, h.val) {
+		return false
+	}
+	return ascend(h.right, fn)
+}
+
+// AscendFrom calls fn for each entry with key >= from in ascending
+// order until fn returns false.
+func (t *Tree[K, V]) AscendFrom(from K, fn func(K, V) bool) {
+	t.ascendFrom(t.root, from, fn)
+}
+
+func (t *Tree[K, V]) ascendFrom(h *node[K, V], from K, fn func(K, V) bool) bool {
+	if h == nil {
+		return true
+	}
+	c := t.cmp(from, h.key)
+	if c < 0 {
+		if !t.ascendFrom(h.left, from, fn) {
+			return false
+		}
+	}
+	if c <= 0 {
+		if !fn(h.key, h.val) {
+			return false
+		}
+	}
+	return t.ascendFrom(h.right, from, fn)
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func minNode[K, V any](h *node[K, V]) *node[K, V] {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+func isRed[K, V any](h *node[K, V]) bool { return h != nil && h.red }
+
+func rotateLeft[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[K, V any](h *node[K, V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func moveRedLeft[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func fixUp[K, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}

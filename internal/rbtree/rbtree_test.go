@@ -1,0 +1,366 @@
+package rbtree
+
+import (
+	"cmp"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) int { return cmp.Compare(a, b) })
+}
+
+// checkInvariants verifies the left-leaning red-black invariants:
+// BST order, no right-leaning red links, no consecutive red links on
+// the left, and uniform black height.
+func checkInvariants[K, V any](t *testing.T, tr *Tree[K, V]) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	if tr.root.red {
+		t.Fatal("root is red")
+	}
+	var blackHeight = -1
+	var walk func(h *node[K, V], blacks int, lo, hi *K)
+	walk = func(h *node[K, V], blacks int, lo, hi *K) {
+		if h == nil {
+			if blackHeight == -1 {
+				blackHeight = blacks
+			} else if blacks != blackHeight {
+				t.Fatalf("uneven black height: %d vs %d", blacks, blackHeight)
+			}
+			return
+		}
+		if lo != nil && tr.cmp(h.key, *lo) <= 0 {
+			t.Fatal("BST order violated (low bound)")
+		}
+		if hi != nil && tr.cmp(h.key, *hi) >= 0 {
+			t.Fatal("BST order violated (high bound)")
+		}
+		if isRed(h.right) {
+			t.Fatal("right-leaning red link")
+		}
+		if isRed(h) && isRed(h.left) {
+			t.Fatal("two consecutive red links")
+		}
+		if !h.red {
+			blacks++
+		}
+		walk(h.left, blacks, lo, &h.key)
+		walk(h.right, blacks, &h.key, hi)
+	}
+	walk(tr.root, 0, nil, nil)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(7); ok {
+		t.Error("Get on empty tree reported presence")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree reported presence")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree reported presence")
+	}
+	if _, _, ok := tr.Floor(3); ok {
+		t.Error("Floor on empty tree reported presence")
+	}
+	if _, _, ok := tr.Ceiling(3); ok {
+		t.Error("Ceiling on empty tree reported presence")
+	}
+	if tr.Delete(3) {
+		t.Error("Delete on empty tree reported true")
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := intTree()
+	tr.Put(1, "a")
+	tr.Put(2, "b")
+	tr.Put(1, "c")
+	if tr.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", tr.Len())
+	}
+	if v, ok := tr.Get(1); !ok || v != "c" {
+		t.Errorf("Get(1) = %q,%v; want c,true", v, ok)
+	}
+	if v, ok := tr.Get(2); !ok || v != "b" {
+		t.Errorf("Get(2) = %q,%v; want b,true", v, ok)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Put(k, "")
+	}
+	tests := []struct {
+		want    int
+		floorK  int
+		floorOK bool
+		ceilK   int
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{25, 20, true, 30, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, tt := range tests {
+		k, _, ok := tr.Floor(tt.want)
+		if ok != tt.floorOK || (ok && k != tt.floorK) {
+			t.Errorf("Floor(%d) = %d,%v; want %d,%v", tt.want, k, ok, tt.floorK, tt.floorOK)
+		}
+		k, _, ok = tr.Ceiling(tt.want)
+		if ok != tt.ceilOK || (ok && k != tt.ceilK) {
+			t.Errorf("Ceiling(%d) = %d,%v; want %d,%v", tt.want, k, ok, tt.ceilK, tt.ceilOK)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 1, 9, 3} {
+		tr.Put(k, "")
+	}
+	if k, _, _ := tr.Min(); k != 1 {
+		t.Errorf("Min = %d, want 1", k)
+	}
+	if k, _, _ := tr.Max(); k != 9 {
+		t.Errorf("Max = %d, want 9", k)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	keys := []int{8, 3, 10, 1, 6, 14, 4, 7, 13}
+	for _, k := range keys {
+		tr.Put(k, "")
+	}
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false, want true", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("second Delete(%d) = true, want false", k)
+		}
+		if tr.Len() != len(keys)-i-1 {
+			t.Fatalf("Len() = %d after %d deletes", tr.Len(), i+1)
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(100)
+	for _, k := range perm {
+		tr.Put(k, "")
+	}
+	var got []int
+	tr.Ascend(func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.IntsAreSorted(got) || len(got) != 100 {
+		t.Errorf("Ascend produced %d keys, sorted=%v", len(got), sort.IntsAreSorted(got))
+	}
+	var n int
+	tr.Ascend(func(int, string) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d, want 10", n)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := intTree()
+	for k := 0; k < 50; k += 5 {
+		tr.Put(k, "")
+	}
+	var got []int
+	tr.AscendFrom(12, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{15, 20, 25, 30, 35, 40, 45}
+	if len(got) != len(want) {
+		t.Fatalf("AscendFrom(12) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendFrom(12) = %v, want %v", got, want)
+		}
+	}
+	// From an existing key: inclusive.
+	got = got[:0]
+	tr.AscendFrom(15, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 15 {
+		t.Errorf("AscendFrom(15) first = %v, want 15 first", got)
+	}
+}
+
+func TestKeysAndClear(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{3, 1, 2} {
+		tr.Put(k, "")
+	}
+	keys := tr.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Errorf("Keys() = %v", keys)
+	}
+	tr.Clear()
+	if tr.Len() != 0 || len(tr.Keys()) != 0 {
+		t.Error("Clear did not empty the tree")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, int](func(a, b string) int { return cmp.Compare(a, b) })
+	words := []string{"segment", "block", "subsegment", "marker", "diff"}
+	for i, w := range words {
+		tr.Put(w, i)
+	}
+	for i, w := range words {
+		if v, ok := tr.Get(w); !ok || v != i {
+			t.Errorf("Get(%q) = %d,%v; want %d,true", w, v, ok, i)
+		}
+	}
+	if k, _, _ := tr.Min(); k != "block" {
+		t.Errorf("Min = %q, want block", k)
+	}
+}
+
+// TestQuickAgainstReference drives random operation sequences and
+// compares every observable behaviour against a map+sort reference
+// model, checking RB invariants throughout.
+func TestQuickAgainstReference(t *testing.T) {
+	fn := func(ops []int16) bool {
+		tr := New[int16, int16](func(a, b int16) int { return cmp.Compare(a, b) })
+		ref := make(map[int16]int16)
+		for i, op := range ops {
+			k := op / 4
+			switch op % 4 {
+			case 0, 1: // insert twice as often as delete
+				tr.Put(k, int16(i))
+				ref[k] = int16(i)
+			case 2:
+				if tr.Delete(k) != func() bool { _, ok := ref[k]; return ok }() {
+					return false
+				}
+				delete(ref, k)
+			case 3:
+				v, ok := tr.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		checkInvariants(t, tr)
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var sorted []int16
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		keys := tr.Keys()
+		if len(keys) != len(sorted) {
+			return false
+		}
+		for i := range keys {
+			if keys[i] != sorted[i] {
+				return false
+			}
+		}
+		// Floor/Ceiling spot checks against the sorted reference.
+		for probe := int16(-50); probe < 50; probe += 7 {
+			fk, _, fok := tr.Floor(probe)
+			var wantK int16
+			wantOK := false
+			for _, k := range sorted {
+				if k <= probe {
+					wantK, wantOK = k, true
+				}
+			}
+			if fok != wantOK || (fok && fk != wantK) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequential(t *testing.T) {
+	tr := intTree()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Put(i, "")
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i += 2 {
+		tr.Delete(i)
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d after deletes, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) = %v", i, ok)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Put(i&0xffff, "")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 1<<16; i++ {
+		tr.Put(i, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & 0xffff)
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 1<<16; i++ {
+		tr.Put(i*8, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Floor((i & 0xffff) * 8)
+	}
+}

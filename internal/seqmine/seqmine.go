@@ -1,0 +1,327 @@
+// Package seqmine implements the incremental sequence-mining workload
+// of the paper's datamining experiment (Section 4.4).
+//
+// The original evaluation used a transaction database generated with
+// the IBM Quest tools [Srikant & Agrawal]: 100,000 customers, 1,000
+// items, an average of 1.25 transactions per customer, and 5,000
+// item-sequence patterns of average length 4, about 20 MB in total.
+// Those tools are not redistributable, so this package provides a
+// generator reproducing the published parameters: customer sequences
+// are assembled from a pattern pool (with noise), so that frequent
+// sequential patterns exist and a summary lattice built over a
+// database prefix changes slowly as more of the database is
+// processed — the property Figure 7 depends on.
+//
+// The summary structure is a lattice of item sequences: each node
+// represents a potentially meaningful sequence and holds pointers to
+// the sequences of which it is a prefix, exactly the pointer-rich
+// shape the paper shares through an InterWeave segment.
+package seqmine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Config parameterizes the synthetic database. The zero value is
+// useless; use DefaultConfig (the paper's parameters) or
+// SmallConfig for tests.
+type Config struct {
+	// Customers is the number of customer sequences.
+	Customers int
+	// Items is the size of the item vocabulary.
+	Items int
+	// Patterns is the size of the frequent-pattern pool.
+	Patterns int
+	// PatternLen is the average pattern length.
+	PatternLen int
+	// TransPerCustomer is the average number of transactions per
+	// customer, times 100 (125 = 1.25).
+	TransPerCustomer100 int
+	// ItemsPerTrans is the average transaction size.
+	ItemsPerTrans int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig reproduces the paper's database: ~20 MB, 100k
+// customers, 1000 items, 5000 patterns of average length 4.
+func DefaultConfig() Config {
+	return Config{
+		Customers:           100000,
+		Items:               1000,
+		Patterns:            5000,
+		PatternLen:          4,
+		TransPerCustomer100: 125,
+		ItemsPerTrans:       40,
+		Seed:                20030519,
+	}
+}
+
+// SmallConfig is a scaled-down database for unit tests.
+func SmallConfig() Config {
+	return Config{
+		Customers:           2000,
+		Items:               100,
+		Patterns:            50,
+		PatternLen:          4,
+		TransPerCustomer100: 125,
+		ItemsPerTrans:       12,
+		Seed:                42,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	switch {
+	case c.Customers < 1:
+		return fmt.Errorf("seqmine: customers %d", c.Customers)
+	case c.Items < 2:
+		return fmt.Errorf("seqmine: items %d", c.Items)
+	case c.Patterns < 1:
+		return fmt.Errorf("seqmine: patterns %d", c.Patterns)
+	case c.PatternLen < 2:
+		return fmt.Errorf("seqmine: pattern length %d", c.PatternLen)
+	case c.TransPerCustomer100 < 100:
+		return fmt.Errorf("seqmine: transactions per customer %d/100", c.TransPerCustomer100)
+	case c.ItemsPerTrans < 1:
+		return fmt.Errorf("seqmine: items per transaction %d", c.ItemsPerTrans)
+	}
+	return nil
+}
+
+// Database is a synthetic transaction database: one item sequence per
+// customer (transactions concatenated in time order).
+type Database struct {
+	// Sequences holds each customer's item sequence.
+	Sequences [][]int32
+	cfg       Config
+}
+
+// Generate builds a deterministic synthetic database.
+func Generate(cfg Config) (*Database, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Pattern pool: geometric-ish lengths around PatternLen, items
+	// Zipf-flavoured so some patterns are much more popular.
+	patterns := make([][]int32, cfg.Patterns)
+	for i := range patterns {
+		n := 2 + rng.Intn(2*cfg.PatternLen-3) // mean ~PatternLen
+		p := make([]int32, n)
+		for j := range p {
+			p[j] = int32(rng.Intn(cfg.Items))
+		}
+		patterns[i] = p
+	}
+	db := &Database{Sequences: make([][]int32, cfg.Customers), cfg: cfg}
+	for cust := range db.Sequences {
+		ntrans := 1
+		if rng.Intn(100) < cfg.TransPerCustomer100-100 {
+			ntrans = 2
+		}
+		var seq []int32
+		for t := 0; t < ntrans; t++ {
+			remaining := cfg.ItemsPerTrans/2 + rng.Intn(cfg.ItemsPerTrans+1)
+			for remaining > 0 {
+				if rng.Intn(100) < 70 {
+					// Embed a pattern (popularity-skewed pick).
+					p := patterns[skewedIndex(rng, len(patterns))]
+					seq = append(seq, p...)
+					remaining -= len(p)
+				} else {
+					seq = append(seq, int32(rng.Intn(cfg.Items)))
+					remaining--
+				}
+			}
+		}
+		db.Sequences[cust] = seq
+	}
+	return db, nil
+}
+
+// skewedIndex picks an index with a popularity skew (low indices far
+// more likely), approximating the Quest generator's pattern weights.
+func skewedIndex(rng *rand.Rand, n int) int {
+	// Square a uniform variate: density ~ 1/(2*sqrt(x)).
+	f := rng.Float64()
+	return int(f * f * float64(n))
+}
+
+// SizeBytes reports the database's nominal size (4 bytes per item
+// occurrence), the quantity the paper's "20MB" refers to.
+func (db *Database) SizeBytes() int {
+	n := 0
+	for _, s := range db.Sequences {
+		n += 4 * len(s)
+	}
+	return n
+}
+
+// Slice returns customers [lo, hi) as a sub-database view.
+func (db *Database) Slice(lo, hi int) [][]int32 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(db.Sequences) {
+		hi = len(db.Sequences)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return db.Sequences[lo:hi]
+}
+
+// Node is one lattice node: a sequence extension by one item, with
+// its support count and its extensions (the sequences it prefixes).
+type Node struct {
+	// Item extends the parent's sequence.
+	Item int32
+	// Support counts occurrences in the processed prefix of the
+	// database.
+	Support int32
+	// Children maps the next item to the extended sequence's node.
+	Children map[int32]*Node
+}
+
+// Lattice is the mining summary: a prefix lattice of item sequences
+// with support counts, grown incrementally as database slices are
+// processed.
+type Lattice struct {
+	// Root's children are the length-1 sequences.
+	Root *Node
+	// MaxLen bounds mined sequence length (the paper's average
+	// pattern length is 4).
+	MaxLen int
+	// MinSupport prunes sequences during Compact.
+	MinSupport int32
+	// ExtendMin suppresses noise: a sequence is only extended with
+	// new children once its own support reaches this bound (the
+	// usual progressive-deepening trick; keeps the lattice to
+	// "potentially meaningful" sequences as in the paper).
+	ExtendMin int32
+	nodes     int
+}
+
+// NewLattice returns an empty lattice mining sequences up to maxLen.
+func NewLattice(maxLen int, minSupport int32) (*Lattice, error) {
+	if maxLen < 1 {
+		return nil, fmt.Errorf("seqmine: max sequence length %d", maxLen)
+	}
+	if minSupport < 1 {
+		return nil, fmt.Errorf("seqmine: min support %d", minSupport)
+	}
+	return &Lattice{
+		Root:       &Node{Children: make(map[int32]*Node)},
+		MaxLen:     maxLen,
+		MinSupport: minSupport,
+		ExtendMin:  minSupport,
+	}, nil
+}
+
+// Nodes returns the number of sequence nodes (excluding the root).
+func (l *Lattice) Nodes() int { return l.nodes }
+
+// AddSequences folds customer sequences into the lattice: every
+// window of length <= MaxLen is counted. This is the incremental
+// update the database server performs with each additional 1% of the
+// database.
+func (l *Lattice) AddSequences(seqs [][]int32) {
+	for _, seq := range seqs {
+		for i := range seq {
+			node := l.Root
+			end := i + l.MaxLen
+			if end > len(seq) {
+				end = len(seq)
+			}
+			for j := i; j < end; j++ {
+				item := seq[j]
+				child, ok := node.Children[item]
+				if !ok {
+					if node != l.Root && node.Support < l.ExtendMin {
+						break // not yet meaningful enough to extend
+					}
+					child = &Node{Item: item, Children: make(map[int32]*Node)}
+					node.Children[item] = child
+					l.nodes++
+				}
+				child.Support++
+				node = child
+			}
+		}
+	}
+}
+
+// Compact prunes sequences below MinSupport, bounding lattice growth
+// the way the paper's summary structure keeps only "potentially
+// meaningful" sequences.
+func (l *Lattice) Compact() int {
+	removed := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for item, child := range n.Children {
+			if child.Support < l.MinSupport {
+				removed += countNodes(child)
+				delete(n.Children, item)
+				continue
+			}
+			walk(child)
+		}
+	}
+	walk(l.Root)
+	l.nodes -= removed
+	return removed
+}
+
+func countNodes(n *Node) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// Frequent returns the frequent sequences (support >= min), sorted by
+// descending support then lexicographically — the mining query a
+// client runs against the shared summary.
+func (l *Lattice) Frequent(min int32, limit int) []Pattern {
+	var out []Pattern
+	var walk func(n *Node, prefix []int32)
+	walk = func(n *Node, prefix []int32) {
+		for _, c := range n.Children {
+			seq := append(append([]int32{}, prefix...), c.Item)
+			if c.Support >= min {
+				out = append(out, Pattern{Seq: seq, Support: c.Support})
+			}
+			walk(c, seq)
+		}
+	}
+	walk(l.Root, nil)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return lessSeq(out[i].Seq, out[j].Seq)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Pattern is a mined sequence with its support.
+type Pattern struct {
+	Seq     []int32
+	Support int32
+}
+
+func lessSeq(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,358 @@
+package seqmine
+
+import (
+	"net"
+	"testing"
+
+	"interweave"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+	if err := SmallConfig().Validate(); err != nil {
+		t.Errorf("small config: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Customers: 10, Items: 1, Patterns: 1, PatternLen: 4, TransPerCustomer100: 125, ItemsPerTrans: 5},
+		{Customers: 10, Items: 10, Patterns: 0, PatternLen: 4, TransPerCustomer100: 125, ItemsPerTrans: 5},
+		{Customers: 10, Items: 10, Patterns: 1, PatternLen: 1, TransPerCustomer100: 125, ItemsPerTrans: 5},
+		{Customers: 10, Items: 10, Patterns: 1, PatternLen: 4, TransPerCustomer100: 50, ItemsPerTrans: 5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	db1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db1.Sequences) != cfg.Customers {
+		t.Fatalf("customers = %d", len(db1.Sequences))
+	}
+	for i := range db1.Sequences {
+		if len(db1.Sequences[i]) != len(db2.Sequences[i]) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	// Items within vocabulary.
+	for _, s := range db1.Sequences {
+		for _, it := range s {
+			if it < 0 || it >= int32(cfg.Items) {
+				t.Fatalf("item %d out of vocabulary", it)
+			}
+		}
+	}
+	if db1.SizeBytes() < cfg.Customers*cfg.ItemsPerTrans {
+		t.Errorf("database suspiciously small: %d bytes", db1.SizeBytes())
+	}
+}
+
+func TestGenerateDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size database in -short mode")
+	}
+	db, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := db.SizeBytes()
+	// The paper's database is ~20 MB.
+	if size < 15<<20 || size > 40<<20 {
+		t.Errorf("database size = %d MB, want ~20", size>>20)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	db, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Slice(0, 10); len(got) != 10 {
+		t.Errorf("Slice(0,10) = %d", len(got))
+	}
+	if got := db.Slice(-5, 3); len(got) != 3 {
+		t.Errorf("Slice(-5,3) = %d", len(got))
+	}
+	if got := db.Slice(10, 5); got != nil {
+		t.Errorf("inverted slice = %d", len(got))
+	}
+	if got := db.Slice(0, 1<<30); len(got) != len(db.Sequences) {
+		t.Errorf("overlong slice = %d", len(got))
+	}
+}
+
+func TestLatticeCountsSupports(t *testing.T) {
+	l, err := NewLattice(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtendMin = 1
+	l.AddSequences([][]int32{{1, 2, 3}, {1, 2}, {1}})
+	// Support of <1> = 3, <1,2> = 2, <1,2,3> = 1.
+	n1 := l.Root.Children[1]
+	if n1 == nil || n1.Support != 3 {
+		t.Fatalf("support(<1>) = %v", n1)
+	}
+	n12 := n1.Children[2]
+	if n12 == nil || n12.Support != 2 {
+		t.Fatalf("support(<1,2>) = %v", n12)
+	}
+	if n12.Children[3] == nil || n12.Children[3].Support != 1 {
+		t.Fatal("support(<1,2,3>) wrong")
+	}
+	// Windows start at every position: <2>, <2,3>, <3> counted too.
+	if l.Root.Children[2] == nil || l.Root.Children[2].Support != 2 {
+		t.Error("window starts missing")
+	}
+	if l.Nodes() != 6 {
+		t.Errorf("nodes = %d, want 6", l.Nodes())
+	}
+}
+
+func TestLatticeMaxLen(t *testing.T) {
+	l, err := NewLattice(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddSequences([][]int32{{5, 6, 7}})
+	n := l.Root.Children[5]
+	if n == nil || n.Children[6] == nil {
+		t.Fatal("depth-2 sequence missing")
+	}
+	if n.Children[6].Children[7] != nil {
+		t.Error("sequence longer than MaxLen recorded")
+	}
+}
+
+func TestExtendMinSuppressesNoise(t *testing.T) {
+	l, err := NewLattice(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One occurrence: the level-1 node appears, but no extension
+	// happens until support reaches ExtendMin.
+	l.AddSequences([][]int32{{9, 8}})
+	if l.Root.Children[9] == nil {
+		t.Fatal("level-1 node missing")
+	}
+	if l.Root.Children[9].Children[8] != nil {
+		t.Error("noise chain extended below ExtendMin")
+	}
+	// After enough repetitions the extension is allowed.
+	for i := 0; i < 5; i++ {
+		l.AddSequences([][]int32{{9, 8}})
+	}
+	if l.Root.Children[9].Children[8] == nil {
+		t.Error("extension still suppressed above ExtendMin")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	l, err := NewLattice(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtendMin = 1
+	l.AddSequences([][]int32{{1, 2}, {1, 2}, {1, 2}, {1, 3}})
+	before := l.Nodes()
+	removed := l.Compact()
+	if removed == 0 {
+		t.Error("nothing pruned")
+	}
+	if l.Nodes() != before-removed {
+		t.Errorf("node count inconsistent: %d != %d-%d", l.Nodes(), before, removed)
+	}
+	if l.Root.Children[1].Children[3] != nil {
+		t.Error("infrequent <1,3> survived")
+	}
+	if l.Root.Children[1].Children[2] == nil {
+		t.Error("frequent <1,2> pruned")
+	}
+}
+
+func TestFrequent(t *testing.T) {
+	l, err := NewLattice(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtendMin = 1
+	l.AddSequences([][]int32{{1, 2}, {1, 2}, {3}})
+	pats := l.Frequent(2, 0)
+	if len(pats) != 2 { // <1> and <1,2>... plus <2> also has support 2
+		// <2> appears as window start in both sequences: support 2.
+		t.Logf("patterns: %+v", pats)
+	}
+	if len(pats) == 0 || pats[0].Support < pats[len(pats)-1].Support {
+		t.Error("patterns not sorted by support")
+	}
+	limited := l.Frequent(1, 2)
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: %d", len(limited))
+	}
+}
+
+func TestMiningFindsPlantedPatterns(t *testing.T) {
+	cfg := SmallConfig()
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLattice(cfg.PatternLen, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.AddSequences(db.Sequences)
+	pats := l.Frequent(int32(cfg.Customers/20), 50)
+	if len(pats) == 0 {
+		t.Fatal("no frequent patterns found in a pattern-planted database")
+	}
+	// The most frequent length>=2 pattern should have support far
+	// above random chance (customers/items^2 expectation).
+	var best *Pattern
+	for i := range pats {
+		if len(pats[i].Seq) >= 2 {
+			best = &pats[i]
+			break
+		}
+	}
+	if best == nil {
+		t.Fatal("no multi-item frequent pattern")
+	}
+	if int(best.Support) < cfg.Customers/20 {
+		t.Errorf("top pattern support %d too low", best.Support)
+	}
+}
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestPublishSubscribeRoundtrip shares a lattice through a real
+// server and checks the mining client sees identical frequent
+// patterns, across heterogeneous machine profiles.
+func TestPublishSubscribeRoundtrip(t *testing.T) {
+	addr := startServer(t)
+	seg := addr + "/lattice"
+
+	cw, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileAlpha()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	pub, err := NewPublisher(cw, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := SmallConfig()
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLattice(cfg.PatternLen, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := cfg.Customers / 2
+	l.AddSequences(db.Slice(0, half))
+	if err := pub.Publish(l); err != nil {
+		t.Fatal(err)
+	}
+
+	cr, err := interweave.NewClient(interweave.Options{Profile: interweave.ProfileSparc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cr.Close()
+	sub, err := NewSubscriber(cr, seg, interweave.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPats := l.Frequent(50, 20)
+	gotPats := got.Frequent(50, 20)
+	if len(wantPats) != len(gotPats) {
+		t.Fatalf("pattern counts: want %d, got %d", len(wantPats), len(gotPats))
+	}
+	for i := range wantPats {
+		if wantPats[i].Support != gotPats[i].Support || !eqSeq(wantPats[i].Seq, gotPats[i].Seq) {
+			t.Fatalf("pattern %d: want %+v, got %+v", i, wantPats[i], gotPats[i])
+		}
+	}
+
+	// Incremental update: one more slice, republish, resync.
+	l.AddSequences(db.Slice(half, half+cfg.Customers/100))
+	if err := pub.Publish(l); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := sub.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := l.Frequent(50, 20)
+	g2 := got2.Frequent(50, 20)
+	if len(w2) != len(g2) {
+		t.Fatalf("after update: want %d patterns, got %d", len(w2), len(g2))
+	}
+	for i := range w2 {
+		if w2[i].Support != g2[i].Support || !eqSeq(w2[i].Seq, g2[i].Seq) {
+			t.Fatalf("after update, pattern %d differs", i)
+		}
+	}
+}
+
+func eqSeq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPublisherNilClient(t *testing.T) {
+	if _, err := NewPublisher(nil, "x/y"); err == nil {
+		t.Error("NewPublisher(nil) succeeded")
+	}
+	if _, err := NewSubscriber(nil, "x/y", interweave.Full()); err == nil {
+		t.Error("NewSubscriber(nil) succeeded")
+	}
+}
+
+func TestNewLatticeErrors(t *testing.T) {
+	if _, err := NewLattice(0, 1); err == nil {
+		t.Error("maxLen 0 accepted")
+	}
+	if _, err := NewLattice(3, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+}

@@ -1,0 +1,366 @@
+package seqmine
+
+import (
+	"errors"
+	"fmt"
+
+	"interweave"
+)
+
+// This file binds the mining summary to InterWeave: the database
+// server publishes the lattice into a shared segment as a pointer-
+// rich structure (approximately one third of the local-format space
+// is pointers, as the paper reports), and mining clients walk it
+// under a relaxed coherence policy.
+
+// fanout is the number of direct child pointers per shared node;
+// nodes with more children chain through an overflow node. A node
+// occupies 3 + fanout + 1 primitive units; keeping that within one
+// server subblock (16 units) means a support update never drags
+// unrelated subblocks along.
+const fanout = 4
+
+// NodeType declares the shared lattice node:
+//
+//	struct lnode {
+//	    int32  item;      // -1 for the root and overflow nodes
+//	    int32  support;
+//	    int32  nchildren; // valid child slots in this node
+//	    lnode *children[4];
+//	    lnode *overflow;
+//	};
+func NodeType() (*interweave.Type, error) {
+	n := interweave.NewStruct("lnode")
+	pn, err := interweave.PointerTo(n)
+	if err != nil {
+		return nil, err
+	}
+	children, err := interweave.ArrayOf(pn, fanout)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.SetFields(
+		interweave.Field{Name: "item", Type: interweave.Int32()},
+		interweave.Field{Name: "support", Type: interweave.Int32()},
+		interweave.Field{Name: "nchildren", Type: interweave.Int32()},
+		interweave.Field{Name: "children", Type: children},
+		interweave.Field{Name: "overflow", Type: pn},
+	); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// pubNode tracks the shared image of one lattice node.
+type pubNode struct {
+	ref interweave.Ref
+	// kids lists children in publication (slot) order.
+	kids []*Node
+	// overflow chains extra child slots.
+	overflow *pubNode
+	support  int32
+}
+
+// Publisher incrementally mirrors a lattice into an InterWeave
+// segment (the database server side of Section 4.4).
+type Publisher struct {
+	c     *interweave.Client
+	h     *interweave.Segment
+	nodeT *interweave.Type
+	nodes map[*Node]*pubNode
+	root  *pubNode
+}
+
+// NewPublisher opens (or creates) the segment that will hold the
+// summary structure.
+func NewPublisher(c *interweave.Client, segName string) (*Publisher, error) {
+	if c == nil {
+		return nil, errors.New("seqmine: nil client")
+	}
+	nodeT, err := NodeType()
+	if err != nil {
+		return nil, err
+	}
+	h, err := c.Open(segName)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{
+		c:     c,
+		h:     h,
+		nodeT: nodeT,
+		nodes: make(map[*Node]*pubNode),
+	}, nil
+}
+
+// Segment returns the published segment handle.
+func (p *Publisher) Segment() *interweave.Segment { return p.h }
+
+// Publish pushes the lattice's current state: new nodes are
+// allocated, changed supports rewritten, and new child pointers
+// wired. One Publish is one write critical section, so all its
+// changes travel in a single wire-format diff.
+func (p *Publisher) Publish(l *Lattice) error {
+	if err := p.c.WLock(p.h); err != nil {
+		return err
+	}
+	err := p.publishLocked(l)
+	if uerr := p.c.WUnlock(p.h); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
+}
+
+func (p *Publisher) publishLocked(l *Lattice) error {
+	if p.root == nil {
+		pn, err := p.allocNode(-1, "root")
+		if err != nil {
+			return err
+		}
+		p.root = pn
+		p.nodes[l.Root] = pn
+	}
+	return p.syncNode(l.Root, p.nodes[l.Root])
+}
+
+// syncNode brings one shared node (and recursively its subtree) in
+// line with the in-memory lattice.
+func (p *Publisher) syncNode(n *Node, pn *pubNode) error {
+	if n.Support != pn.support {
+		f, err := pn.ref.Field("support")
+		if err != nil {
+			return err
+		}
+		if err := f.SetI32(n.Support); err != nil {
+			return err
+		}
+		pn.support = n.Support
+	}
+	// Wire any children not yet published, appending to slot order.
+	if len(pn.kids) < len(n.Children) {
+		published := make(map[*Node]bool, len(pn.kids))
+		for _, k := range pn.kids {
+			published[k] = true
+		}
+		for _, child := range n.Children {
+			if published[child] {
+				continue
+			}
+			cpn, err := p.allocNode(child.Item, "")
+			if err != nil {
+				return err
+			}
+			p.nodes[child] = cpn
+			if err := p.appendChild(pn, cpn); err != nil {
+				return err
+			}
+			pn.kids = append(pn.kids, child)
+		}
+	}
+	for _, child := range n.Children {
+		cpn, ok := p.nodes[child]
+		if !ok {
+			return fmt.Errorf("seqmine: child of item %d unpublished", n.Item)
+		}
+		if err := p.syncNode(child, cpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocNode allocates one shared node block.
+func (p *Publisher) allocNode(item int32, name string) (*pubNode, error) {
+	blk, err := p.c.Alloc(p.h, p.nodeT, 1, name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := interweave.RefTo(p.c, blk)
+	if err != nil {
+		return nil, err
+	}
+	f, err := r.Field("item")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.SetI32(item); err != nil {
+		return nil, err
+	}
+	return &pubNode{ref: r}, nil
+}
+
+// appendChild stores a child pointer in the next free slot, chasing
+// or creating overflow nodes as needed.
+func (p *Publisher) appendChild(pn *pubNode, child *pubNode) error {
+	slot := len(pn.kids)
+	target := pn
+	for slot >= fanout {
+		if target.overflow == nil {
+			ov, err := p.allocNode(-1, "")
+			if err != nil {
+				return err
+			}
+			f, err := target.ref.Field("overflow")
+			if err != nil {
+				return err
+			}
+			if err := f.SetPtr(ov.ref.Addr()); err != nil {
+				return err
+			}
+			target.overflow = ov
+		}
+		target = target.overflow
+		slot -= fanout
+	}
+	arr, err := target.ref.Field("children")
+	if err != nil {
+		return err
+	}
+	cell, err := arr.Elem(slot)
+	if err != nil {
+		return err
+	}
+	if err := cell.SetPtr(child.ref.Addr()); err != nil {
+		return err
+	}
+	nc, err := target.ref.Field("nchildren")
+	if err != nil {
+		return err
+	}
+	return nc.SetI32(int32(slot + 1))
+}
+
+// Subscriber reads a published lattice from a segment (the mining
+// client side).
+type Subscriber struct {
+	c     *interweave.Client
+	h     *interweave.Segment
+	nodeT *interweave.Type
+}
+
+// NewSubscriber opens the shared summary for mining queries under the
+// given coherence policy.
+func NewSubscriber(c *interweave.Client, segName string, policy interweave.Policy) (*Subscriber, error) {
+	if c == nil {
+		return nil, errors.New("seqmine: nil client")
+	}
+	nodeT, err := NodeType()
+	if err != nil {
+		return nil, err
+	}
+	h, err := c.Open(segName)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetPolicy(h, policy); err != nil {
+		return nil, err
+	}
+	return &Subscriber{c: c, h: h, nodeT: nodeT}, nil
+}
+
+// Segment returns the subscribed segment handle.
+func (s *Subscriber) Segment() *interweave.Segment { return s.h }
+
+// Client returns the subscriber's client.
+func (s *Subscriber) Client() *interweave.Client { return s.c }
+
+// Snapshot reads the shared lattice into an in-memory Lattice under a
+// read lock (acquiring whatever update the coherence policy
+// requires).
+func (s *Subscriber) Snapshot() (*Lattice, error) {
+	if err := s.c.RLock(s.h); err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.c.RUnlock(s.h) }()
+	rootBlk, ok := s.h.Mem().BlockByName("root")
+	if !ok {
+		return nil, errors.New("seqmine: shared lattice has no root")
+	}
+	r, err := interweave.RefTo(s.c, rootBlk)
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewLattice(4, 1)
+	if err != nil {
+		return nil, err
+	}
+	root, n, err := s.readNode(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.Root = root
+	l.nodes = n - 1 // root does not count
+	return l, nil
+}
+
+// readNode reads one shared node and its subtree, returning the node
+// count.
+func (s *Subscriber) readNode(r interweave.Ref, depth int) (*Node, int, error) {
+	if depth > 64 {
+		return nil, 0, errors.New("seqmine: shared lattice too deep (cycle?)")
+	}
+	node := &Node{Children: make(map[int32]*Node)}
+	f, err := r.Field("item")
+	if err != nil {
+		return nil, 0, err
+	}
+	if node.Item, err = f.I32(); err != nil {
+		return nil, 0, err
+	}
+	if f, err = r.Field("support"); err != nil {
+		return nil, 0, err
+	}
+	if node.Support, err = f.I32(); err != nil {
+		return nil, 0, err
+	}
+	count := 1
+	// Walk child slots, chasing overflow chains.
+	cur := r
+	for {
+		nc, err := cur.Field("nchildren")
+		if err != nil {
+			return nil, 0, err
+		}
+		n, err := nc.I32()
+		if err != nil {
+			return nil, 0, err
+		}
+		arr, err := cur.Field("children")
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < int(n) && i < fanout; i++ {
+			cell, err := arr.Elem(i)
+			if err != nil {
+				return nil, 0, err
+			}
+			child, err := cell.Deref()
+			if err != nil {
+				return nil, 0, err
+			}
+			if child.IsNil() {
+				continue
+			}
+			cn, cc, err := s.readNode(child, depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			node.Children[cn.Item] = cn
+			count += cc
+		}
+		ovf, err := cur.Field("overflow")
+		if err != nil {
+			return nil, 0, err
+		}
+		ov, err := ovf.Deref()
+		if err != nil {
+			return nil, 0, err
+		}
+		if ov.IsNil() {
+			break
+		}
+		cur = ov
+		count++ // the overflow node itself
+	}
+	return node, count, nil
+}

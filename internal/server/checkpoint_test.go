@@ -1,0 +1,164 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/protocol"
+)
+
+func TestCheckpointToDirAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startTestServer(t, Options{CheckpointDir: dir})
+	rc := dialRaw(t, addr)
+	rc.call(&protocol.OpenSegment{Name: "alpha/one", Create: true})
+	rc.call(&protocol.WriteLock{Seg: "alpha/one", Policy: coherence.Full()})
+	rc.call(&protocol.WriteUnlock{Seg: "alpha/one", Diff: intCreateDiff(t, 1, 5, 6, 7)})
+	rc.call(&protocol.OpenSegment{Name: "beta/two", Create: true})
+
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ckptSuffix) {
+			files++
+		}
+	}
+	if files != 2 {
+		t.Fatalf("checkpoint produced %d files, want 2", files)
+	}
+
+	// A fresh server instance restores both segments.
+	srv2, err := New(Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := srv2.SegmentNames()
+	if len(names) != 2 {
+		t.Fatalf("restored %d segments: %v", len(names), names)
+	}
+	seg := srv2.SegmentSnapshot("alpha/one")
+	if seg == nil || seg.Version != 1 || seg.NumBlocks() != 1 {
+		t.Fatalf("restored segment = %+v", seg)
+	}
+	d, err := seg.CollectDiff(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != 1 || d.Blocks[0].Runs[0].Count != 3 {
+		t.Fatalf("restored data = %+v", d.Blocks)
+	}
+}
+
+func TestRestoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.SegmentNames()) != 0 {
+		t.Error("foreign files produced segments")
+	}
+}
+
+func TestRestoreRejectsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef"+ckptSuffix), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{CheckpointDir: dir}); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestPeriodicCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startTestServer(t, Options{
+		CheckpointDir:   dir,
+		CheckpointEvery: 20 * time.Millisecond,
+	})
+	_ = srv
+	rc := dialRaw(t, addr)
+	rc.call(&protocol.OpenSegment{Name: "p/seg", Create: true})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := os.ReadDir(dir)
+		if err == nil {
+			found := false
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ckptSuffix) {
+					found = true
+				}
+			}
+			if found {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpoint never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseCheckpointsFinalState(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateSegment("c/final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Options{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.SegmentNames(); len(got) != 1 || got[0] != "c/final" {
+		t.Errorf("after close, restored = %v", got)
+	}
+	// Double close is a no-op.
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateSegmentDuplicates(t *testing.T) {
+	srv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateSegment("x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateSegment("x/y"); err == nil {
+		t.Error("duplicate CreateSegment succeeded")
+	}
+	if srv.SegmentSnapshot("nope") != nil {
+		t.Error("SegmentSnapshot of missing segment non-nil")
+	}
+	if srv.Addr() != nil {
+		t.Error("Addr non-nil before Serve")
+	}
+}

@@ -1,0 +1,577 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/protocol"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CheckpointDir, when non-empty, is where segments are
+	// checkpointed; an existing checkpoint is restored at startup.
+	CheckpointDir string
+	// CheckpointEvery triggers periodic checkpoints when positive.
+	CheckpointEvery time.Duration
+	// DiffCacheCap overrides the per-segment diff cache capacity
+	// when non-zero (negative disables caching).
+	DiffCacheCap int
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Server is an InterWeave server managing an arbitrary number of
+// segments.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     map[string]*segState
+	sessions map[*session]struct{}
+	ln       net.Listener
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// segState couples a segment with its lock and subscription state.
+type segState struct {
+	seg     *Segment
+	writer  *session
+	waiters []*waiter
+	subs    map[*session]*subState
+}
+
+type subState struct {
+	policy      coherence.Policy
+	haveVersion uint32
+	unitsSince  int
+	notified    bool
+}
+
+type waiter struct {
+	sess *session
+	ch   chan struct{}
+}
+
+// session is one connected client.
+type session struct {
+	srv     *Server
+	conn    net.Conn
+	sendMu  sync.Mutex
+	name    string
+	profile string
+}
+
+// New returns a server, restoring any checkpoint found in
+// opts.CheckpointDir.
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		opts:     opts,
+		segs:     make(map[string]*segState),
+		sessions: make(map[*session]struct{}),
+		done:     make(chan struct{}),
+	}
+	if opts.CheckpointDir != "" {
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if s.opts.CheckpointEvery > 0 && s.opts.CheckpointDir != "" {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return net.ErrClosed
+			default:
+				return fmt.Errorf("server: accept: %w", err)
+			}
+		}
+		sess := &session{srv: s, conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.serve()
+		}()
+	}
+}
+
+// Addr returns the listener address, for clients started against
+// ":0".
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the server down: stops accepting, closes every session,
+// waits for handlers to finish, and takes a final checkpoint.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	ln := s.ln
+	for sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+	if s.opts.CheckpointDir != "" {
+		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			if err := s.Checkpoint(); err != nil {
+				s.logf("checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// getSeg returns the named segment state, creating it if requested.
+func (s *Server) getSeg(name string, create bool) (*segState, error) {
+	st, ok := s.segs[name]
+	if ok {
+		return st, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("no segment %q", name)
+	}
+	st = &segState{seg: NewSegment(name), subs: make(map[*session]*subState)}
+	if s.opts.DiffCacheCap != 0 {
+		n := s.opts.DiffCacheCap
+		if n < 0 {
+			n = 0
+		}
+		st.seg.SetDiffCacheCap(n)
+	}
+	s.segs[name] = st
+	return st, nil
+}
+
+// serve runs the session's request loop.
+func (sess *session) serve() {
+	defer sess.cleanup()
+	for {
+		id, msg, err := protocol.ReadFrame(sess.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sess.srv.logf("session %s: %v", sess.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		reply := sess.handle(msg)
+		if reply == nil {
+			continue
+		}
+		if err := sess.send(id, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (sess *session) send(id uint32, m protocol.Message) error {
+	sess.sendMu.Lock()
+	defer sess.sendMu.Unlock()
+	return protocol.WriteFrame(sess.conn, id, m)
+}
+
+func errReply(code uint16, format string, args ...any) *protocol.ErrorReply {
+	return &protocol.ErrorReply{Code: code, Text: fmt.Sprintf(format, args...)}
+}
+
+// handle dispatches one request and returns the reply.
+func (sess *session) handle(msg protocol.Message) protocol.Message {
+	switch m := msg.(type) {
+	case *protocol.Hello:
+		sess.name, sess.profile = m.ClientName, m.Profile
+		return &protocol.Ack{}
+	case *protocol.OpenSegment:
+		return sess.handleOpen(m)
+	case *protocol.ReadLock:
+		return sess.handleReadLock(m)
+	case *protocol.WriteLock:
+		return sess.handleWriteLock(m)
+	case *protocol.ReadUnlock:
+		return &protocol.Ack{}
+	case *protocol.WriteUnlock:
+		return sess.handleWriteUnlock(m)
+	case *protocol.Subscribe:
+		return sess.handleSubscribe(m)
+	case *protocol.Unsubscribe:
+		return sess.handleUnsubscribe(m)
+	case *protocol.TxCommit:
+		return sess.handleTxCommit(m)
+	default:
+		return errReply(protocol.CodeBadRequest, "unexpected message %T", msg)
+	}
+}
+
+func (sess *session) handleOpen(m *protocol.OpenSegment) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existed := s.segs[m.Name] != nil
+	st, err := s.getSeg(m.Name, m.Create)
+	if err != nil {
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	return &protocol.OpenReply{
+		Created: !existed,
+		Version: st.seg.Version,
+		Dir:     st.seg.Directory(),
+	}
+}
+
+// freshnessReply decides whether the client needs an update and
+// builds the LockReply.
+func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherence.Policy) protocol.Message {
+	seg := st.seg
+	unitsModified := 0
+	if policy.Model == coherence.ModelDiff {
+		if sub, ok := st.subs[sess]; ok && sub.haveVersion == haveVer {
+			unitsModified = sub.unitsSince
+		} else {
+			unitsModified = seg.UnitsModifiedSince(haveVer)
+		}
+	}
+	if !policy.ShouldUpdate(haveVer, seg.Version, unitsModified, seg.TotalUnits()) {
+		return &protocol.LockReply{Fresh: true}
+	}
+	d, err := seg.CollectDiff(haveVer)
+	if err != nil {
+		return errReply(protocol.CodeInternal, "collecting diff: %v", err)
+	}
+	if d == nil {
+		return &protocol.LockReply{Fresh: true}
+	}
+	// The client is now current: refresh its subscription state.
+	if sub, ok := st.subs[sess]; ok {
+		sub.haveVersion = seg.Version
+		sub.unitsSince = 0
+		sub.notified = false
+	}
+	return &protocol.LockReply{Diff: d}
+}
+
+func (sess *session) handleReadLock(m *protocol.ReadLock) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	reply := freshnessReply(st, sess, m.HaveVersion, m.Policy)
+	if lr, ok := reply.(*protocol.LockReply); ok && lr.Fresh {
+		if sub, subbed := st.subs[sess]; subbed {
+			sub.notified = false
+		}
+	}
+	return reply
+}
+
+func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		s.mu.Unlock()
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	if st.writer == sess {
+		s.mu.Unlock()
+		return errReply(protocol.CodeLockState, "write lock already held")
+	}
+	for st.writer != nil {
+		w := &waiter{sess: sess, ch: make(chan struct{})}
+		st.waiters = append(st.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-s.done:
+			return errReply(protocol.CodeInternal, "server shutting down")
+		}
+		s.mu.Lock()
+		if st.writer == sess {
+			break // the releaser handed the lock directly to us
+		}
+		// Our wait was cancelled (session cleanup raced); try again.
+	}
+	st.writer = sess
+	// A writer always works against the current version.
+	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full())
+	if _, isErr := reply.(*protocol.ErrorReply); isErr {
+		releaseWriter(st, sess)
+	}
+	s.mu.Unlock()
+	return reply
+}
+
+// releaseWriter releases sess's write lock, handing it directly to
+// the first queued waiter. The direct handoff makes the queue truly
+// FIFO: the lock never appears free while waiters exist, so a late
+// arrival cannot barge in front of them.
+func releaseWriter(st *segState, sess *session) {
+	if st.writer != sess {
+		return
+	}
+	if len(st.waiters) > 0 {
+		next := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		st.writer = next.sess
+		close(next.ch)
+		return
+	}
+	st.writer = nil
+}
+
+func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		s.mu.Unlock()
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	if st.writer != sess {
+		s.mu.Unlock()
+		return errReply(protocol.CodeLockState, "write lock not held")
+	}
+	version := st.seg.Version
+	var notifications []func()
+	if m.Diff != nil && !m.Diff.Empty() {
+		newVer, modified, err := st.seg.ApplyDiff(m.Diff)
+		if err != nil {
+			releaseWriter(st, sess)
+			s.mu.Unlock()
+			return errReply(protocol.CodeBadRequest, "applying diff: %v", err)
+		}
+		version = newVer
+		notifications = updateSubscribers(st, sess, newVer, modified)
+	}
+	releaseWriter(st, sess)
+	s.mu.Unlock()
+	for _, n := range notifications {
+		n()
+	}
+	return &protocol.VersionReply{Version: version}
+}
+
+// updateSubscribers advances subscription counters after a new
+// version and returns the notification sends to perform once the
+// server lock is released.
+func updateSubscribers(st *segState, writer *session, newVer uint32, modified int) []func() {
+	var out []func()
+	seg := st.seg
+	for cl, sub := range st.subs {
+		if cl == writer {
+			// The writer's copy is the new version by construction.
+			sub.haveVersion = newVer
+			sub.unitsSince = 0
+			sub.notified = false
+			continue
+		}
+		sub.unitsSince += modified
+		if sub.notified {
+			continue
+		}
+		if sub.policy.ShouldUpdate(sub.haveVersion, newVer, sub.unitsSince, seg.TotalUnits()) {
+			sub.notified = true
+			target, name := cl, st.seg.Name
+			out = append(out, func() {
+				if err := target.send(0, &protocol.Notify{Seg: name, Version: newVer}); err != nil {
+					target.srv.logf("notify %s: %v", target.conn.RemoteAddr(), err)
+				}
+			})
+		}
+	}
+	return out
+}
+
+func (sess *session) handleSubscribe(m *protocol.Subscribe) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	if err := m.Policy.Validate(); err != nil {
+		return errReply(protocol.CodeBadRequest, "%v", err)
+	}
+	st.subs[sess] = &subState{policy: m.Policy, haveVersion: m.HaveVersion}
+	return &protocol.Ack{}
+}
+
+func (sess *session) handleUnsubscribe(m *protocol.Unsubscribe) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	delete(st.subs, sess)
+	return &protocol.Ack{}
+}
+
+// cleanup releases everything a departing session holds.
+func (sess *session) cleanup() {
+	s := sess.srv
+	_ = sess.conn.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess)
+	for _, st := range s.segs {
+		delete(st.subs, sess)
+		// Drop queued waiters belonging to this session.
+		kept := st.waiters[:0]
+		for _, w := range st.waiters {
+			if w.sess == sess {
+				close(w.ch) // its handler sees writer==nil and retries or is gone
+				continue
+			}
+			kept = append(kept, w)
+		}
+		st.waiters = kept
+		releaseWriter(st, sess)
+	}
+}
+
+// UnitsModifiedSince counts units in subblocks newer than ver — the
+// exact form of the diff-coherence bookkeeping, used when no
+// subscription counter is available.
+func (s *Segment) UnitsModifiedSince(ver uint32) int {
+	if ver >= s.Version {
+		return 0
+	}
+	n := 0
+	for e := s.head.next; e != s.tail; e = e.next {
+		b := e.blk
+		if b == nil || b.version <= ver {
+			continue
+		}
+		units := b.Units()
+		for sb, sv := range b.subVer {
+			if sv <= ver {
+				continue
+			}
+			u0 := sb * SubblockUnits
+			u1 := u0 + SubblockUnits
+			if u1 > units {
+				u1 = units
+			}
+			n += u1 - u0
+		}
+	}
+	return n
+}
+
+// SegmentSnapshot exposes a segment for tools and tests. It returns
+// nil when the segment does not exist.
+func (s *Server) SegmentSnapshot(name string) *Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.segs[name]
+	if !ok {
+		return nil
+	}
+	return st.seg
+}
+
+// CreateSegment pre-creates a segment (tools, tests, restore).
+func (s *Server) CreateSegment(name string) (*Segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segs[name]; ok {
+		return nil, fmt.Errorf("server: segment %q exists", name)
+	}
+	st, err := s.getSeg(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return st.seg, nil
+}
+
+// SegmentNames lists the segments the server manages.
+func (s *Server) SegmentNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.segs))
+	for n := range s.segs {
+		out = append(out, n)
+	}
+	return out
+}

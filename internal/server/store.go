@@ -1,0 +1,763 @@
+// Package server implements the InterWeave server: it maintains the
+// master copy of every segment it manages, tracks modifications at
+// subblock granularity, builds wire-format diffs for lagging clients,
+// arbitrates write locks, pushes coherence notifications, and
+// checkpoints segments to persistent storage (paper Section 3.2).
+//
+// To avoid an extra level of translation the server stores both data
+// and type descriptors in wire format: each primitive unit occupies a
+// fixed 8-byte cell holding its canonical value, while variable-size
+// items — strings and MIPs — are stored separately and referenced by
+// index, exactly the arrangement the paper describes for avoiding
+// data relocation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"interweave/internal/rbtree"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+)
+
+// SubblockUnits is the modification-tracking granularity: the server
+// divides large blocks into subblocks of 16 primitive data units and
+// keeps a version number per subblock (Section 3.2; the paper's
+// "artifact of subblocks" is visible in Figure 5 between ratios 1 and
+// 16).
+const SubblockUnits = 16
+
+// defaultDiffCache is how many recent per-version diffs a segment
+// caches for forwarding.
+const defaultDiffCache = 8
+
+// Blk is the server-side image of one block, stored in wire format.
+type Blk struct {
+	Serial     uint32
+	Name       string
+	DescSerial uint32
+	Count      int // elements
+	// kinds and caps describe one element's units; steps is the
+	// collapsed wire walk used for bulk translation.
+	kinds []types.Kind
+	caps  []int
+	steps []types.WireStep
+	// wirePrefix[i] is the fixed wire size of units [0,i) of one
+	// element; hasVarlen marks blocks whose estimate must inspect
+	// the variable-length items.
+	wirePrefix []int
+	hasVarlen  bool
+	// cells holds one 8-byte canonical cell per unit; for strings
+	// and MIPs the cell is a 1-based index into vars.
+	cells []uint64
+	vars  [][]byte
+	// subVer is the per-subblock version array.
+	subVer []uint32
+	// createdVer is the segment version that introduced the block.
+	createdVer uint32
+	// version is the segment version that last modified the block.
+	version uint32
+	// elem is the block's position in the segment's blk_version_list.
+	elem *listElem
+}
+
+// Units returns the block's total unit count.
+func (b *Blk) Units() int { return len(b.cells) }
+
+// Version returns the segment version that last modified the block.
+func (b *Blk) Version() uint32 { return b.version }
+
+// CreatedVersion returns the segment version that created the block.
+func (b *Blk) CreatedVersion() uint32 { return b.createdVer }
+
+// DescSerials lists the segment's registered type descriptors in
+// serial order.
+func (s *Segment) DescSerials() []uint32 {
+	out := make([]uint32, 0, len(s.descs))
+	for serial := range s.descs {
+		out = append(out, serial)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// elemUnits returns units per element.
+func (b *Blk) elemUnits() int { return len(b.kinds) }
+
+// freedEntry records one block free for lagging clients.
+type freedEntry struct {
+	version uint32
+	serial  uint32
+}
+
+// listElem is a node of the blk_version_list: a doubly linked list of
+// markers and blocks ordered by version. Markers separate sublists of
+// blocks having the same version; all blocks after the marker for
+// version v were last modified at version >= v.
+type listElem struct {
+	prev, next *listElem
+	blk        *Blk   // nil for markers and sentinels
+	marker     uint32 // version, for markers
+}
+
+// Segment is the master copy of one segment.
+type Segment struct {
+	Name    string
+	Version uint32
+	// blocks is the svr_blk_number_tree.
+	blocks *rbtree.Tree[uint32, *Blk]
+	// byName resolves symbolic block names (for MIP lookups and
+	// debugging tools).
+	byName map[string]uint32
+	// head/tail are sentinels of the blk_version_list.
+	head, tail *listElem
+	// markers is the marker_version_tree.
+	markers *rbtree.Tree[uint32, *listElem]
+	// descs maps global descriptor serials to canonical bytes;
+	// descIndex deduplicates by content.
+	descs      map[uint32][]byte
+	descKinds  map[uint32][]types.Kind
+	descCaps   map[uint32][]int
+	descSteps  map[uint32][]types.WireStep
+	descIndex  map[string]uint32
+	nextDesc   uint32
+	totalUnits int
+	// freedLog records block frees so that lagging clients learn
+	// about them: freed serials with the version that freed them.
+	freedLog []freedEntry
+	// diffCache holds recently applied/collected diffs keyed by the
+	// version they produce (Section 3.3, diff caching).
+	diffCache map[uint32][]byte
+	cacheKeys []uint32 // FIFO eviction
+	cacheCap  int
+	// CacheHits counts diff-cache hits, for the ablation bench.
+	CacheHits uint64
+}
+
+// NewSegment returns an empty segment at version zero.
+func NewSegment(name string) *Segment {
+	s := &Segment{
+		Name: name,
+		blocks: rbtree.New[uint32, *Blk](func(a, b uint32) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}),
+		byName: make(map[string]uint32),
+		markers: rbtree.New[uint32, *listElem](func(a, b uint32) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}),
+		descs:     make(map[uint32][]byte),
+		descKinds: make(map[uint32][]types.Kind),
+		descCaps:  make(map[uint32][]int),
+		descSteps: make(map[uint32][]types.WireStep),
+		descIndex: make(map[string]uint32),
+		nextDesc:  1,
+		diffCache: make(map[uint32][]byte),
+		cacheCap:  defaultDiffCache,
+	}
+	s.head = &listElem{}
+	s.tail = &listElem{}
+	s.head.next = s.tail
+	s.tail.prev = s.head
+	return s
+}
+
+// TotalUnits returns the number of primitive units in the segment,
+// the denominator of diff-based coherence.
+func (s *Segment) TotalUnits() int { return s.totalUnits }
+
+// NumBlocks returns the number of live blocks.
+func (s *Segment) NumBlocks() int { return s.blocks.Len() }
+
+func (s *Segment) pushBack(e *listElem) {
+	e.prev = s.tail.prev
+	e.next = s.tail
+	s.tail.prev.next = e
+	s.tail.prev = e
+}
+
+func (s *Segment) unlink(e *listElem) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// registerDesc registers descriptor bytes, deduplicating by content,
+// and returns the global serial.
+func (s *Segment) registerDesc(b []byte) (uint32, error) {
+	if serial, ok := s.descIndex[string(b)]; ok {
+		return serial, nil
+	}
+	t, err := types.Unmarshal(b)
+	if err != nil {
+		return 0, fmt.Errorf("server: bad descriptor: %w", err)
+	}
+	walk, err := types.WireWalk(t)
+	if err != nil {
+		return 0, fmt.Errorf("server: descriptor walk: %w", err)
+	}
+	kinds := types.UnitKinds(walk)
+	caps := make([]int, 0, len(kinds))
+	for _, ws := range walk {
+		for i := 0; i < ws.Count; i++ {
+			caps = append(caps, ws.Cap)
+		}
+	}
+	serial := s.nextDesc
+	s.nextDesc++
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	s.descs[serial] = cp
+	s.descKinds[serial] = kinds
+	s.descCaps[serial] = caps
+	s.descSteps[serial] = walk
+	s.descIndex[string(cp)] = serial
+	return serial, nil
+}
+
+// DescBytes returns the canonical bytes of a registered descriptor.
+func (s *Segment) DescBytes(serial uint32) ([]byte, bool) {
+	b, ok := s.descs[serial]
+	return b, ok
+}
+
+// ApplyDiff applies a client's diff, producing a new segment version.
+// Descriptor serials in the incoming diff are client-local; they are
+// remapped to the segment's global serials in place (both in the
+// DescDefs and in the NewBlock records). It returns the new version
+// and the conservative count of units modified (the paper's single
+// counter for diff-based coherence).
+func (s *Segment) ApplyDiff(d *wire.SegmentDiff) (uint32, int, error) {
+	if d == nil {
+		return 0, 0, errors.New("server: nil diff")
+	}
+	// Remap descriptors.
+	descMap := make(map[uint32]uint32, len(d.Descs))
+	for i := range d.Descs {
+		global, err := s.registerDesc(d.Descs[i].Bytes)
+		if err != nil {
+			return 0, 0, err
+		}
+		descMap[d.Descs[i].Serial] = global
+		d.Descs[i].Serial = global
+		d.Descs[i].Bytes = s.descs[global]
+	}
+
+	v := s.Version + 1
+	marker := &listElem{marker: v}
+
+	// Validate everything before mutating list/tree state so a bad
+	// diff cannot leave the segment half-updated.
+	for i := range d.News {
+		nb := &d.News[i]
+		if g, ok := descMap[nb.DescSerial]; ok {
+			nb.DescSerial = g
+		}
+		if _, ok := s.descs[nb.DescSerial]; !ok {
+			return 0, 0, fmt.Errorf("server: new block %d references unknown descriptor %d", nb.Serial, nb.DescSerial)
+		}
+		if _, ok := s.blocks.Get(nb.Serial); ok {
+			return 0, 0, fmt.Errorf("server: new block %d already exists", nb.Serial)
+		}
+		if nb.Count == 0 {
+			return 0, 0, fmt.Errorf("server: new block %d has zero count", nb.Serial)
+		}
+		if nb.Name != "" {
+			if _, ok := s.byName[nb.Name]; ok {
+				return 0, 0, fmt.Errorf("server: duplicate block name %q", nb.Name)
+			}
+		}
+	}
+
+	s.pushBack(marker)
+	s.markers.Put(v, marker)
+
+	for i := range d.News {
+		nb := &d.News[i]
+		kinds := s.descKinds[nb.DescSerial]
+		caps := s.descCaps[nb.DescSerial]
+		units := len(kinds) * int(nb.Count)
+		b := &Blk{
+			Serial:     nb.Serial,
+			Name:       nb.Name,
+			DescSerial: nb.DescSerial,
+			Count:      int(nb.Count),
+			kinds:      kinds,
+			caps:       caps,
+			steps:      s.descSteps[nb.DescSerial],
+			cells:      make([]uint64, units),
+			subVer:     make([]uint32, (units+SubblockUnits-1)/SubblockUnits),
+			createdVer: v,
+			version:    v,
+		}
+		for j := range b.subVer {
+			b.subVer[j] = v
+		}
+		b.initWireGeometry()
+		b.elem = &listElem{blk: b}
+		s.pushBack(b.elem)
+		s.blocks.Put(b.Serial, b)
+		if b.Name != "" {
+			s.byName[b.Name] = b.Serial
+		}
+		s.totalUnits += units
+	}
+
+	for _, serial := range d.Freed {
+		b, ok := s.blocks.Get(serial)
+		if !ok {
+			continue
+		}
+		s.blocks.Delete(serial)
+		if b.Name != "" {
+			delete(s.byName, b.Name)
+		}
+		s.unlink(b.elem)
+		s.totalUnits -= b.Units()
+		s.freedLog = append(s.freedLog, freedEntry{version: v, serial: serial})
+	}
+
+	modified := 0
+	var last *Blk
+	for i := range d.Blocks {
+		bd := &d.Blocks[i]
+		b := s.findBlock(bd.Serial, last)
+		if b == nil {
+			return 0, 0, fmt.Errorf("server: diff for unknown block %d", bd.Serial)
+		}
+		last = b
+		for _, run := range bd.Runs {
+			n, err := b.applyRun(run, v)
+			if err != nil {
+				return 0, 0, fmt.Errorf("server: block %d: %w", bd.Serial, err)
+			}
+			modified += n
+		}
+		if b.version != v {
+			b.version = v
+			s.unlink(b.elem)
+			s.pushBack(b.elem)
+		}
+	}
+
+	s.Version = v
+	d.Version = v
+	s.cacheDiff(v, d)
+	return v, modified, nil
+}
+
+// findBlock locates a block by serial, predicting that diffs arrive
+// in blk_version_list order (the server-side last-block search of
+// Section 3.3).
+func (s *Segment) findBlock(serial uint32, last *Blk) *Blk {
+	if last != nil && last.elem.next != nil {
+		if nb := last.elem.next.blk; nb != nil && nb.Serial == serial {
+			return nb
+		}
+	}
+	b, ok := s.blocks.Get(serial)
+	if !ok {
+		return nil
+	}
+	return b
+}
+
+// forKindRuns yields maximal same-kind unit runs covering [u0, u1),
+// walking the block's collapsed wire steps so per-unit kind lookups
+// disappear from the translation loops.
+func (b *Blk) forKindRuns(u0, u1 int, fn func(k types.Kind, strCap, u, n int) error) error {
+	if u0 >= u1 {
+		return nil
+	}
+	if len(b.steps) == 1 {
+		st := b.steps[0]
+		return fn(st.Kind, st.Cap, u0, u1-u0)
+	}
+	eu := b.elemUnits()
+	p := u0 % eu
+	si, off := 0, 0
+	for p >= off+b.steps[si].Count {
+		off += b.steps[si].Count
+		si++
+	}
+	for u0 < u1 {
+		st := b.steps[si]
+		n := off + st.Count - p
+		if rem := u1 - u0; n > rem {
+			n = rem
+		}
+		if err := fn(st.Kind, st.Cap, u0, n); err != nil {
+			return err
+		}
+		u0 += n
+		p += n
+		if p >= eu {
+			p, si, off = 0, 0, 0
+		} else {
+			off += st.Count
+			si++
+		}
+	}
+	return nil
+}
+
+// applyRun decodes one wire run into the block's cells, stamping the
+// touched subblocks with version v. It returns the number of units
+// modified.
+func (b *Blk) applyRun(run wire.Run, v uint32) (int, error) {
+	u0 := int(run.Start)
+	u1 := u0 + int(run.Count)
+	if u1 > b.Units() || u0 < 0 {
+		return 0, fmt.Errorf("run [%d,%d) exceeds %d units", u0, u1, b.Units())
+	}
+	r := wire.NewReader(run.Data)
+	err := b.forKindRuns(u0, u1, func(k types.Kind, strCap, u, n int) error {
+		switch k {
+		case types.KindChar:
+			for i := u; i < u+n; i++ {
+				b.cells[i] = uint64(r.U8())
+			}
+		case types.KindInt16:
+			for i := u; i < u+n; i++ {
+				b.cells[i] = uint64(r.U16())
+			}
+		case types.KindInt32, types.KindFloat32:
+			for i := u; i < u+n; i++ {
+				b.cells[i] = uint64(r.U32())
+			}
+		case types.KindInt64, types.KindFloat64:
+			for i := u; i < u+n; i++ {
+				b.cells[i] = r.U64()
+			}
+		case types.KindString, types.KindPointer:
+			for i := u; i < u+n; i++ {
+				data := r.Bytes()
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if k == types.KindString && len(data) >= strCap {
+					return fmt.Errorf("string of %d bytes overflows capacity %d", len(data), strCap)
+				}
+				b.setVar(i, data)
+			}
+		default:
+			return fmt.Errorf("unit %d has invalid kind", u)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if r.Remaining() != 0 {
+		return 0, fmt.Errorf("%d trailing bytes in run", r.Remaining())
+	}
+	for sb := u0 / SubblockUnits; sb <= (u1-1)/SubblockUnits; sb++ {
+		b.subVer[sb] = v
+	}
+	return u1 - u0, nil
+}
+
+// setVar stores a variable-length item for unit u.
+func (b *Blk) setVar(u int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	if idx := b.cells[u]; idx != 0 {
+		b.vars[idx-1] = cp // reuse the slot
+		return
+	}
+	if len(cp) == 0 {
+		b.cells[u] = 0
+		return
+	}
+	b.vars = append(b.vars, cp)
+	b.cells[u] = uint64(len(b.vars))
+}
+
+// getVar fetches the variable-length item for unit u.
+func (b *Blk) getVar(u int) []byte {
+	idx := b.cells[u]
+	if idx == 0 {
+		return nil
+	}
+	return b.vars[idx-1]
+}
+
+// initWireGeometry precomputes per-element wire-size prefix sums for
+// the capacity estimates.
+func (b *Blk) initWireGeometry() {
+	eu := b.elemUnits()
+	b.wirePrefix = make([]int, eu+1)
+	for i, k := range b.kinds {
+		sz, ok := wire.FixedWireSize(k)
+		if !ok {
+			b.hasVarlen = true
+			sz = 4 // length prefix; contents added in the estimate
+		}
+		b.wirePrefix[i+1] = b.wirePrefix[i] + sz
+	}
+}
+
+// wireSizeEstimate returns a capacity estimate for encoding units
+// [u0, u1), so collection buffers are allocated once.
+func (b *Blk) wireSizeEstimate(u0, u1 int) int {
+	if u0 >= u1 {
+		return 0
+	}
+	eu := b.elemUnits()
+	elemSize := b.wirePrefix[eu]
+	e0, p0 := u0/eu, u0%eu
+	e1, p1 := u1/eu, u1%eu
+	total := (e1-e0)*elemSize - b.wirePrefix[p0] + b.wirePrefix[p1]
+	if b.hasVarlen {
+		for i := u0; i < u1; i++ {
+			switch b.kinds[i%eu] {
+			case types.KindString, types.KindPointer:
+				if cell := b.cells[i]; cell != 0 {
+					total += len(b.vars[cell-1])
+				}
+			}
+		}
+	}
+	return total
+}
+
+// appendUnits encodes units [u0, u1) in canonical wire form — the
+// server-side diff collection, which is cheap because cells already
+// hold wire-format values.
+func (b *Blk) appendUnits(buf []byte, u0, u1 int) []byte {
+	_ = b.forKindRuns(u0, u1, func(k types.Kind, _, u, n int) error {
+		switch k {
+		case types.KindChar:
+			for i := u; i < u+n; i++ {
+				buf = wire.AppendU8(buf, byte(b.cells[i]))
+			}
+		case types.KindInt16:
+			for i := u; i < u+n; i++ {
+				buf = wire.AppendU16(buf, uint16(b.cells[i]))
+			}
+		case types.KindInt32, types.KindFloat32:
+			for i := u; i < u+n; i++ {
+				buf = wire.AppendU32(buf, uint32(b.cells[i]))
+			}
+		case types.KindInt64, types.KindFloat64:
+			for i := u; i < u+n; i++ {
+				buf = wire.AppendU64(buf, b.cells[i])
+			}
+		case types.KindString, types.KindPointer:
+			for i := u; i < u+n; i++ {
+				buf = wire.AppendBytes(buf, b.getVar(i))
+			}
+		}
+		return nil
+	})
+	return buf
+}
+
+// CollectDiff builds a diff bringing a client at sinceVer up to the
+// current version. It walks the marker_version_tree to the first
+// marker newer than sinceVer and scans the blk_version_list from
+// there: blocks created later travel whole with NewBlock records,
+// blocks modified later contribute runs covering exactly the
+// subblocks whose version exceeds sinceVer. A nil diff means the
+// client is current.
+func (s *Segment) CollectDiff(sinceVer uint32) (*wire.SegmentDiff, error) {
+	if sinceVer >= s.Version {
+		return nil, nil
+	}
+	// Diff cache: when every version the client is missing is still
+	// cached, forward the cached diffs — merged unit-accurately, so
+	// the client receives exactly the data changed between its copy
+	// and the master copy, with no subblock rounding. This is the
+	// paper's diff-caching optimization; the common case is a client
+	// exactly one version behind receiving another client's diff
+	// verbatim.
+	if d, ok := s.mergeCachedDiffs(sinceVer); ok {
+		s.CacheHits++
+		return d, nil
+	}
+	d := &wire.SegmentDiff{Version: s.Version}
+	for _, fe := range s.freedLog {
+		if fe.version > sinceVer {
+			d.Freed = append(d.Freed, fe.serial)
+		}
+	}
+	descsSent := make(map[uint32]bool)
+	// First marker with version > sinceVer.
+	_, start, ok := s.markers.Ceiling(sinceVer + 1)
+	if !ok {
+		// No marker newer than sinceVer, yet versions differ: the
+		// markers were trimmed (checkpoint restore); fall back to a
+		// full scan from the head.
+		start = s.head.next
+	}
+	for e := start; e != nil && e != s.tail; e = e.next {
+		b := e.blk
+		if b == nil {
+			continue // marker
+		}
+		if b.createdVer > sinceVer {
+			if !descsSent[b.DescSerial] {
+				descsSent[b.DescSerial] = true
+				d.Descs = append(d.Descs, wire.DescDef{Serial: b.DescSerial, Bytes: s.descs[b.DescSerial]})
+			}
+			d.News = append(d.News, wire.NewBlock{
+				Serial:     b.Serial,
+				DescSerial: b.DescSerial,
+				Count:      uint32(b.Count),
+				Name:       b.Name,
+			})
+			full := make([]byte, 0, b.wireSizeEstimate(0, b.Units()))
+			d.Blocks = append(d.Blocks, wire.BlockDiff{
+				Serial: b.Serial,
+				Runs:   []wire.Run{{Start: 0, Count: uint32(b.Units()), Data: b.appendUnits(full, 0, b.Units())}},
+			})
+			continue
+		}
+		var runs []wire.Run
+		units := b.Units()
+		sb := 0
+		for sb < len(b.subVer) {
+			if b.subVer[sb] <= sinceVer {
+				sb++
+				continue
+			}
+			sbEnd := sb
+			for sbEnd < len(b.subVer) && b.subVer[sbEnd] > sinceVer {
+				sbEnd++
+			}
+			u0 := sb * SubblockUnits
+			u1 := sbEnd * SubblockUnits
+			if u1 > units {
+				u1 = units
+			}
+			buf := make([]byte, 0, b.wireSizeEstimate(u0, u1))
+			runs = append(runs, wire.Run{
+				Start: uint32(u0),
+				Count: uint32(u1 - u0),
+				Data:  b.appendUnits(buf, u0, u1),
+			})
+			sb = sbEnd
+		}
+		if len(runs) > 0 {
+			d.Blocks = append(d.Blocks, wire.BlockDiff{Serial: b.Serial, Runs: runs})
+		}
+	}
+	return d, nil
+}
+
+// Directory returns a metadata-only diff (descriptors and block
+// records, no data) used to reserve space for a segment that has not
+// yet been locked — the IW_mip_to_ptr bootstrap.
+func (s *Segment) Directory() *wire.SegmentDiff {
+	d := &wire.SegmentDiff{Version: 0}
+	descsSent := make(map[uint32]bool)
+	for e := s.head.next; e != s.tail; e = e.next {
+		b := e.blk
+		if b == nil {
+			continue
+		}
+		if !descsSent[b.DescSerial] {
+			descsSent[b.DescSerial] = true
+			d.Descs = append(d.Descs, wire.DescDef{Serial: b.DescSerial, Bytes: s.descs[b.DescSerial]})
+		}
+		d.News = append(d.News, wire.NewBlock{
+			Serial:     b.Serial,
+			DescSerial: b.DescSerial,
+			Count:      uint32(b.Count),
+			Name:       b.Name,
+		})
+	}
+	return d
+}
+
+// cacheDiff stores the encoded diff that produced version v, evicting
+// the oldest entries beyond the cache capacity.
+func (s *Segment) cacheDiff(v uint32, d *wire.SegmentDiff) {
+	if s.cacheCap <= 0 {
+		return
+	}
+	s.diffCache[v] = d.Marshal(nil)
+	s.cacheKeys = append(s.cacheKeys, v)
+	for len(s.cacheKeys) > s.cacheCap {
+		delete(s.diffCache, s.cacheKeys[0])
+		s.cacheKeys = s.cacheKeys[1:]
+	}
+}
+
+// SetDiffCacheCap adjusts the diff cache capacity (0 disables it, for
+// the ablation benchmarks).
+func (s *Segment) SetDiffCacheCap(n int) {
+	s.cacheCap = n
+	for len(s.cacheKeys) > n {
+		delete(s.diffCache, s.cacheKeys[0])
+		s.cacheKeys = s.cacheKeys[1:]
+	}
+}
+
+// Blocks returns the segment's blocks in serial order (for tools and
+// tests).
+func (s *Segment) Blocks() []*Blk {
+	out := make([]*Blk, 0, s.blocks.Len())
+	s.blocks.Ascend(func(_ uint32, b *Blk) bool {
+		out = append(out, b)
+		return true
+	})
+	return out
+}
+
+// versionListOrder returns block serials in blk_version_list order
+// (for tests).
+func (s *Segment) versionListOrder() []uint32 {
+	var out []uint32
+	for e := s.head.next; e != s.tail; e = e.next {
+		if e.blk != nil {
+			out = append(out, e.blk.Serial)
+		}
+	}
+	return out
+}
+
+// checkListSorted verifies the version-list invariant (for tests):
+// block versions are non-decreasing along the list, and every marker
+// precedes exactly the blocks with version >= its own.
+func (s *Segment) checkListSorted() error {
+	prev := uint32(0)
+	for e := s.head.next; e != s.tail; e = e.next {
+		v := e.marker
+		if e.blk != nil {
+			v = e.blk.version
+		}
+		if v < prev {
+			return fmt.Errorf("version list out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	// markers tree matches list membership.
+	var fromTree []uint32
+	s.markers.Ascend(func(v uint32, _ *listElem) bool {
+		fromTree = append(fromTree, v)
+		return true
+	})
+	if !sort.SliceIsSorted(fromTree, func(i, j int) bool { return fromTree[i] < fromTree[j] }) {
+		return errors.New("marker tree out of order")
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"interweave/internal/protocol"
+)
+
+// Transaction support — the paper's Section 6 names transactions as
+// work in progress; this implements the single-server case. A
+// TxCommit atomically publishes the diffs of several segments the
+// session holds write locks on: either every segment advances to its
+// new version, or none does.
+//
+// Atomicity is achieved by staging: each diff is applied to a clone
+// of its segment (via the checkpoint codec); only when every part
+// succeeds are the clones swapped in and subscribers notified. The
+// clone cost is proportional to segment size, which is acceptable for
+// an operation whose purpose is crossing a consistency boundary, and
+// keeps the commit path trivially correct.
+
+func (sess *session) handleTxCommit(m *protocol.TxCommit) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+
+	// A failed transaction is an abort: the session's write locks on
+	// the named segments are released, mirroring the client library,
+	// which releases its local locks when a commit fails.
+	var resolved []*segState
+	abort := func(reply *protocol.ErrorReply) protocol.Message {
+		for _, st := range resolved {
+			releaseWriter(st, sess)
+		}
+		s.mu.Unlock()
+		return reply
+	}
+
+	if len(m.Parts) == 0 {
+		s.mu.Unlock()
+		return errReply(protocol.CodeBadRequest, "empty transaction")
+	}
+	seen := make(map[string]bool, len(m.Parts))
+	states := make([]*segState, len(m.Parts))
+	for i := range m.Parts {
+		name := m.Parts[i].Seg
+		if seen[name] {
+			return abort(errReply(protocol.CodeBadRequest, "segment %q appears twice in transaction", name))
+		}
+		seen[name] = true
+		st, err := s.getSeg(name, false)
+		if err != nil {
+			return abort(errReply(protocol.CodeNoSegment, "%v", err))
+		}
+		resolved = append(resolved, st)
+		if st.writer != sess {
+			return abort(errReply(protocol.CodeLockState, "write lock on %q not held", name))
+		}
+		states[i] = st
+	}
+
+	// Stage: apply every diff to a clone.
+	type staged struct {
+		clone    *Segment
+		version  uint32
+		modified int
+	}
+	stage := make([]staged, len(m.Parts))
+	for i := range m.Parts {
+		seg := states[i].seg
+		if m.Parts[i].Diff == nil || m.Parts[i].Diff.Empty() {
+			stage[i] = staged{clone: nil, version: seg.Version}
+			continue
+		}
+		clone, err := decodeSegment(seg.encode())
+		if err != nil {
+			return abort(errReply(protocol.CodeInternal, "staging %q: %v", seg.Name, err))
+		}
+		clone.SetDiffCacheCap(seg.cacheCap)
+		newVer, modified, err := clone.ApplyDiff(m.Parts[i].Diff)
+		if err != nil {
+			return abort(errReply(protocol.CodeBadRequest, "transaction part %q: %v", seg.Name, err))
+		}
+		stage[i] = staged{clone: clone, version: newVer, modified: modified}
+	}
+
+	// Commit: swap the clones in, release the locks, gather
+	// notifications.
+	reply := &protocol.TxReply{Versions: make([]uint32, len(m.Parts))}
+	var notifications []func()
+	for i := range m.Parts {
+		st := states[i]
+		if stage[i].clone != nil {
+			st.seg = stage[i].clone
+			notifications = append(notifications,
+				updateSubscribers(st, sess, stage[i].version, stage[i].modified)...)
+		}
+		releaseWriter(st, sess)
+		reply.Versions[i] = stage[i].version
+	}
+	s.mu.Unlock()
+	for _, n := range notifications {
+		n()
+	}
+	return reply
+}

@@ -1,0 +1,303 @@
+// Package swizzle converts between local machine pointers and
+// machine-independent pointers (MIPs).
+//
+// A MIP names a datum as "segment#block#offset", where segment is the
+// segment's URL, block is a block's symbolic name or serial number,
+// and offset — optional, default zero — is measured in primitive data
+// units, not bytes, so the same MIP is meaningful on every
+// architecture (paper Section 2.1).
+//
+// Swizzling a local pointer to a MIP walks the metadata trees: the
+// global subsegment-by-address tree finds the subsegment, its
+// block-by-address tree finds the block, and the block's type
+// descriptor maps the byte offset to a primitive offset (Section
+// 3.1). Unswizzling is the inverse.
+package swizzle
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"interweave/internal/mem"
+)
+
+// ErrNotShared reports a pointer that does not fall inside any cached
+// block.
+var ErrNotShared = errors.New("swizzle: address is not in any shared block")
+
+// MIP is a parsed machine-independent pointer. The zero MIP is the
+// nil pointer.
+type MIP struct {
+	// Segment is the segment URL, e.g. "host.org/path".
+	Segment string
+	// Block is the block's symbolic name, or its serial number in
+	// decimal if it has no name.
+	Block string
+	// Offset is the primitive-unit offset within the block.
+	Offset int
+}
+
+// IsNil reports whether the MIP is the nil pointer.
+func (m MIP) IsNil() bool { return m.Segment == "" }
+
+// BlockSerial interprets the block reference as a serial number.
+func (m MIP) BlockSerial() (uint32, bool) {
+	if m.Block == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(m.Block, 10, 32)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// String renders the MIP in wire form.
+func (m MIP) String() string {
+	if m.IsNil() {
+		return ""
+	}
+	if m.Offset == 0 {
+		return m.Segment + "#" + m.Block
+	}
+	return m.Segment + "#" + m.Block + "#" + strconv.Itoa(m.Offset)
+}
+
+// Parse parses a MIP of the form "segment#block[#offset]". The empty
+// string parses to the nil MIP.
+func Parse(s string) (MIP, error) {
+	if s == "" {
+		return MIP{}, nil
+	}
+	i := strings.IndexByte(s, '#')
+	if i <= 0 || i == len(s)-1 {
+		return MIP{}, fmt.Errorf("swizzle: malformed MIP %q", s)
+	}
+	m := MIP{Segment: s[:i]}
+	rest := s[i+1:]
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		off, err := strconv.Atoi(rest[j+1:])
+		if err != nil || off < 0 {
+			return MIP{}, fmt.Errorf("swizzle: malformed MIP offset in %q", s)
+		}
+		m.Block, m.Offset = rest[:j], off
+	} else {
+		m.Block = rest
+	}
+	if m.Block == "" {
+		return MIP{}, fmt.Errorf("swizzle: empty block reference in %q", s)
+	}
+	return m, nil
+}
+
+// blockRef renders a block's wire reference: its symbolic name when
+// it has one, its serial number otherwise. Blocks whose names consist
+// solely of digits would be ambiguous; mem rejects no names, so the
+// serial spelling wins only for unnamed blocks and lookups try names
+// first.
+func blockRef(b *mem.Block) string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return strconv.FormatUint(uint64(b.Serial), 10)
+}
+
+// PtrToMIP swizzles a local pointer into a MIP. The address may point
+// anywhere inside a block, including the middle of a structure; the
+// offset is expressed in primitive units. Address zero swizzles to
+// the nil MIP.
+func PtrToMIP(h *mem.Heap, a mem.Addr) (MIP, error) {
+	if a == 0 {
+		return MIP{}, nil
+	}
+	b, ok := h.BlockAt(a)
+	if !ok {
+		return MIP{}, fmt.Errorf("%w: %#x", ErrNotShared, uint64(a))
+	}
+	byteOff := int(a - b.Addr)
+	elem := byteOff / b.Layout.Size
+	within := byteOff % b.Layout.Size
+	prim, err := b.Layout.ByteToPrim(within)
+	if err != nil {
+		return MIP{}, fmt.Errorf("swizzle: %#x: %w", uint64(a), err)
+	}
+	return MIP{
+		Segment: b.Sub.Seg.Name(),
+		Block:   blockRef(b),
+		Offset:  elem*b.Layout.PrimCount + prim,
+	}, nil
+}
+
+// Swizzler converts local pointers to MIP strings in bulk, as diff
+// collection does. It amortizes the metadata-tree searches and the
+// string formatting across consecutive pointers: the block resolved
+// for the previous pointer is tried first (pointers into one
+// structure overwhelmingly target the same or a neighbouring block —
+// the same observation behind the paper's last-block searches), and
+// the segment#block prefix of the MIP is cached per block.
+type Swizzler struct {
+	h          *mem.Heap
+	lastBlock  *mem.Block
+	lastPrefix string
+	buf        []byte
+}
+
+// NewSwizzler returns a swizzler over the heap.
+func NewSwizzler(h *mem.Heap) *Swizzler {
+	return &Swizzler{h: h}
+}
+
+// MIPString swizzles one pointer into its wire form.
+func (sw *Swizzler) MIPString(a mem.Addr) (string, error) {
+	if a == 0 {
+		return "", nil
+	}
+	b := sw.lastBlock
+	if b == nil || a < b.Addr || a >= b.End() {
+		var ok bool
+		b, ok = sw.h.BlockAt(a)
+		if !ok {
+			return "", fmt.Errorf("%w: %#x", ErrNotShared, uint64(a))
+		}
+		sw.lastBlock = b
+		sw.lastPrefix = b.Sub.Seg.Name() + "#" + blockRef(b)
+	}
+	byteOff := int(a - b.Addr)
+	elem := byteOff / b.Layout.Size
+	within := byteOff % b.Layout.Size
+	prim, err := b.Layout.ByteToPrim(within)
+	if err != nil {
+		return "", fmt.Errorf("swizzle: %#x: %w", uint64(a), err)
+	}
+	offset := elem*b.Layout.PrimCount + prim
+	if offset == 0 {
+		return sw.lastPrefix, nil
+	}
+	sw.buf = append(sw.buf[:0], sw.lastPrefix...)
+	sw.buf = append(sw.buf, '#')
+	sw.buf = strconv.AppendUint(sw.buf, uint64(offset), 10)
+	return string(sw.buf), nil
+}
+
+// Unswizzler converts MIP strings to local pointers in bulk, the
+// inverse of Swizzler. Consecutive MIPs in a diff overwhelmingly name
+// the same block, so the previously resolved (prefix -> block) pair
+// is tried before the name/serial trees.
+type Unswizzler struct {
+	resolveSeg func(name string) (*mem.SegMem, error)
+	lastPrefix string
+	lastBlock  *mem.Block
+}
+
+// NewUnswizzler returns an unswizzler; resolveSeg maps segment names
+// to cached segments (fetching or reserving them as the client
+// library does).
+func NewUnswizzler(resolveSeg func(name string) (*mem.SegMem, error)) *Unswizzler {
+	return &Unswizzler{resolveSeg: resolveSeg}
+}
+
+// Addr unswizzles one MIP string.
+func (uw *Unswizzler) Addr(mip string) (mem.Addr, error) {
+	if mip == "" {
+		return 0, nil
+	}
+	// Split the offset off the cached prefix cheaply: a cache hit
+	// avoids parsing and both tree searches.
+	prefix, offset, err := splitOffset(mip)
+	if err != nil {
+		return 0, err
+	}
+	if uw.lastBlock != nil && prefix == uw.lastPrefix {
+		return addrAt(uw.lastBlock, offset, mip)
+	}
+	m, err := Parse(mip)
+	if err != nil {
+		return 0, err
+	}
+	seg, err := uw.resolveSeg(m.Segment)
+	if err != nil {
+		return 0, err
+	}
+	b, err := BlockOfMIP(seg, m)
+	if err != nil {
+		return 0, err
+	}
+	uw.lastPrefix = prefix
+	uw.lastBlock = b
+	return addrAt(b, m.Offset, mip)
+}
+
+// splitOffset splits "seg#block#off" into ("seg#block", off); a MIP
+// without an explicit offset keeps offset zero.
+func splitOffset(mip string) (string, int, error) {
+	first := strings.IndexByte(mip, '#')
+	if first < 0 {
+		return "", 0, fmt.Errorf("swizzle: malformed MIP %q", mip)
+	}
+	second := strings.IndexByte(mip[first+1:], '#')
+	if second < 0 {
+		return mip, 0, nil
+	}
+	cut := first + 1 + second
+	off, err := strconv.Atoi(mip[cut+1:])
+	if err != nil || off < 0 {
+		return "", 0, fmt.Errorf("swizzle: malformed MIP offset in %q", mip)
+	}
+	return mip[:cut], off, nil
+}
+
+// addrAt maps a unit offset inside a block to an address.
+func addrAt(b *mem.Block, offset int, mip string) (mem.Addr, error) {
+	pc := b.Layout.PrimCount
+	if offset < 0 || offset >= pc*b.Count {
+		return 0, fmt.Errorf("swizzle: offset %d out of range in %q (%d units)", offset, mip, pc*b.Count)
+	}
+	elem := offset / pc
+	byteOff, err := b.Layout.PrimToByte(offset % pc)
+	if err != nil {
+		return 0, err
+	}
+	return b.Addr + mem.Addr(elem*b.Layout.Size+byteOff), nil
+}
+
+// BlockOfMIP resolves the block a MIP refers to within its (already
+// cached) segment. Lookups try the symbolic name first, then the
+// serial-number spelling.
+func BlockOfMIP(seg *mem.SegMem, m MIP) (*mem.Block, error) {
+	if b, ok := seg.BlockByName(m.Block); ok {
+		return b, nil
+	}
+	if serial, ok := m.BlockSerial(); ok {
+		if b, ok := seg.BlockBySerial(serial); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("swizzle: segment %q has no block %q", seg.Name(), m.Block)
+}
+
+// AddrOfMIP unswizzles a MIP into a local address within an already
+// cached segment. Core resolves the segment (fetching it if needed)
+// before calling this.
+func AddrOfMIP(seg *mem.SegMem, m MIP) (mem.Addr, error) {
+	if m.IsNil() {
+		return 0, nil
+	}
+	b, err := BlockOfMIP(seg, m)
+	if err != nil {
+		return 0, err
+	}
+	pc := b.Layout.PrimCount
+	if m.Offset < 0 || m.Offset >= pc*b.Count {
+		return 0, fmt.Errorf("swizzle: offset %d out of range for block %q (%d units)",
+			m.Offset, m.Block, pc*b.Count)
+	}
+	elem := m.Offset / pc
+	within := m.Offset % pc
+	byteOff, err := b.Layout.PrimToByte(within)
+	if err != nil {
+		return 0, err
+	}
+	return b.Addr + mem.Addr(elem*b.Layout.Size+byteOff), nil
+}

@@ -1,0 +1,410 @@
+package swizzle
+
+import (
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+func TestParseFormat(t *testing.T) {
+	tests := []struct {
+		in   string
+		want MIP
+		bad  bool
+	}{
+		{"", MIP{}, false},
+		{"foo.org/path#head", MIP{"foo.org/path", "head", 0}, false},
+		{"foo.org/path#head#12", MIP{"foo.org/path", "head", 12}, false},
+		{"h/s#42#3", MIP{"h/s", "42", 3}, false},
+		{"#head", MIP{}, true},
+		{"seg#", MIP{}, true},
+		{"seg#b#x", MIP{}, true},
+		{"seg#b#-1", MIP{}, true},
+		{"nohash", MIP{}, true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if tt.bad {
+			if err == nil {
+				t.Errorf("Parse(%q) succeeded: %+v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+		// Round-trip through String.
+		back, err := Parse(got.String())
+		if err != nil || back != got {
+			t.Errorf("reparse(%q) = %+v, %v", got.String(), back, err)
+		}
+	}
+}
+
+func TestBlockSerial(t *testing.T) {
+	if s, ok := (MIP{Block: "42"}).BlockSerial(); !ok || s != 42 {
+		t.Errorf("BlockSerial(42) = %d,%v", s, ok)
+	}
+	for _, bad := range []string{"", "head", "0", "99999999999999999999"} {
+		if _, ok := (MIP{Block: bad}).BlockSerial(); ok {
+			t.Errorf("BlockSerial(%q) ok", bad)
+		}
+	}
+}
+
+func TestNil(t *testing.T) {
+	if !(MIP{}).IsNil() {
+		t.Error("zero MIP not nil")
+	}
+	if (MIP{}).String() != "" {
+		t.Error("nil MIP renders non-empty")
+	}
+	h, err := mem.NewHeap(arch.AMD64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := PtrToMIP(h, 0)
+	if err != nil || !m.IsNil() {
+		t.Errorf("PtrToMIP(0) = %+v, %v", m, err)
+	}
+}
+
+func setup(t *testing.T, prof *arch.Profile) (*mem.Heap, *mem.SegMem) {
+	t.Helper()
+	h, err := mem.NewHeap(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.NewSegment("host/list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, s
+}
+
+func nodeLayout(t *testing.T, prof *arch.Profile) *types.Layout {
+	t.Helper()
+	n := types.NewStruct("node_t")
+	next, err := types.PointerTo(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFields(types.Field{Name: "key", Type: types.Int32()}, types.Field{Name: "next", Type: next}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := types.Of(n, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestPtrToMIPRoundtrip(t *testing.T) {
+	for _, prof := range arch.Profiles() {
+		t.Run(prof.Name, func(t *testing.T) {
+			h, s := setup(t, prof)
+			l := nodeLayout(t, prof)
+			head, err := s.Alloc(l, 1, "head")
+			if err != nil {
+				t.Fatal(err)
+			}
+			anon, err := s.Alloc(l, 5, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tests := []struct {
+				a    mem.Addr
+				want string
+			}{
+				{head.Addr, "host/list#head"},
+				{anon.Addr, "host/list#2"},
+				// Middle of a structure: element 3's next field.
+				{anon.Addr + mem.Addr(3*l.Size+mustField(t, l, "next")), "host/list#2#7"},
+			}
+			for _, tt := range tests {
+				m, err := PtrToMIP(h, tt.a)
+				if err != nil {
+					t.Fatalf("PtrToMIP(%#x): %v", uint64(tt.a), err)
+				}
+				if m.String() != tt.want {
+					t.Errorf("PtrToMIP(%#x) = %q, want %q", uint64(tt.a), m, tt.want)
+				}
+				back, err := AddrOfMIP(s, m)
+				if err != nil {
+					t.Fatalf("AddrOfMIP(%q): %v", m, err)
+				}
+				if back != tt.a {
+					t.Errorf("AddrOfMIP(%q) = %#x, want %#x", m, uint64(back), uint64(tt.a))
+				}
+			}
+		})
+	}
+}
+
+func mustField(t *testing.T, l *types.Layout, name string) int {
+	t.Helper()
+	f, ok := l.Field(name)
+	if !ok {
+		t.Fatalf("no field %q", name)
+	}
+	return f.ByteOff
+}
+
+func TestPtrToMIPErrors(t *testing.T) {
+	h, s := setup(t, arch.AMD64())
+	l := nodeLayout(t, arch.AMD64())
+	b, err := s.Alloc(l, 1, "head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PtrToMIP(h, 0xDEAD00000); err == nil {
+		t.Error("unmapped address swizzled")
+	}
+	// Padding on 64-bit: bytes 4-7 of node_t are padding.
+	if _, err := PtrToMIP(h, b.Addr+5); err == nil {
+		t.Error("padding address swizzled")
+	}
+}
+
+func TestAddrOfMIPErrors(t *testing.T) {
+	_, s := setup(t, arch.AMD64())
+	l := nodeLayout(t, arch.AMD64())
+	if _, err := s.Alloc(l, 2, "head"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddrOfMIP(s, MIP{Segment: "host/list", Block: "nosuch"}); err == nil {
+		t.Error("missing block resolved")
+	}
+	if _, err := AddrOfMIP(s, MIP{Segment: "host/list", Block: "head", Offset: 4}); err == nil {
+		t.Error("out-of-range offset resolved")
+	}
+	if a, err := AddrOfMIP(s, MIP{}); err != nil || a != 0 {
+		t.Errorf("nil MIP = %#x, %v", uint64(a), err)
+	}
+}
+
+func TestSerialNameLookupPreference(t *testing.T) {
+	_, s := setup(t, arch.AMD64())
+	l := nodeLayout(t, arch.AMD64())
+	named, err := s.Alloc(l, 1, "head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.Alloc(l, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "2" resolves by serial since no block is named "2".
+	got, err := BlockOfMIP(s, MIP{Segment: "host/list", Block: "2"})
+	if err != nil || got != b2 {
+		t.Errorf("BlockOfMIP(2) = %v, %v", got, err)
+	}
+	got, err = BlockOfMIP(s, MIP{Segment: "host/list", Block: "head"})
+	if err != nil || got != named {
+		t.Errorf("BlockOfMIP(head) = %v, %v", got, err)
+	}
+}
+
+// TestSwizzlerMatchesPtrToMIP checks the bulk swizzler against the
+// reference implementation over every unit of several blocks in two
+// segments, in orders that defeat and exploit the block cache.
+func TestSwizzlerMatchesPtrToMIP(t *testing.T) {
+	h, s1 := setup(t, arch.AMD64())
+	s2, err := h.NewSegment("host/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := nodeLayout(t, arch.AMD64())
+	var addrs []mem.Addr
+	for i := 0; i < 4; i++ {
+		b, err := s1.Alloc(l, 3, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			f, _ := l.Field("next")
+			addrs = append(addrs, b.Addr+mem.Addr(e*l.Size))
+			addrs = append(addrs, b.Addr+mem.Addr(e*l.Size+f.ByteOff))
+		}
+	}
+	ob, err := s2.Alloc(l, 1, "named")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs = append(addrs, ob.Addr, 0)
+
+	check := func(order []mem.Addr) {
+		t.Helper()
+		sw := NewSwizzler(h)
+		for _, a := range order {
+			got, err := sw.MIPString(a)
+			if err != nil {
+				t.Fatalf("Swizzler(%#x): %v", uint64(a), err)
+			}
+			var want string
+			m, err := PtrToMIP(h, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = m.String()
+			if got != want {
+				t.Fatalf("Swizzler(%#x) = %q, PtrToMIP = %q", uint64(a), got, want)
+			}
+		}
+	}
+	check(addrs) // sequential: cache-friendly
+	rev := make([]mem.Addr, len(addrs))
+	for i, a := range addrs {
+		rev[len(addrs)-1-i] = a
+	}
+	check(rev) // reversed: cache misses at block boundaries
+	// Interleave the two segments to thrash the cache.
+	var interleaved []mem.Addr
+	for i := range addrs {
+		interleaved = append(interleaved, addrs[i], ob.Addr)
+	}
+	check(interleaved)
+
+	// Errors propagate.
+	sw := NewSwizzler(h)
+	if _, err := sw.MIPString(0xDEAD0000000); err == nil {
+		t.Error("unmapped address swizzled")
+	}
+}
+
+// TestUnswizzlerMatchesAddrOfMIP checks the bulk unswizzler against
+// the reference path over many MIPs, with and without cache hits.
+func TestUnswizzlerMatchesAddrOfMIP(t *testing.T) {
+	h, s1 := setup(t, arch.Alpha())
+	s2, err := h.NewSegment("host/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := nodeLayout(t, arch.Alpha())
+	var mips []string
+	record := func(seg *mem.SegMem, b *mem.Block) {
+		for u := 0; u < b.PrimCount(); u++ {
+			m, err := PtrToMIP(h, mustAddrOf(t, seg, b, u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mips = append(mips, m.String())
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b, err := s1.Alloc(l, 2, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(s1, b)
+	}
+	nb, err := s2.Alloc(l, 1, "far")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(s2, nb)
+	mips = append(mips, "")
+
+	resolveSeg := func(name string) (*mem.SegMem, error) {
+		seg, ok := h.Segment(name)
+		if !ok {
+			t.Fatalf("segment %q", name)
+		}
+		return seg, nil
+	}
+	orders := [][]string{mips, reversed(mips)}
+	for _, order := range orders {
+		uw := NewUnswizzler(resolveSeg)
+		for _, mip := range order {
+			got, err := uw.Addr(mip)
+			if err != nil {
+				t.Fatalf("Unswizzler(%q): %v", mip, err)
+			}
+			m, err := Parse(mip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want mem.Addr
+			if !m.IsNil() {
+				seg, _ := h.Segment(m.Segment)
+				want, err = AddrOfMIP(seg, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got != want {
+				t.Fatalf("Unswizzler(%q) = %#x, want %#x", mip, uint64(got), uint64(want))
+			}
+		}
+	}
+
+	// Errors: garbage, missing block, out-of-range offset.
+	uw := NewUnswizzler(resolveSeg)
+	for _, bad := range []string{"nohash", "host/list#nosuch", "host/other#far#999"} {
+		if _, err := uw.Addr(bad); err == nil {
+			t.Errorf("Unswizzler(%q) succeeded", bad)
+		}
+	}
+	// Cache hit with an out-of-range offset still fails.
+	if _, err := uw.Addr("host/other#far"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uw.Addr("host/other#far#77"); err == nil {
+		t.Error("cached block accepted out-of-range offset")
+	}
+}
+
+func mustAddrOf(t *testing.T, seg *mem.SegMem, b *mem.Block, unit int) mem.Addr {
+	t.Helper()
+	elem := unit / b.Layout.PrimCount
+	off, err := b.Layout.PrimToByte(unit % b.Layout.PrimCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Addr + mem.Addr(elem*b.Layout.Size+off)
+}
+
+func reversed(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[len(in)-1-i] = s
+	}
+	return out
+}
+
+func TestBlockNameWithHashRejected(t *testing.T) {
+	_, s := setup(t, arch.AMD64())
+	l := nodeLayout(t, arch.AMD64())
+	if _, err := s.Alloc(l, 1, "bad#name"); err == nil {
+		t.Error("block name containing '#' accepted")
+	}
+}
+
+func TestCrossSegmentSwizzle(t *testing.T) {
+	h, s1 := setup(t, arch.AMD64())
+	s2, err := h.NewSegment("host/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := nodeLayout(t, arch.AMD64())
+	if _, err := s1.Alloc(l, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.Alloc(l, 1, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := PtrToMIP(h, b2.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Segment != "host/other" {
+		t.Errorf("cross-segment MIP = %q", m)
+	}
+}

@@ -1,0 +1,43 @@
+package types
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestGoldenDescriptorEncoding freezes the canonical descriptor
+// encoding that servers store, checkpoint, and forward. The encoded
+// graph is Figure 1's node_t: struct{ key int32; next *node_t }.
+func TestGoldenDescriptorEncoding(t *testing.T) {
+	n := NewStruct("node_t")
+	next, err := PointerTo(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFields(Field{"key", Int32()}, Field{"next", next}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "49575459" + // magic "IWTY"
+		"00000003" + // three definitions
+		// def 0: struct "node_t", 2 fields
+		"09" + "0006" + "6e6f64655f74" + "0002" +
+		"0003" + "6b6579" + "00000001" + // field "key" -> def 1
+		"0004" + "6e657874" + "00000002" + // field "next" -> def 2
+		"03" + // def 1: int32
+		"08" + "00000000" // def 2: pointer -> def 0
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("descriptor encoding changed:\n got %s\nwant %s", got, want)
+	}
+	// And the fingerprint derived from it is stable.
+	fp, err := Fingerprint(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == 0 {
+		t.Error("zero fingerprint")
+	}
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// Golden encodings freeze the wire format: these bytes are the
+// protocol. If an edit changes them, existing servers, clients, and
+// checkpoints stop interoperating — the change must be deliberate and
+// versioned, not incidental.
+
+func TestGoldenSegmentDiff(t *testing.T) {
+	d := &SegmentDiff{
+		Version: 0x0102,
+		Descs:   []DescDef{{Serial: 3, Bytes: []byte{0xAA, 0xBB}}},
+		News:    []NewBlock{{Serial: 4, DescSerial: 3, Count: 2, Name: "hd"}},
+		Freed:   []uint32{9},
+		Blocks: []BlockDiff{{Serial: 4, Runs: []Run{
+			{Start: 1, Count: 2, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}},
+		}}},
+	}
+	const want = "00000102" + // version
+		"00000001" + // desc count
+		"00000003" + "00000002" + "aabb" + // desc 3, 2 bytes
+		"00000001" + // new-block count
+		"00000004" + "00000003" + "00000002" + "00000002" + "6864" + // serial, desc, count, name "hd"
+		"00000001" + "00000009" + // freed count, serial 9
+		"00000001" + // block-diff count
+		"00000004" + // block serial
+		"00000010" + // declared run-section length: 12 + 4 data
+		"00000001" + // run count
+		"00000001" + "00000002" + // start, count
+		"00000004" + "deadbeef" // data length, data
+	got := hex.EncodeToString(d.Marshal(nil))
+	if got != want {
+		t.Fatalf("segment diff encoding changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenScalars(t *testing.T) {
+	var b []byte
+	b = AppendU16(b, 0x1234)
+	b = AppendU32(b, 0x56789ABC)
+	b = AppendU64(b, 0x0102030405060708)
+	b = AppendF64(b, 1.0)
+	b = AppendString(b, "iw")
+	const want = "1234" + "56789abc" + "0102030405060708" +
+		"3ff0000000000000" + "00000002" + "6977"
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("scalar encodings changed:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,173 @@
+package xdr
+
+import (
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+// TestNestedStructArray covers aggregates inside aggregates: an array
+// of structs each containing a fixed array.
+func TestNestedStructArray(t *testing.T) {
+	_, s, c := setup(t, arch.X86())
+	h := s.Heap()
+	inner, err := types.ArrayOf(types.Float32(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := types.StructOf("v",
+		types.Field{Name: "id", Type: types.Int16()},
+		types.Field{Name: "vals", Type: inner},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc(t, s, st, 2)
+	l := b.Layout
+	for e := 0; e < 2; e++ {
+		base := b.Addr + mem.Addr(e*l.Size)
+		idF, _ := l.Field("id")
+		valsF, _ := l.Field("vals")
+		if err := h.WriteI16(base+mem.Addr(idF.ByteOff), int16(e+1)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := h.WriteF32(base+mem.Addr(valsF.ByteOff+4*i), float32(e*10+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	enc, err := c.MarshalBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id pads to 4, three floats of 4: 16 bytes per element.
+	if len(enc) != 32 {
+		t.Fatalf("encoded %d bytes, want 32", len(enc))
+	}
+	// Wipe and decode back.
+	if err := h.RawWriteZero(b.Addr, b.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalBlock(b, enc); err != nil {
+		t.Fatal(err)
+	}
+	idF, _ := l.Field("id")
+	valsF, _ := l.Field("vals")
+	for e := 0; e < 2; e++ {
+		base := b.Addr + mem.Addr(e*l.Size)
+		if v, _ := h.ReadI16(base + mem.Addr(idF.ByteOff)); v != int16(e+1) {
+			t.Errorf("elem %d id = %d", e, v)
+		}
+		for i := 0; i < 3; i++ {
+			if v, _ := h.ReadF32(base + mem.Addr(valsF.ByteOff+4*i)); v != float32(e*10+i) {
+				t.Errorf("elem %d vals[%d] = %v", e, i, v)
+			}
+		}
+	}
+}
+
+// TestUnmarshalScratchPath exercises the "callee has a nil pointer
+// but data arrives" path, which simulates rpcgen's allocation.
+func TestUnmarshalScratchPath(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	h := s.Heap()
+	s8, err := types.StringOf(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppi, err := types.PointerTo(s8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := types.StructOf("w",
+		types.Field{Name: "p", Type: ppi},
+		types.Field{Name: "tail", Type: types.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal with a live pointer...
+	src := alloc(t, s, st, 1)
+	target := alloc(t, s, s8, 1)
+	if err := h.WriteCString(target.Addr, 8, "deep"); err != nil {
+		t.Fatal(err)
+	}
+	pF, _ := src.Layout.Field("p")
+	tailF, _ := src.Layout.Field("tail")
+	if err := h.WritePtr(src.Addr+mem.Addr(pF.ByteOff), target.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteI32(src.Addr+mem.Addr(tailF.ByteOff), 55); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.MarshalBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and unmarshal into a block whose pointer is nil: the deep
+	// data is consumed into scratch, and the fields after the
+	// pointer still decode correctly.
+	dst := alloc(t, s, st, 1)
+	if err := c.UnmarshalBlock(dst, enc); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.ReadI32(dst.Addr + mem.Addr(tailF.ByteOff)); v != 55 {
+		t.Errorf("tail after scratch = %d, want 55", v)
+	}
+	if v, _ := h.ReadPtr(dst.Addr + mem.Addr(pF.ByteOff)); v != 0 {
+		t.Errorf("nil pointer overwritten to %#x", uint64(v))
+	}
+}
+
+// TestScratchNestedAggregates covers scratch consumption of structs,
+// arrays, and nested pointers.
+func TestScratchNestedAggregates(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	h := s.Heap()
+	inner, err := types.StructOf("in",
+		types.Field{Name: "a", Type: types.Int32()},
+		types.Field{Name: "b", Type: types.Float64()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := types.ArrayOf(inner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pArr, err := types.PointerTo(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := types.StructOf("outer",
+		types.Field{Name: "p", Type: pArr},
+		types.Field{Name: "sentinel", Type: types.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := alloc(t, s, st, 1)
+	target := alloc(t, s, arr, 1)
+	pF, _ := src.Layout.Field("p")
+	sF, _ := src.Layout.Field("sentinel")
+	if err := h.WritePtr(src.Addr+mem.Addr(pF.ByteOff), target.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteI32(src.Addr+mem.Addr(sF.ByteOff), 91); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.MarshalBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := alloc(t, s, st, 1) // nil pointer
+	if err := c.UnmarshalBlock(dst, enc); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.ReadI32(dst.Addr + mem.Addr(sF.ByteOff)); v != 91 {
+		t.Errorf("sentinel = %d, want 91", v)
+	}
+}

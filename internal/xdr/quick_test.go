@@ -1,0 +1,91 @@
+package xdr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+// TestQuickIntArrayRoundtrip marshals arbitrary int arrays on one
+// machine and unmarshals on another, checking value fidelity.
+func TestQuickIntArrayRoundtrip(t *testing.T) {
+	_, ss, cs := setup(t, arch.Sparc())
+	_, sd, cd := setup(t, arch.X86())
+	fn := func(vals []int32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 256 {
+			vals = vals[:256]
+		}
+		sb := alloc(t, ss, types.Int32(), len(vals))
+		db := alloc(t, sd, types.Int32(), len(vals))
+		for i, v := range vals {
+			if err := ss.Heap().WriteI32(sb.Addr+mem.Addr(4*i), v); err != nil {
+				return false
+			}
+		}
+		enc, err := cs.MarshalBlock(sb)
+		if err != nil {
+			return false
+		}
+		if err := cd.UnmarshalBlock(db, enc); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			got, err := sd.Heap().ReadI32(db.Addr + mem.Addr(4*i))
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStringRoundtrip checks arbitrary (capacity-respecting)
+// strings survive the XDR encoding.
+func TestQuickStringRoundtrip(t *testing.T) {
+	_, ss, cs := setup(t, arch.Alpha())
+	s32, err := types.StringOf(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(raw string) bool {
+		// Respect the cell: printable prefix, room for NUL.
+		s := raw
+		if len(s) > 31 {
+			s = s[:31]
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] == 0 {
+				s = s[:i]
+				break
+			}
+		}
+		b := alloc(t, ss, s32, 1)
+		if err := ss.Heap().WriteCString(b.Addr, 32, s); err != nil {
+			return false
+		}
+		enc, err := cs.MarshalBlock(b)
+		if err != nil {
+			return false
+		}
+		if err := ss.Heap().WriteCString(b.Addr, 32, ""); err != nil {
+			return false
+		}
+		if err := cs.UnmarshalBlock(b, enc); err != nil {
+			return false
+		}
+		got, err := ss.Heap().ReadCString(b.Addr, 32)
+		return err == nil && got == s
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

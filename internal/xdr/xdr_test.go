@@ -1,0 +1,272 @@
+package xdr
+
+import (
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+func setup(t *testing.T, prof *arch.Profile) (*mem.Heap, *mem.SegMem, *Codec) {
+	t.Helper()
+	h, err := mem.NewHeap(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := h.NewSegment("h/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, s, c
+}
+
+func alloc(t *testing.T, s *mem.SegMem, typ *types.Type, count int) *mem.Block {
+	t.Helper()
+	l, err := types.Of(typ, s.Heap().Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(l, count, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNilArgs(t *testing.T) {
+	if _, err := NewCodec(nil); err == nil {
+		t.Error("NewCodec(nil) succeeded")
+	}
+	_, _, c := setup(t, arch.AMD64())
+	if _, err := c.MarshalBlock(nil); err == nil {
+		t.Error("MarshalBlock(nil) succeeded")
+	}
+	if err := c.UnmarshalBlock(nil, nil); err == nil {
+		t.Error("UnmarshalBlock(nil) succeeded")
+	}
+}
+
+func TestIntArraySizeExact(t *testing.T) {
+	// XDR keeps 32-bit ints at 4 bytes: 1000 ints -> 4000 bytes.
+	_, s, c := setup(t, arch.AMD64())
+	h := s.Heap()
+	b := alloc(t, s, types.Int32(), 1000)
+	for i := 0; i < 1000; i++ {
+		if err := h.WriteI32(b.Addr+mem.Addr(4*i), int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := c.MarshalBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 4000 {
+		t.Errorf("encoded %d bytes, want 4000", len(enc))
+	}
+}
+
+func TestCharAndShortPadTo4(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	st, err := types.StructOf("cs",
+		types.Field{Name: "c", Type: types.Char()},
+		types.Field{Name: "h", Type: types.Int16()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc(t, s, st, 1)
+	enc, err := c.MarshalBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 8 {
+		t.Errorf("char+short encoded as %d bytes, want 8 (rpcgen pads to 4)", len(enc))
+	}
+}
+
+func TestPointerDeepCopy(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	h := s.Heap()
+	pi, err := types.PointerTo(types.Int32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := alloc(t, s, pi, 2)
+	target := alloc(t, s, types.Int32(), 1)
+	if err := h.WriteI32(target.Addr, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WritePtr(pb.Addr, target.Addr); err != nil { // non-nil
+		t.Fatal(err)
+	}
+	if err := h.WritePtr(pb.Addr+8, 0); err != nil { // nil
+		t.Fatal(err)
+	}
+	enc, err := c.MarshalBlock(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flag(4)+int(4) for the first, flag(4) for the nil: 12 bytes.
+	if len(enc) != 12 {
+		t.Fatalf("encoded %d bytes, want 12", len(enc))
+	}
+	if enc[3] != 1 || enc[11] != 0 {
+		t.Errorf("discriminants wrong: % x", enc)
+	}
+	// Deep-copied value travels.
+	if got := uint32(enc[4])<<24 | uint32(enc[5])<<16 | uint32(enc[6])<<8 | uint32(enc[7]); got != 4242 {
+		t.Errorf("deep-copied int = %d", got)
+	}
+}
+
+func TestRoundtripHeterogeneous(t *testing.T) {
+	// Marshal on big-endian 32-bit, unmarshal on little-endian
+	// 64-bit, with an identical structure on both sides.
+	s16, err := types.StringOf(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := types.PointerTo(types.Int32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := types.StructOf("m",
+		types.Field{Name: "i", Type: types.Int32()},
+		types.Field{Name: "d", Type: types.Float64()},
+		types.Field{Name: "s", Type: s16},
+		types.Field{Name: "p", Type: pi},
+		types.Field{Name: "c", Type: types.Char()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ss, cs := setup(t, arch.Sparc())
+	hs := ss.Heap()
+	sb := alloc(t, ss, st, 2)
+	starget := alloc(t, ss, types.Int32(), 1)
+	if err := hs.WriteI32(starget.Addr, -777); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		base := sb.Addr + mem.Addr(e*sb.Layout.Size)
+		f := func(n string) mem.Addr {
+			fl, _ := sb.Layout.Field(n)
+			return base + mem.Addr(fl.ByteOff)
+		}
+		must(t, hs.WriteI32(f("i"), int32(10+e)))
+		must(t, hs.WriteF64(f("d"), 0.5+float64(e)))
+		must(t, hs.WriteCString(f("s"), 16, "xdr"))
+		if e == 0 {
+			must(t, hs.WritePtr(f("p"), starget.Addr))
+		}
+		must(t, hs.WriteU8(f("c"), 'q'))
+	}
+	enc, err := cs.MarshalBlock(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, sd, cd := setup(t, arch.Alpha())
+	hd := sd.Heap()
+	db := alloc(t, sd, st, 2)
+	dtarget := alloc(t, sd, types.Int32(), 1)
+	// Pre-point the first element's pointer, as an RPC callee's
+	// pre-allocated result structure would be.
+	fl, _ := db.Layout.Field("p")
+	must(t, hd.WritePtr(db.Addr+mem.Addr(fl.ByteOff), dtarget.Addr))
+
+	if err := cd.UnmarshalBlock(db, enc); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		base := db.Addr + mem.Addr(e*db.Layout.Size)
+		f := func(n string) mem.Addr {
+			fl, _ := db.Layout.Field(n)
+			return base + mem.Addr(fl.ByteOff)
+		}
+		if v, _ := hd.ReadI32(f("i")); v != int32(10+e) {
+			t.Errorf("elem %d i = %d", e, v)
+		}
+		if v, _ := hd.ReadF64(f("d")); v != 0.5+float64(e) {
+			t.Errorf("elem %d d = %v", e, v)
+		}
+		if v, _ := hd.ReadCString(f("s"), 16); v != "xdr" {
+			t.Errorf("elem %d s = %q", e, v)
+		}
+		if v, _ := hd.ReadU8(f("c")); v != 'q' {
+			t.Errorf("elem %d c = %c", e, v)
+		}
+	}
+	if v, _ := hd.ReadI32(dtarget.Addr); v != -777 {
+		t.Errorf("deep-copied target = %d, want -777", v)
+	}
+	// The nil pointer in element 1 stayed nil.
+	base1 := db.Addr + mem.Addr(db.Layout.Size)
+	if v, _ := hd.ReadPtr(base1 + mem.Addr(fl.ByteOff)); v != 0 {
+		t.Errorf("nil pointer became %#x", uint64(v))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	b := alloc(t, s, types.Int32(), 4)
+	if err := c.UnmarshalBlock(b, []byte{1, 2}); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	enc, err := c.MarshalBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalBlock(b, append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Overflowing string.
+	s4, err := types.StringOf(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := alloc(t, s, s4, 1)
+	bad := []byte{0, 0, 0, 9, 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 0, 0, 0}
+	if err := c.UnmarshalBlock(sb, bad); err == nil {
+		t.Error("overflowing string accepted")
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	_, s, c := setup(t, arch.AMD64())
+	h := s.Heap()
+	s8, err := types.StringOf(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc(t, s, s8, 1)
+	must(t, h.WriteCString(b.Addr, 8, "abcde")) // 5 bytes -> pad 3
+	enc, err := c.MarshalBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 4+5+3 {
+		t.Errorf("string encoded as %d bytes, want 12", len(enc))
+	}
+	// Roundtrip.
+	must(t, h.WriteCString(b.Addr, 8, ""))
+	if err := c.UnmarshalBlock(b, enc); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.ReadCString(b.Addr, 8); v != "abcde" {
+		t.Errorf("roundtrip = %q", v)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

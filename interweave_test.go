@@ -1,0 +1,396 @@
+package interweave_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"interweave"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := interweave.NewServer(interweave.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+func client(t *testing.T, prof *interweave.Profile) *interweave.Client {
+	t.Helper()
+	c, err := interweave.NewClient(interweave.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// employeeType declares a struct covering every primitive kind.
+func employeeType(t *testing.T) *interweave.Type {
+	t.Helper()
+	name, err := interweave.StringOf(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := interweave.StringOf(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := interweave.NewStruct("employee")
+	pmgr, err := interweave.PointerTo(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SetFields(
+		interweave.Field{Name: "id", Type: interweave.Int32()},
+		interweave.Field{Name: "salary", Type: interweave.Float64()},
+		interweave.Field{Name: "name", Type: name},
+		interweave.Field{Name: "grade", Type: tag},
+		interweave.Field{Name: "manager", Type: pmgr},
+		interweave.Field{Name: "initial", Type: interweave.Char()},
+		interweave.Field{Name: "tenure", Type: interweave.Int64()},
+		interweave.Field{Name: "rating", Type: interweave.Float32()},
+		interweave.Field{Name: "level", Type: interweave.Int16()},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func TestPublicAPIAllKindsAcrossMachines(t *testing.T) {
+	addr := startServer(t)
+	seg := addr + "/emp"
+	emp := employeeType(t)
+
+	// Writer: big-endian 32-bit.
+	w := client(t, interweave.ProfileSparc())
+	hw, err := w.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WLock(hw); err != nil {
+		t.Fatal(err)
+	}
+	boss, err := w.Alloc(hw, emp, 1, "boss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staff, err := w.Alloc(hw, emp, 3, "staff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bref, err := interweave.RefTo(w, boss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setField := func(r interweave.Ref, field string, set func(interweave.Ref) error) {
+		t.Helper()
+		f, err := r.Field(field)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := set(f); err != nil {
+			t.Fatalf("%s: %v", field, err)
+		}
+	}
+	setField(bref, "id", func(r interweave.Ref) error { return r.SetI32(1) })
+	setField(bref, "salary", func(r interweave.Ref) error { return r.SetF64(250000.5) })
+	setField(bref, "name", func(r interweave.Ref) error { return r.SetStr("Grace Hopper") })
+	sref, err := interweave.RefTo(w, staff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e, err := sref.Elem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setField(e, "id", func(r interweave.Ref) error { return r.SetI32(int32(100 + i)) })
+		setField(e, "salary", func(r interweave.Ref) error { return r.SetF64(1000.25 * float64(i+1)) })
+		setField(e, "name", func(r interweave.Ref) error { return r.SetStr(fmt.Sprintf("employee %d", i)) })
+		setField(e, "grade", func(r interweave.Ref) error { return r.SetStr("L" + string(rune('3'+i))) })
+		setField(e, "manager", func(r interweave.Ref) error { return r.SetPtr(boss.Addr) })
+		setField(e, "initial", func(r interweave.Ref) error { return r.SetByte(byte('a' + i)) })
+		setField(e, "tenure", func(r interweave.Ref) error { return r.SetI64(int64(i) * 1e10) })
+		setField(e, "rating", func(r interweave.Ref) error { return r.SetF32(float32(i) + 0.5) })
+		setField(e, "level", func(r interweave.Ref) error { return r.SetI16(int16(-i)) })
+	}
+	if err := w.WUnlock(hw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader: little-endian 64-bit, entering via MIP.
+	r := client(t, interweave.ProfileAlpha())
+	staffAddr, err := r.MIPToPtr(seg + "#staff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := r.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RLock(hr); err != nil {
+		t.Fatal(err)
+	}
+	sref, err = interweave.RefAt(r, staffAddr, emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e, err := sref.Elem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(field string, want any, get func(interweave.Ref) (any, error)) {
+			t.Helper()
+			f, err := e.Field(field)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := get(f)
+			if err != nil {
+				t.Fatalf("%s: %v", field, err)
+			}
+			if got != want {
+				t.Errorf("staff[%d].%s = %v, want %v", i, field, got, want)
+			}
+		}
+		check("id", int32(100+i), func(f interweave.Ref) (any, error) { return f.I32() })
+		check("salary", 1000.25*float64(i+1), func(f interweave.Ref) (any, error) { return f.F64() })
+		check("name", fmt.Sprintf("employee %d", i), func(f interweave.Ref) (any, error) { return f.Str() })
+		check("grade", "L"+string(rune('3'+i)), func(f interweave.Ref) (any, error) { return f.Str() })
+		check("initial", byte('a'+i), func(f interweave.Ref) (any, error) { return f.Byte() })
+		check("tenure", int64(i)*1e10, func(f interweave.Ref) (any, error) { return f.I64() })
+		check("rating", float32(i)+0.5, func(f interweave.Ref) (any, error) { return f.F32() })
+		check("level", int16(-i), func(f interweave.Ref) (any, error) { return f.I16() })
+		// Follow the swizzled manager pointer.
+		mgr, err := e.Field("manager")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mgr.Deref()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.IsNil() {
+			t.Fatal("manager pointer is nil")
+		}
+		id, err := mustField(t, b, "id").I32()
+		if err != nil || id != 1 {
+			t.Errorf("manager id = %d, %v", id, err)
+		}
+		nm, err := mustField(t, b, "name").Str()
+		if err != nil || nm != "Grace Hopper" {
+			t.Errorf("manager name = %q, %v", nm, err)
+		}
+	}
+	if err := r.RUnlock(hr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustField(t *testing.T, r interweave.Ref, name string) interweave.Ref {
+	t.Helper()
+	f, err := r.Field(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRefErrors(t *testing.T) {
+	addr := startServer(t)
+	c := client(t, interweave.ProfileAMD64())
+	h, err := c.Open(addr + "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Alloc(h, interweave.Int32(), 4, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := interweave.RefTo(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.F64(); err == nil {
+		t.Error("F64 on int32 ref succeeded")
+	}
+	if _, err := r.Field("x"); err == nil {
+		t.Error("Field on int32 ref succeeded")
+	}
+	var zero interweave.Ref
+	if !zero.IsNil() {
+		t.Error("zero Ref not nil")
+	}
+	if _, err := zero.I32(); err == nil {
+		t.Error("read through zero Ref succeeded")
+	}
+	if _, err := interweave.RefTo(nil, nil); err == nil {
+		t.Error("RefTo(nil) succeeded")
+	}
+	if err := c.WUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	for _, p := range []interweave.Policy{
+		interweave.Full(),
+		interweave.Delta(3),
+		interweave.Temporal(time.Second),
+		interweave.DiffBased(25),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("policy %+v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestArrayRefElem(t *testing.T) {
+	addr := startServer(t)
+	c := client(t, interweave.ProfileX86())
+	h, err := c.Open(addr + "/arr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := interweave.ArrayOf(interweave.Float64(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Alloc(h, arr, 1, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := interweave.RefTo(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e, err := r.Elem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetF64(float64(i) * 1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Elem(5); err == nil {
+		t.Error("out-of-range array Elem succeeded")
+	}
+	for i := 0; i < 5; i++ {
+		e, _ := r.Elem(i)
+		if v, _ := e.F64(); v != float64(i)*1.5 {
+			t.Errorf("grid[%d] = %v", i, v)
+		}
+	}
+	if err := c.WUnlock(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefKindMismatches drives every typed accessor against a ref of
+// the wrong kind: each must fail rather than misinterpret memory.
+func TestRefKindMismatches(t *testing.T) {
+	addr := startServer(t)
+	c := client(t, interweave.ProfileMIPS64())
+	h, err := c.Open(addr + "/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.WUnlock(h); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	s8, err := interweave.StringOf(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := interweave.PointerTo(interweave.Int32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]*interweave.Type{
+		"char": interweave.Char(), "i16": interweave.Int16(),
+		"i32": interweave.Int32(), "i64": interweave.Int64(),
+		"f32": interweave.Float32(), "f64": interweave.Float64(),
+		"str": s8, "ptr": pi,
+	}
+	refs := make(map[string]interweave.Ref)
+	for name, typ := range kinds {
+		b, err := c.Alloc(h, typ, 1, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := interweave.RefTo(c, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = r
+		if r.Addr() != b.Addr || r.Type() != typ {
+			t.Errorf("%s: ref identity wrong", name)
+		}
+	}
+	// Each getter/setter succeeds only on its own kind.
+	type acc struct {
+		kind string
+		get  func(interweave.Ref) error
+		set  func(interweave.Ref) error
+	}
+	accs := []acc{
+		{"char", func(r interweave.Ref) error { _, err := r.Byte(); return err },
+			func(r interweave.Ref) error { return r.SetByte(1) }},
+		{"i16", func(r interweave.Ref) error { _, err := r.I16(); return err },
+			func(r interweave.Ref) error { return r.SetI16(1) }},
+		{"i32", func(r interweave.Ref) error { _, err := r.I32(); return err },
+			func(r interweave.Ref) error { return r.SetI32(1) }},
+		{"i64", func(r interweave.Ref) error { _, err := r.I64(); return err },
+			func(r interweave.Ref) error { return r.SetI64(1) }},
+		{"f32", func(r interweave.Ref) error { _, err := r.F32(); return err },
+			func(r interweave.Ref) error { return r.SetF32(1) }},
+		{"f64", func(r interweave.Ref) error { _, err := r.F64(); return err },
+			func(r interweave.Ref) error { return r.SetF64(1) }},
+		{"str", func(r interweave.Ref) error { _, err := r.Str(); return err },
+			func(r interweave.Ref) error { return r.SetStr("x") }},
+		{"ptr", func(r interweave.Ref) error { _, err := r.Ptr(); return err },
+			func(r interweave.Ref) error { return r.SetPtr(0) }},
+	}
+	for _, a := range accs {
+		for name, r := range refs {
+			wantOK := name == a.kind
+			if err := a.get(r); (err == nil) != wantOK {
+				t.Errorf("get %s on %s: err=%v", a.kind, name, err)
+			}
+			if err := a.set(r); (err == nil) != wantOK {
+				t.Errorf("set %s on %s: err=%v", a.kind, name, err)
+			}
+		}
+	}
+	// Deref on a non-pointer fails; nil-target Deref yields nil ref.
+	if _, err := refs["i32"].Deref(); err == nil {
+		t.Error("Deref on int succeeded")
+	}
+	nilRef, err := refs["ptr"].Deref()
+	if err != nil || !nilRef.IsNil() {
+		t.Errorf("Deref(nil ptr) = %+v, %v", nilRef, err)
+	}
+}

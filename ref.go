@@ -1,0 +1,249 @@
+package interweave
+
+import (
+	"errors"
+	"fmt"
+
+	"interweave/internal/types"
+)
+
+// Ref is a typed reference into shared memory: an address paired with
+// the type of the datum it points at. Refs make example code read
+// like the paper's C — node.Field("next").SetPtr(p) — while every
+// store still flows through the modification-tracking accessors.
+//
+// Refs must only be dereferenced under the protection of the
+// segment's reader-writer locks, exactly like raw pointers in the
+// paper's API.
+type Ref struct {
+	c    *Client
+	t    *types.Type
+	l    *types.Layout
+	addr Addr
+}
+
+// ErrNilRef reports use of the zero Ref.
+var ErrNilRef = errors.New("interweave: nil ref")
+
+// NewRef returns a typed reference to addr.
+func (rf Ref) valid() error {
+	if rf.c == nil || rf.l == nil {
+		return ErrNilRef
+	}
+	return nil
+}
+
+// RefTo returns a typed reference to the first element of block b.
+func RefTo(c *Client, b *Block) (Ref, error) {
+	if c == nil || b == nil {
+		return Ref{}, ErrNilRef
+	}
+	return Ref{c: c, t: b.Layout.Type, l: b.Layout, addr: b.Addr}, nil
+}
+
+// RefAt returns a typed reference to an arbitrary address, viewed as
+// type t. Use this to follow pointers: ptr, _ := r.Ptr();
+// n, _ := RefAt(c, ptr, nodeType).
+func RefAt(c *Client, addr Addr, t *Type) (Ref, error) {
+	if c == nil || t == nil {
+		return Ref{}, ErrNilRef
+	}
+	l, err := types.Of(t, c.Profile())
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{c: c, t: t, l: l, addr: addr}, nil
+}
+
+// Addr returns the referenced address.
+func (rf Ref) Addr() Addr { return rf.addr }
+
+// Type returns the referenced type.
+func (rf Ref) Type() *Type { return rf.t }
+
+// IsNil reports whether the reference is unusable or targets address
+// zero.
+func (rf Ref) IsNil() bool { return rf.valid() != nil || rf.addr == 0 }
+
+// Field narrows a struct reference to one of its fields.
+func (rf Ref) Field(name string) (Ref, error) {
+	if err := rf.valid(); err != nil {
+		return Ref{}, err
+	}
+	f, ok := rf.l.Field(name)
+	if !ok {
+		return Ref{}, fmt.Errorf("interweave: type %v has no field %q", rf.t, name)
+	}
+	return RefAt(rf.c, rf.addr+Addr(f.ByteOff), f.Type)
+}
+
+// Elem moves the reference i elements forward (for blocks holding
+// arrays of the type, or array types).
+func (rf Ref) Elem(i int) (Ref, error) {
+	if err := rf.valid(); err != nil {
+		return Ref{}, err
+	}
+	if rf.t.Kind() == types.KindArray {
+		el, err := types.Of(rf.t.Elem(), rf.c.Profile())
+		if err != nil {
+			return Ref{}, err
+		}
+		if i < 0 || i >= rf.t.Len() {
+			return Ref{}, fmt.Errorf("interweave: index %d out of [0,%d)", i, rf.t.Len())
+		}
+		return Ref{c: rf.c, t: rf.t.Elem(), l: el, addr: rf.addr + Addr(i*el.Size)}, nil
+	}
+	return Ref{c: rf.c, t: rf.t, l: rf.l, addr: rf.addr + Addr(i*rf.l.Size)}, nil
+}
+
+func (rf Ref) wantKind(k types.Kind) error {
+	if err := rf.valid(); err != nil {
+		return err
+	}
+	if rf.t.Kind() != k {
+		return fmt.Errorf("interweave: %v is not %v", rf.t, k)
+	}
+	return nil
+}
+
+// I32 loads an int32.
+func (rf Ref) I32() (int32, error) {
+	if err := rf.wantKind(types.KindInt32); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadI32(rf.addr)
+}
+
+// SetI32 stores an int32.
+func (rf Ref) SetI32(v int32) error {
+	if err := rf.wantKind(types.KindInt32); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteI32(rf.addr, v)
+}
+
+// I64 loads an int64.
+func (rf Ref) I64() (int64, error) {
+	if err := rf.wantKind(types.KindInt64); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadI64(rf.addr)
+}
+
+// SetI64 stores an int64.
+func (rf Ref) SetI64(v int64) error {
+	if err := rf.wantKind(types.KindInt64); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteI64(rf.addr, v)
+}
+
+// I16 loads an int16.
+func (rf Ref) I16() (int16, error) {
+	if err := rf.wantKind(types.KindInt16); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadI16(rf.addr)
+}
+
+// SetI16 stores an int16.
+func (rf Ref) SetI16(v int16) error {
+	if err := rf.wantKind(types.KindInt16); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteI16(rf.addr, v)
+}
+
+// Byte loads a char.
+func (rf Ref) Byte() (byte, error) {
+	if err := rf.wantKind(types.KindChar); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadU8(rf.addr)
+}
+
+// SetByte stores a char.
+func (rf Ref) SetByte(v byte) error {
+	if err := rf.wantKind(types.KindChar); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteU8(rf.addr, v)
+}
+
+// F32 loads a float32.
+func (rf Ref) F32() (float32, error) {
+	if err := rf.wantKind(types.KindFloat32); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadF32(rf.addr)
+}
+
+// SetF32 stores a float32.
+func (rf Ref) SetF32(v float32) error {
+	if err := rf.wantKind(types.KindFloat32); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteF32(rf.addr, v)
+}
+
+// F64 loads a float64.
+func (rf Ref) F64() (float64, error) {
+	if err := rf.wantKind(types.KindFloat64); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadF64(rf.addr)
+}
+
+// SetF64 stores a float64.
+func (rf Ref) SetF64(v float64) error {
+	if err := rf.wantKind(types.KindFloat64); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteF64(rf.addr, v)
+}
+
+// Str loads a string.
+func (rf Ref) Str() (string, error) {
+	if err := rf.wantKind(types.KindString); err != nil {
+		return "", err
+	}
+	return rf.c.Heap().ReadCString(rf.addr, rf.t.Cap())
+}
+
+// SetStr stores a string; it must fit the declared capacity with its
+// terminator.
+func (rf Ref) SetStr(v string) error {
+	if err := rf.wantKind(types.KindString); err != nil {
+		return err
+	}
+	return rf.c.Heap().WriteCString(rf.addr, rf.t.Cap(), v)
+}
+
+// Ptr loads a pointer cell.
+func (rf Ref) Ptr() (Addr, error) {
+	if err := rf.wantKind(types.KindPointer); err != nil {
+		return 0, err
+	}
+	return rf.c.Heap().ReadPtr(rf.addr)
+}
+
+// SetPtr stores a pointer cell.
+func (rf Ref) SetPtr(v Addr) error {
+	if err := rf.wantKind(types.KindPointer); err != nil {
+		return err
+	}
+	return rf.c.Heap().WritePtr(rf.addr, v)
+}
+
+// Deref follows a pointer reference, yielding a reference to the
+// pointed-at value (of the pointer's declared target type).
+func (rf Ref) Deref() (Ref, error) {
+	p, err := rf.Ptr()
+	if err != nil {
+		return Ref{}, err
+	}
+	if p == 0 {
+		return Ref{}, nil
+	}
+	return RefAt(rf.c, p, rf.t.Elem())
+}
