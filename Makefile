@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples cover clean
+.PHONY: all build vet test race race-short bench figures examples cover clean
 
 all: build vet test
 
@@ -17,6 +17,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# CI variant: skips the soak/chaos long-variants (testing.Short()).
+race-short:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,17 +9,27 @@
 // wire-format diffs under relaxed coherence, pushes invalidation
 // notifications, and periodically checkpoints segments to the
 // checkpoint directory (from which it also restores at startup).
+//
+// For resilience testing the listener can be wrapped in a seeded
+// fault schedule (internal/faultnet):
+//
+//	iwserver -addr :7777 -chaos-seed 42 -chaos-resets 8 -chaos-max-delay 2ms
+//
+// injects the same connection resets and latency on every run with
+// the same seed, so client retry behavior is reproducible end to end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"interweave/internal/faultnet"
 	"interweave/internal/server"
 )
 
@@ -36,6 +46,11 @@ func run(args []string) error {
 	ckptDir := fs.String("checkpoint", "", "checkpoint directory (restore at startup, save periodically)")
 	every := fs.Duration("every", 30*time.Second, "checkpoint interval")
 	quiet := fs.Bool("quiet", false, "suppress diagnostics")
+	chaosSeed := fs.Int64("chaos-seed", 0, "inject seeded faults into the listener (0 = off)")
+	chaosConns := fs.Int("chaos-conns", 16, "connections the chaos schedule spreads resets over")
+	chaosResets := fs.Int("chaos-resets", 4, "connection resets in the chaos schedule")
+	chaosMaxBytes := fs.Int64("chaos-max-bytes", 64<<10, "latest byte offset at which a chaos reset fires")
+	chaosMaxDelay := fs.Duration("chaos-max-delay", 0, "upper bound for chaos per-chunk latency (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,12 +67,24 @@ func run(args []string) error {
 		return err
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *chaosSeed != 0 {
+		rules := faultnet.ChaosRules(*chaosSeed, *chaosConns, *chaosResets, *chaosMaxBytes, *chaosMaxDelay)
+		ln = faultnet.WrapListener(ln, faultnet.NewSchedule(rules...))
+		if !*quiet {
+			log.Printf("iwserver: chaos schedule active (seed %d, %d rules)", *chaosSeed, len(rules))
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe(*addr) }()
+	go func() { errc <- srv.Serve(ln) }()
 	if !*quiet {
-		log.Printf("iwserver: listening on %s", *addr)
+		log.Printf("iwserver: listening on %s", ln.Addr())
 	}
 	select {
 	case s := <-sig:

@@ -15,9 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interweave/internal/arch"
@@ -46,6 +49,25 @@ type Options struct {
 	// before one diffing section re-samples application behaviour
 	// (default 8).
 	NoDiffResample int
+	// DialTimeout bounds each TCP dial attempt (default 10s).
+	// Ignored when Dial is set.
+	DialTimeout time.Duration
+	// RPCTimeout bounds the round trip of RPCs that the server
+	// answers immediately. Lock-acquisition RPCs (ReadLock,
+	// WriteLock, TxCommit) are exempt: they may legitimately queue
+	// behind another client's writer for an unbounded time. Zero
+	// disables the timeout. A timed-out connection is failed — the
+	// multiplexed stream behind it can no longer be trusted.
+	RPCTimeout time.Duration
+	// MaxRetries is how many times a transport-failed retryable RPC
+	// is retried after reconnecting (default 3; negative disables
+	// retries entirely).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; subsequent
+	// retries back off exponentially with jitter (default 25ms).
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff (default 1s).
+	RetryMaxBackoff time.Duration
 }
 
 // Client is one InterWeave client process.
@@ -59,7 +81,19 @@ type Client struct {
 	segs    map[string]*segment
 	layouts types.Cache
 	closed  bool
+
+	// writerID identifies this client instance in WriteUnlock
+	// requests; together with a per-release sequence number it lets
+	// the server deduplicate retried releases (at-most-once).
+	writerID string
+	// staleReads counts read locks granted from the cache because the
+	// server was unreachable and the coherence policy tolerated it.
+	staleReads atomic.Uint64
 }
+
+// clientSeq distinguishes writer IDs of clients created by one
+// process (tests routinely run several).
+var clientSeq atomic.Uint64
 
 // NewClient returns a client with an empty heap.
 func NewClient(opts Options) (*Client, error) {
@@ -78,25 +112,47 @@ func NewClient(opts Options) (*Client, error) {
 	if opts.NoDiffResample <= 0 {
 		opts.NoDiffResample = 8
 	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
 	if opts.Dial == nil {
+		dt := opts.DialTimeout
 		opts.Dial = func(addr string) (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, 10*time.Second)
+			return net.DialTimeout("tcp", addr, dt)
 		}
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 25 * time.Millisecond
+	}
+	if opts.RetryMaxBackoff <= 0 {
+		opts.RetryMaxBackoff = time.Second
 	}
 	h, err := mem.NewHeap(opts.Profile)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		prof:  opts.Profile,
-		heap:  h,
-		opts:  opts,
-		conns: make(map[string]*serverConn),
-		segs:  make(map[string]*segment),
+		prof:     opts.Profile,
+		heap:     h,
+		opts:     opts,
+		conns:    make(map[string]*serverConn),
+		segs:     make(map[string]*segment),
+		writerID: fmt.Sprintf("%s/%d/%d", opts.Name, os.Getpid(), clientSeq.Add(1)),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
 }
+
+// StaleReads reports how many read locks were granted from the cache
+// because the server was unreachable (graceful degradation under
+// relaxed coherence).
+func (c *Client) StaleReads() uint64 { return c.staleReads.Load() }
 
 // Heap exposes the client's simulated address space for typed reads
 // and writes. Access shared data only under the protection of
@@ -178,24 +234,114 @@ func (c *Client) connFor(segName string) (*serverConn, error) {
 }
 
 // callSeg issues a request against a segment's server, re-dialing
-// once when the cached connection has died (e.g. after a server
-// restart from a checkpoint). Lock and subscription state held by the
-// old server instance is gone, so the segment's subscription is
-// dropped; its cached data remains valid and is re-validated by
-// version number on the next lock. Caller holds c.mu.
+// when the cached connection has died (e.g. after a server restart
+// from a checkpoint) and retrying transport failures of retryable
+// RPCs with bounded exponential backoff + jitter. Lock and
+// subscription state held by the old server instance is gone, so the
+// segment's subscription is dropped on reconnect; its cached data
+// remains valid and is re-validated by version number on the next
+// lock. Non-retryable RPCs (WriteUnlock, TxCommit) get at most one
+// send per call — their recovery runs at a higher level (Resume).
+// Caller holds c.mu.
 func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, error) {
-	reply, err := s.conn.call(m)
-	if err == nil || !s.conn.isClosed() {
-		return reply, err
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if s.conn == nil || s.conn.isClosed() {
+			sc, derr := c.connFor(s.name)
+			if derr != nil {
+				lastErr = fmt.Errorf("core: reconnecting to server of %q: %w", s.name, derr)
+				if retryable(m) && attempt < c.opts.MaxRetries && c.sleepRetry(attempt) {
+					continue
+				}
+				return nil, lastErr
+			}
+			s.conn = sc
+			s.state.Subscribed = false
+			s.state.Invalidated = false
+		}
+		reply, err := s.conn.callT(m, c.timeoutFor(m))
+		if err == nil || !isTransport(err) {
+			return reply, err
+		}
+		lastErr = err
+		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.sleepRetry(attempt) {
+			return nil, lastErr
+		}
 	}
-	sc, derr := c.connFor(s.name)
-	if derr != nil {
-		return nil, fmt.Errorf("core: reconnecting to server of %q: %w (original: %v)", s.name, derr, err)
+}
+
+// callRetry issues a request against the server addressed by segName
+// before any segment state exists (the open path), with the same
+// backoff-retry behaviour as callSeg. Caller holds c.mu.
+func (c *Client) callRetry(segName string, m protocol.Message) (protocol.Message, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		sc, err := c.connFor(segName)
+		if err != nil {
+			lastErr = err
+		} else {
+			reply, err := sc.callT(m, c.timeoutFor(m))
+			if err == nil || !isTransport(err) {
+				return reply, err
+			}
+			lastErr = err
+		}
+		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.sleepRetry(attempt) {
+			return nil, lastErr
+		}
 	}
-	s.conn = sc
-	s.state.Subscribed = false
-	s.state.Invalidated = false
-	return sc.call(m)
+}
+
+// retryable reports whether a transport-failed RPC may safely be sent
+// again. Everything on the read/lock path is idempotent: locks are
+// keyed to the session (a dead session's locks are released by the
+// server), polls and opens are pure queries, and Resume is a pure
+// probe. WriteUnlock and TxCommit mutate the segment and must not be
+// blindly resent — a lost reply leaves the first send possibly
+// applied; WUnlock recovers via the Resume protocol instead.
+func retryable(m protocol.Message) bool {
+	switch m.(type) {
+	case *protocol.Hello, *protocol.OpenSegment, *protocol.ReadLock,
+		*protocol.WriteLock, *protocol.ReadUnlock,
+		*protocol.Subscribe, *protocol.Unsubscribe, *protocol.Resume:
+		return true
+	}
+	return false
+}
+
+// isTransport distinguishes connection failures (retry material) from
+// server-reported errors, which arrived on a healthy stream.
+func isTransport(err error) bool {
+	var er *protocol.ErrorReply
+	return !errors.As(err, &er)
+}
+
+// timeoutFor bounds RPCs the server answers immediately. WriteLock
+// and TxCommit are exempt: they may queue behind another client's
+// writer for an unbounded, legitimate time. ReadLock is bounded —
+// readers are never queued, they just receive the current version.
+func (c *Client) timeoutFor(m protocol.Message) time.Duration {
+	switch m.(type) {
+	case *protocol.WriteLock, *protocol.TxCommit:
+		return 0
+	}
+	return c.opts.RPCTimeout
+}
+
+// sleepRetry waits out the backoff for the given attempt with c.mu
+// released, reporting false when the client was closed meanwhile.
+func (c *Client) sleepRetry(attempt int) bool {
+	d := c.opts.RetryBackoff << uint(attempt)
+	if d <= 0 || d > c.opts.RetryMaxBackoff {
+		d = c.opts.RetryMaxBackoff
+	}
+	// Full jitter over [d/2, d] decorrelates clients retrying after a
+	// shared fault (e.g. a server restart).
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	time.Sleep(d)
+	c.mu.Lock()
+	return !c.closed
 }
 
 // onNotify handles server-pushed invalidations.
@@ -291,6 +437,14 @@ func (sc *serverConn) close() error {
 // call sends one request and waits for its reply. ErrorReply payloads
 // are returned as errors.
 func (sc *serverConn) call(m protocol.Message) (protocol.Message, error) {
+	return sc.callT(m, 0)
+}
+
+// callT is call with an optional timeout. A timeout fails the whole
+// connection: replies on a multiplexed stream arrive in server order,
+// so once one is overdue the stream's state is unknowable and every
+// later reply suspect.
+func (sc *serverConn) callT(m protocol.Message, timeout time.Duration) (protocol.Message, error) {
 	sc.mu.Lock()
 	if sc.closed {
 		err := sc.err
@@ -313,7 +467,21 @@ func (sc *serverConn) call(m protocol.Message) (protocol.Message, error) {
 		sc.fail(err)
 		return nil, err
 	}
-	reply, ok := <-ch
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	var reply protocol.Message
+	var ok bool
+	select {
+	case reply, ok = <-ch:
+	case <-timeoutCh:
+		sc.fail(fmt.Errorf("core: %T RPC timed out after %v", m, timeout))
+		// The reply may have raced in before fail closed the channel.
+		reply, ok = <-ch
+	}
 	if !ok {
 		sc.mu.Lock()
 		err := sc.err

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"interweave/internal/faultnet"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+)
+
+// TestReconnectRPCMatrix drives each client-visible RPC kind into a
+// connection reset at both fault points — with the request lost
+// before the server acts (Up) and with the reply lost after it acted
+// (Down) — and asserts the client recovers through backoff-retry
+// while the operation's effect lands exactly once. The WriteUnlock
+// rows are the at-most-once cases the issue calls out: a duplicate
+// release after a lost reply must not bump the version twice.
+func TestReconnectRPCMatrix(t *testing.T) {
+	dirs := []struct {
+		name string
+		dir  faultnet.Direction
+	}{
+		{"request-lost", faultnet.Up},
+		{"reply-lost", faultnet.Down},
+	}
+	for _, kind := range []string{"open", "readlock", "writelock", "writeunlock"} {
+		for _, d := range dirs {
+			kind, d := kind, d
+			t.Run(kind+"/"+d.name, func(t *testing.T) {
+				runReconnectCase(t, kind, d.dir)
+			})
+		}
+	}
+}
+
+func runReconnectCase(t *testing.T, kind string, dir faultnet.Direction) {
+	srv, addr := startChaosServer(t)
+	sched := faultnet.NewSchedule()
+	var arm atomic.Bool
+	sched.AddRule(faultnet.Rule{Dir: dir, Op: faultnet.OpReset, When: armOnce(&arm)})
+	p := startChaosProxy(t, addr, sched)
+	segName := p.Addr() + "/rc"
+
+	// Prime: the segment exists at version 1 holding value 1, via a
+	// separate client so the victim's connection stays clean.
+	setup := newChaosClient(t, fastRetry("setup"))
+	hs, err := setup.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WLock(hs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Alloc(hs, types.Int32(), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := hs.Mem().BlockByName("v")
+	if err := setup.Heap().WriteI32(blk.Addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WUnlock(hs); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newChaosClient(t, fastRetry("victim"))
+	wantVer, wantVal := uint32(1), int32(1)
+
+	writeSection := func(h *Segment, armBeforeRelease bool) {
+		if err := c.WLock(h); err != nil {
+			t.Fatalf("write lock under fault: %v", err)
+		}
+		b, ok := h.Mem().BlockByName("v")
+		if !ok {
+			t.Fatal("block v missing")
+		}
+		if err := c.Heap().WriteI32(b.Addr, 2); err != nil {
+			t.Fatal(err)
+		}
+		if armBeforeRelease {
+			arm.Store(true)
+		}
+		if err := c.WUnlock(h); err != nil {
+			t.Fatalf("write unlock under fault: %v", err)
+		}
+		wantVer, wantVal = 2, 2
+	}
+
+	switch kind {
+	case "open":
+		arm.Store(true)
+		if _, err := c.Open(segName); err != nil {
+			t.Fatalf("open under fault: %v", err)
+		}
+	case "readlock":
+		h, err := c.Open(segName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arm.Store(true)
+		if err := c.RLock(h); err != nil {
+			t.Fatalf("read lock under fault: %v", err)
+		}
+		b, _ := h.Mem().BlockByName("v")
+		if v, _ := c.Heap().ReadI32(b.Addr); v != 1 {
+			t.Errorf("read %d, want 1", v)
+		}
+		if err := c.RUnlock(h); err != nil {
+			t.Fatal(err)
+		}
+	case "writelock":
+		h, err := c.Open(segName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arm.Store(true)
+		writeSection(h, false)
+	case "writeunlock":
+		h, err := c.Open(segName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeSection(h, true)
+	}
+
+	if n := sched.Stats().Resets; n != 1 {
+		t.Fatalf("schedule fired %d resets, want exactly 1", n)
+	}
+
+	// Exactly-once effect: the authoritative version moved only as
+	// far as the fault-free sequence would move it.
+	seg := srv.SegmentSnapshot(segName)
+	if seg == nil {
+		t.Fatal("segment missing on server")
+	}
+	if seg.Version != wantVer {
+		t.Errorf("server version = %d, want %d", seg.Version, wantVer)
+	}
+
+	// A fresh fault-free reader confirms the content.
+	verify := newChaosClient(t, fastRetry("verify"))
+	hv, err := verify.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.RLock(hv); err != nil {
+		t.Fatal(err)
+	}
+	vb, ok := hv.Mem().BlockByName("v")
+	if !ok {
+		t.Fatal("block v missing in verify client")
+	}
+	if v, _ := verify.Heap().ReadI32(vb.Addr + mem.Addr(0)); v != wantVal {
+		t.Errorf("verified value = %d, want %d", v, wantVal)
+	}
+	if err := verify.RUnlock(hv); err != nil {
+		t.Fatal(err)
+	}
+}

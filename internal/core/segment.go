@@ -22,6 +22,11 @@ var (
 	// ErrNoSuchType reports a diff referencing an unregistered type
 	// descriptor.
 	ErrNoSuchType = errors.New("core: unregistered type descriptor")
+	// ErrWriteConflict reports a write release abandoned because
+	// another client committed while this client was disconnected
+	// mid-release. The local modifications are dropped and the cached
+	// copy is refetched in full on the next lock acquisition.
+	ErrWriteConflict = errors.New("core: write release lost a conflict during reconnect")
 )
 
 // hotReleasesToNoDiff is how many consecutive mostly-modified write
@@ -46,6 +51,10 @@ type segment struct {
 	writeWaiters int
 
 	// Outgoing bookkeeping.
+	// wseq numbers this client's write releases of the segment;
+	// together with the client's writerID it keys the server's
+	// at-most-once dedup of retried releases.
+	wseq          uint32
 	freed         []uint32
 	nextLocalDesc uint32
 	descForType   map[*types.Type]uint32
@@ -149,13 +158,13 @@ func (c *Client) openShell(name string, create bool) (*segment, error) {
 	if s, ok := c.segs[name]; ok {
 		return s, nil
 	}
+	reply, err := c.callRetry(name, &protocol.OpenSegment{Name: name, Create: create})
+	if err != nil {
+		return nil, fmt.Errorf("core: opening %q: %w", name, err)
+	}
 	sc, err := c.connFor(name)
 	if err != nil {
 		return nil, err
-	}
-	reply, err := sc.call(&protocol.OpenSegment{Name: name, Create: create})
-	if err != nil {
-		return nil, fmt.Errorf("core: opening %q: %w", name, err)
 	}
 	or, ok := reply.(*protocol.OpenReply)
 	if !ok {
@@ -397,6 +406,17 @@ func (c *Client) ensureFresh(s *segment) error {
 	}
 	reply, err := c.callSeg(s, &protocol.ReadLock{Seg: s.name, HaveVersion: s.version, Policy: policy})
 	if err != nil {
+		if isTransport(err) && s.version > 0 && s.policy.Model != coherence.ModelFull {
+			// Graceful degradation: relaxed coherence already tolerates
+			// bounded staleness, so with the server unreachable a
+			// Delta/Temporal/Diff reader keeps serving its valid cached
+			// version instead of failing (paper Section 2's rationale
+			// for recently-coherent data).
+			s.state.FetchedAt = now
+			s.state.Invalidated = false
+			c.staleReads.Add(1)
+			return nil
+		}
 		return fmt.Errorf("core: read lock on %q: %w", s.name, err)
 	}
 	lr, ok := reply.(*protocol.LockReply)
@@ -510,7 +530,14 @@ func (c *Client) WUnlock(h *Segment) error {
 	if !d.Empty() {
 		payload = d
 	}
-	reply, err := c.callSeg(s, &protocol.WriteUnlock{Seg: s.name, Diff: payload})
+	s.wseq++
+	msg := &protocol.WriteUnlock{Seg: s.name, Diff: payload, WriterID: c.writerID, Seq: s.wseq}
+	reply, err := c.callSeg(s, msg)
+	if err != nil && isTransport(err) {
+		// The connection died with the release in flight: the server
+		// may or may not have applied it. Resolve the ambiguity.
+		reply, err = c.recoverWUnlock(s, msg)
+	}
 	if err != nil {
 		s.releaseWrite(c)
 		return fmt.Errorf("core: write unlock on %q: %w", s.name, err)
@@ -535,6 +562,96 @@ func (c *Client) WUnlock(h *Segment) error {
 func (s *segment) releaseWrite(c *Client) {
 	s.writer = false
 	c.cond.Broadcast()
+}
+
+// recoverWUnlock resolves an ambiguous write release: the connection
+// died after the request may have reached the server. A Resume probe
+// asks whether (WriterID, Seq) was applied; if it was, the recorded
+// version is adopted and nothing is resent. If it was not and no
+// other writer committed meanwhile, the write lock is re-acquired on
+// the fresh session and the identical release resent — the server's
+// dedup table makes the pair at-most-once even if the retry races a
+// late-arriving original. If another writer did commit (the server
+// released our lock with the dead session), the diff was computed
+// against a version that no longer exists and the release is
+// abandoned with ErrWriteConflict. Caller holds c.mu and the local
+// write lock.
+func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.Message, error) {
+	base := s.version
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 && !c.sleepRetry(attempt-1) {
+			return nil, errors.New("core: client closed")
+		}
+		reply, err := c.callSeg(s, &protocol.Resume{Seg: s.name, WriterID: m.WriterID, Seq: m.Seq})
+		if err != nil {
+			lastErr = err
+			if isTransport(err) {
+				continue
+			}
+			return nil, err
+		}
+		rr, ok := reply.(*protocol.ResumeReply)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected reply %T to resume", reply)
+		}
+		if rr.Applied {
+			return &protocol.VersionReply{Version: rr.AppliedVersion}, nil
+		}
+		if rr.CurrentVersion != base {
+			return nil, c.conflict(s)
+		}
+		// Not applied and nobody else wrote: take the lock again on
+		// the new session and resend the identical release.
+		lreply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: base, Policy: s.policy})
+		if err != nil {
+			lastErr = err
+			if isTransport(err) {
+				continue
+			}
+			return nil, err
+		}
+		lr, ok := lreply.(*protocol.LockReply)
+		if !ok {
+			return nil, fmt.Errorf("core: unexpected reply %T to write lock", lreply)
+		}
+		if !lr.Fresh {
+			// The version moved between probe and grant. We now hold
+			// the server lock — surrender it untouched before failing.
+			_, _ = c.callSeg(s, &protocol.WriteUnlock{Seg: s.name})
+			return nil, c.conflict(s)
+		}
+		reply, err = c.callSeg(s, m)
+		if err == nil || !isTransport(err) {
+			return reply, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: release recovery gave up: %w", lastErr)
+}
+
+// conflict abandons uncommitted local modifications after a lost
+// write race and resets the cache so the next lock refetches a full
+// copy.
+func (c *Client) conflict(s *segment) error {
+	c.resetSegCache(s)
+	return ErrWriteConflict
+}
+
+// resetSegCache invalidates the segment's cached copy: version 0
+// forces the next lock acquisition through the first-lock path, which
+// fetches the entire segment and overwrites abandoned local
+// modifications. Blocks allocated locally but never committed remain
+// mapped (other segments may hold pointers at them) but are unknown
+// to the server.
+func (c *Client) resetSegCache(s *segment) {
+	s.version = 0
+	s.state = coherence.State{}
+	s.m.DropTwins()
+	s.m.Unprotect()
+	s.freed = nil
+	s.noDiff = false
+	s.hotReleases = 0
 }
 
 // updateNoDiff adjusts the no-diff mode after a release: a client

@@ -73,7 +73,8 @@ func (c *Client) TxCommit(hs ...*Segment) error {
 		}
 		collected[i] = d
 		attachDescDefs(s, d)
-		part := protocol.WriteUnlock{Seg: s.name}
+		s.wseq++
+		part := protocol.WriteUnlock{Seg: s.name, WriterID: c.writerID, Seq: s.wseq}
 		if !d.Empty() {
 			part.Diff = d
 		}

@@ -1,0 +1,659 @@
+// Package faultnet is a deterministic fault-injecting network layer
+// for chaos testing InterWeave's client/server paths.
+//
+// The core abstraction is a Schedule: an ordered set of Rules, each
+// of which matches traffic by connection index and direction and
+// fires an action — added latency, a bandwidth cap, chopped (partial)
+// writes, a mid-stream connection reset, a one-way blackhole
+// partition, or an accept-time failure. Rules fire at exact byte
+// offsets ("reset the 3rd connection after 128 bytes of
+// client-to-server traffic"), so a fixed schedule produces an
+// identical fault sequence on every run regardless of how the kernel
+// chunks reads. For pseudo-random chaos, ChaosRules expands a seed
+// into a concrete rule list; the expansion is pure, so the same seed
+// always yields the same schedule.
+//
+// Two transports consume a Schedule:
+//
+//   - Proxy: a TCP proxy in front of a real server. Clients dial the
+//     proxy's address; every accepted connection is paired with a dial
+//     to the target and pumped through the schedule in both
+//     directions. This is the form the chaos tests use — it exercises
+//     real sockets end to end.
+//   - WrapListener / WrapConn: in-process wrappers for injecting
+//     faults directly on a server's listener (cmd/iwserver's -chaos-*
+//     flags) or an individual connection.
+//
+// Directions are named from the client's point of view: Up is bytes
+// flowing client → server, Down is server → client.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Direction distinguishes the two halves of a duplex connection.
+type Direction uint8
+
+// Traffic directions, from the client's point of view.
+const (
+	// Up is client → server traffic.
+	Up Direction = iota
+	// Down is server → client traffic.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Op is the action a rule performs when it fires.
+type Op uint8
+
+// Rule actions.
+const (
+	// OpNone matches nothing; the zero value is inert.
+	OpNone Op = iota
+	// OpReset closes both ends of the connection mid-stream. Bytes
+	// before the rule's offset are forwarded; the rest are lost.
+	OpReset
+	// OpBlackhole silently drops all further bytes in the rule's
+	// direction — a one-way partition. The connection stays open.
+	OpBlackhole
+	// OpDelay adds Delay before each forwarded chunk.
+	OpDelay
+	// OpRate caps throughput at Rate bytes per second.
+	OpRate
+	// OpChop splits forwarded data into writes of at most Chop bytes,
+	// exercising partial-read handling in framing code.
+	OpChop
+	// OpAcceptClose accepts the matched connection and immediately
+	// closes it — an accept-time failure.
+	OpAcceptClose
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpReset:
+		return "reset"
+	case OpBlackhole:
+		return "blackhole"
+	case OpDelay:
+		return "delay"
+	case OpRate:
+		return "rate"
+	case OpChop:
+		return "chop"
+	case OpAcceptClose:
+		return "accept-close"
+	default:
+		return "none"
+	}
+}
+
+// Rule is one entry of a fault schedule.
+type Rule struct {
+	// Conn is the 1-based index of the connection the rule applies
+	// to, in accept order; 0 applies to every connection.
+	Conn int
+	// Dir is the traffic direction the rule watches. Ignored by
+	// OpAcceptClose.
+	Dir Direction
+	// After is the number of bytes that must have been forwarded in
+	// Dir on the matched connection before the rule fires. One-shot
+	// ops (OpReset, OpBlackhole) fire exactly at this offset; shaping
+	// ops (OpDelay, OpRate, OpChop) apply from this offset on.
+	After int64
+	// Op is the action.
+	Op Op
+	// Delay is the per-chunk latency for OpDelay.
+	Delay time.Duration
+	// Rate is the bytes-per-second cap for OpRate.
+	Rate int
+	// Chop is the maximum write size for OpChop.
+	Chop int
+	// When, if non-nil, replaces the After trigger for one-shot ops:
+	// the rule fires before forwarding the first chunk for which When
+	// returns true (total is the byte count already forwarded in
+	// Dir). Conn and Dir matching still apply. This is the
+	// programmable hook chaos tests use to kill a connection at a
+	// protocol-defined moment, e.g. "as the reply to the armed
+	// request passes by".
+	When func(conn int, dir Direction, total int64, chunk []byte) bool
+}
+
+// Stats counts what a schedule has done so far.
+type Stats struct {
+	// Conns is the number of connections accepted.
+	Conns int
+	// Bytes is the count of bytes forwarded per direction.
+	Bytes [2]int64
+	// Dropped is the count of bytes swallowed per direction by
+	// partitions and resets.
+	Dropped [2]int64
+	// Resets is the number of OpReset firings.
+	Resets int
+	// AcceptClosed is the number of connections killed at accept.
+	AcceptClosed int
+}
+
+// Schedule is a shared, mutable fault plan. One Schedule may drive
+// any number of connections; per-connection rule state (fired flags,
+// byte counters) lives in the connections themselves.
+type Schedule struct {
+	mu    sync.Mutex
+	rules []Rule
+	// fired marks one-shot rules that have fired, keyed by rule index
+	// and connection index.
+	fired map[[2]int]bool
+	// part is the dynamic whole-schedule partition switch per
+	// direction, independent of any rule.
+	part  [2]bool
+	conns int
+	stats Stats
+}
+
+// NewSchedule returns a schedule executing the given rules in order.
+func NewSchedule(rules ...Rule) *Schedule {
+	return &Schedule{rules: rules, fired: make(map[[2]int]bool)}
+}
+
+// AddRule appends a rule to a live schedule.
+func (s *Schedule) AddRule(r Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// Partition starts blackholing the given direction on every
+// connection until Heal. Both directions may be partitioned.
+func (s *Schedule) Partition(d Direction) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.part[d] = true
+}
+
+// Heal ends all dynamic partitions.
+func (s *Schedule) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.part[0], s.part[1] = false, false
+}
+
+// Stats returns a snapshot of the schedule's counters.
+func (s *Schedule) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// nextConn assigns the next 1-based connection index.
+func (s *Schedule) nextConn() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns++
+	s.stats.Conns = s.conns
+	return s.conns
+}
+
+// acceptFault reports whether connection idx should be killed at
+// accept time.
+func (s *Schedule) acceptFault(idx int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rules {
+		if r.Op != OpAcceptClose || !matchConn(r, idx) {
+			continue
+		}
+		key := [2]int{i, idx}
+		if s.fired[key] {
+			continue
+		}
+		s.fired[key] = true
+		s.stats.AcceptClosed++
+		return true
+	}
+	return false
+}
+
+func matchConn(r Rule, idx int) bool { return r.Conn == 0 || r.Conn == idx }
+
+// plan is the schedule's verdict on one chunk of traffic.
+type plan struct {
+	// forward is the prefix of the chunk to deliver.
+	forward []byte
+	// reset closes both ends after forwarding.
+	reset bool
+	// delay is slept before forwarding.
+	delay time.Duration
+	// rate, when positive, paces the forwarded bytes.
+	rate int
+	// chop, when positive, bounds individual writes.
+	chop int
+}
+
+// apply decides what happens to one chunk flowing in dir on
+// connection idx, with total bytes already forwarded. It advances the
+// schedule's one-shot state, so a given byte offset fires a rule
+// exactly once per connection.
+func (s *Schedule) apply(idx int, dir Direction, total int64, chunk []byte) plan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := plan{forward: chunk}
+	if s.part[dir] || s.blackholed(idx, dir) {
+		s.stats.Dropped[dir] += int64(len(chunk))
+		p.forward = nil
+		return p
+	}
+	// One-shot rules: find the earliest firing offset within this
+	// chunk.
+	cut := -1
+	var cutRule int
+	for i, r := range s.rules {
+		if (r.Op != OpReset && r.Op != OpBlackhole) || !matchConn(r, idx) || r.Dir != dir {
+			continue
+		}
+		key := [2]int{i, idx}
+		if s.fired[key] {
+			continue
+		}
+		var at int
+		if r.When != nil {
+			if !r.When(idx, dir, total, chunk) {
+				continue
+			}
+			at = 0
+		} else {
+			if total+int64(len(chunk)) <= r.After {
+				continue
+			}
+			at = int(r.After - total)
+			if at < 0 {
+				at = 0
+			}
+		}
+		if cut < 0 || at < cut {
+			cut, cutRule = at, i
+		}
+	}
+	if cut >= 0 {
+		r := s.rules[cutRule]
+		s.fired[[2]int{cutRule, idx}] = true
+		p.forward = chunk[:cut]
+		s.stats.Dropped[dir] += int64(len(chunk) - cut)
+		if r.Op == OpReset {
+			p.reset = true
+			s.stats.Resets++
+		}
+		// OpBlackhole: the fired flag itself swallows future chunks
+		// via blackholed.
+	}
+	// Shaping rules apply to whatever is forwarded.
+	for _, r := range s.rules {
+		if !matchConn(r, idx) || r.Dir != dir || total < r.After {
+			continue
+		}
+		switch r.Op {
+		case OpDelay:
+			p.delay += r.Delay
+		case OpRate:
+			if r.Rate > 0 && (p.rate == 0 || r.Rate < p.rate) {
+				p.rate = r.Rate
+			}
+		case OpChop:
+			if r.Chop > 0 && (p.chop == 0 || r.Chop < p.chop) {
+				p.chop = r.Chop
+			}
+		}
+	}
+	s.stats.Bytes[dir] += int64(len(p.forward))
+	return p
+}
+
+// blackholed reports whether a fired OpBlackhole rule covers (idx,
+// dir). Caller holds s.mu.
+func (s *Schedule) blackholed(idx int, dir Direction) bool {
+	for i, r := range s.rules {
+		if r.Op == OpBlackhole && matchConn(r, idx) && r.Dir == dir && s.fired[[2]int{i, idx}] {
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosRules expands a seed into a deterministic pseudo-random
+// schedule: nResets connection resets at offsets within [1, maxBytes]
+// spread over directions and the first conns connections, plus, when
+// maxDelay is positive, a per-chunk latency of up to maxDelay on
+// every connection. The expansion is pure — equal arguments always
+// produce the identical rule list — which is what makes seeded chaos
+// runs reproducible.
+func ChaosRules(seed int64, conns, nResets int, maxBytes int64, maxDelay time.Duration) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	var rules []Rule
+	if maxDelay > 0 {
+		rules = append(rules, Rule{Op: OpDelay, Dir: Up, Delay: time.Duration(rng.Int63n(int64(maxDelay)) + 1)})
+		rules = append(rules, Rule{Op: OpDelay, Dir: Down, Delay: time.Duration(rng.Int63n(int64(maxDelay)) + 1)})
+	}
+	for i := 0; i < nResets; i++ {
+		dir := Up
+		if rng.Intn(2) == 1 {
+			dir = Down
+		}
+		rules = append(rules, Rule{
+			Conn:  1 + rng.Intn(conns),
+			Dir:   dir,
+			After: 1 + rng.Int63n(maxBytes),
+			Op:    OpReset,
+		})
+	}
+	return rules
+}
+
+// Proxy is a fault-injecting TCP proxy: it accepts client
+// connections, dials the target for each, and pumps bytes through
+// the schedule in both directions.
+type Proxy struct {
+	target string
+	ln     net.Listener
+	sched  *Schedule
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// track registers a live connection so Close can sever it; it refuses
+// (closing the conn) when the proxy is already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		_ = c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, c)
+}
+
+// NewProxy listens on a fresh loopback port and forwards to target
+// under the schedule. Close the proxy to stop it.
+func NewProxy(target string, sched *Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: listen: %w", err)
+	}
+	if sched == nil {
+		sched = NewSchedule()
+	}
+	p := &Proxy{target: target, ln: ln, sched: sched, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Schedule returns the proxy's live schedule, for dynamic control
+// (AddRule, Partition, Heal) and stats.
+func (p *Proxy) Schedule() *Schedule { return p.sched }
+
+// Close stops accepting and waits for the pumps to drain. Existing
+// connections are severed.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		idx := p.sched.nextConn()
+		if p.sched.acceptFault(idx) {
+			_ = cc.Close()
+			continue
+		}
+		sc, err := net.Dial("tcp", p.target)
+		if err != nil {
+			// Target down (e.g. a server restarting): sever the
+			// client so it retries.
+			_ = cc.Close()
+			continue
+		}
+		if !p.track(cc) || !p.track(sc) {
+			_ = cc.Close()
+			_ = sc.Close()
+			continue
+		}
+		p.wg.Add(2)
+		go p.pump(idx, Up, cc, sc)
+		go p.pump(idx, Down, sc, cc)
+	}
+}
+
+// pump moves bytes from src to dst in direction dir, consulting the
+// schedule for every chunk.
+func (p *Proxy) pump(idx int, dir Direction, src, dst net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		_ = src.Close()
+		_ = dst.Close()
+		p.untrack(src)
+		p.untrack(dst)
+	}()
+	buf := make([]byte, 16<<10)
+	var total int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			pl := p.sched.apply(idx, dir, total, buf[:n])
+			if pl.delay > 0 {
+				time.Sleep(pl.delay)
+			}
+			if len(pl.forward) > 0 {
+				if werr := shapedWrite(dst, pl.forward, pl.chop, pl.rate); werr != nil {
+					return
+				}
+				total += int64(len(pl.forward))
+			}
+			if pl.reset {
+				return
+			}
+			// Swallowed bytes (partition) advance nothing: the rule
+			// offsets count delivered traffic only, keeping schedules
+			// deterministic even when a partition heals.
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// shapedWrite writes b honoring chop (maximum write size) and rate
+// (bytes per second).
+func shapedWrite(dst net.Conn, b []byte, chop, rate int) error {
+	step := len(b)
+	if chop > 0 && chop < step {
+		step = chop
+	}
+	for off := 0; off < len(b); off += step {
+		end := off + step
+		if end > len(b) {
+			end = len(b)
+		}
+		if _, err := dst.Write(b[off:end]); err != nil {
+			return err
+		}
+		if rate > 0 {
+			time.Sleep(time.Duration(float64(end-off) / float64(rate) * float64(time.Second)))
+		}
+	}
+	return nil
+}
+
+// listener wraps a net.Listener with accept faults and fault-wrapped
+// connections.
+type listener struct {
+	net.Listener
+	sched *Schedule
+}
+
+// WrapListener returns a listener whose accepted connections pass
+// through the schedule. Reads from the peer count as Up traffic and
+// writes to the peer as Down — i.e. the wrapped listener sees the
+// world the way a server behind it does. Connections matched by an
+// OpAcceptClose rule are closed immediately after accept (the caller
+// sees the next connection instead).
+func WrapListener(ln net.Listener, sched *Schedule) net.Listener {
+	if sched == nil {
+		sched = NewSchedule()
+	}
+	return &listener{Listener: ln, sched: sched}
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		idx := l.sched.nextConn()
+		if l.sched.acceptFault(idx) {
+			_ = c.Close()
+			continue
+		}
+		return WrapConn(c, l.sched, idx), nil
+	}
+}
+
+// Conn is a fault-wrapped connection. Reads consult the schedule's
+// Up rules, writes its Down rules.
+type Conn struct {
+	net.Conn
+	sched *Schedule
+	idx   int
+
+	mu      sync.Mutex
+	rdTotal int64
+	wrTotal int64
+	dead    bool
+}
+
+// WrapConn wraps c under the schedule as connection index idx (pass
+// sched.nextConn() if the caller does not track indices itself).
+func WrapConn(c net.Conn, sched *Schedule, idx int) *Conn {
+	return &Conn{Conn: c, sched: sched, idx: idx}
+}
+
+// errReset is returned once a reset rule severed the connection.
+var errReset = fmt.Errorf("faultnet: connection reset by schedule")
+
+// Read implements net.Conn. Blackholed inbound data is read from the
+// socket and discarded, exactly as a one-way partition would lose it.
+func (c *Conn) Read(b []byte) (int, error) {
+	for {
+		n, err := c.Conn.Read(b)
+		if n == 0 {
+			return n, err
+		}
+		c.mu.Lock()
+		total, dead := c.rdTotal, c.dead
+		c.mu.Unlock()
+		if dead {
+			return 0, errReset
+		}
+		pl := c.sched.apply(c.idx, Up, total, b[:n])
+		if pl.delay > 0 {
+			time.Sleep(pl.delay)
+		}
+		c.mu.Lock()
+		c.rdTotal += int64(len(pl.forward))
+		if pl.reset {
+			c.dead = true
+		}
+		c.mu.Unlock()
+		if pl.reset {
+			_ = c.Conn.Close()
+			if len(pl.forward) > 0 {
+				return len(pl.forward), nil
+			}
+			return 0, errReset
+		}
+		if len(pl.forward) > 0 {
+			return len(pl.forward), err
+		}
+		if err != nil {
+			return 0, err
+		}
+		// Entire chunk swallowed: keep reading.
+	}
+}
+
+// Write implements net.Conn. Blackholed outbound data reports
+// success without transmitting.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	total, dead := c.wrTotal, c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, errReset
+	}
+	pl := c.sched.apply(c.idx, Down, total, b)
+	if pl.delay > 0 {
+		time.Sleep(pl.delay)
+	}
+	if len(pl.forward) > 0 {
+		if err := shapedWrite(c.Conn, pl.forward, pl.chop, pl.rate); err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	c.wrTotal += int64(len(pl.forward))
+	if pl.reset {
+		c.dead = true
+	}
+	c.mu.Unlock()
+	if pl.reset {
+		_ = c.Conn.Close()
+		return len(pl.forward), errReset
+	}
+	// A blackholed write lies about success, as the network would.
+	return len(b), nil
+}

@@ -1,0 +1,308 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back,
+// returning its address.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	p, err := NewProxy(echoServer(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := []byte("hello, interweave")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q", got)
+	}
+	st := p.Schedule().Stats()
+	if st.Conns != 1 || st.Bytes[Up] != int64(len(msg)) || st.Bytes[Down] != int64(len(msg)) {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestResetAfterExactBytes verifies the deterministic cut: exactly
+// After bytes reach the server, then the connection dies — regardless
+// of how the sender chunks its writes. A sink server (no echo)
+// observes the forwarded prefix; echoed bytes in flight at reset time
+// would be destroyed just as a real RST destroys them.
+func TestResetAfterExactBytes(t *testing.T) {
+	const cut = 100
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	rcvd := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		b, _ := io.ReadAll(c)
+		rcvd <- b
+	}()
+	p, err := NewProxy(ln.Addr().String(), NewSchedule(
+		Rule{Conn: 1, Dir: Up, After: cut, Op: OpReset},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	// Send 300 bytes in uneven pieces; only the first 100 may arrive.
+	payload := bytes.Repeat([]byte{7}, 300)
+	for _, n := range []int{33, 33, 33, 201} {
+		if _, err := c.Write(payload[:n]); err != nil {
+			break // reset may already have severed us
+		}
+		payload = payload[n:]
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case got := <-rcvd:
+		if len(got) != cut {
+			t.Fatalf("server saw %d bytes through reset-at-%d proxy", len(got), cut)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the connection close")
+	}
+	if st := p.Schedule().Stats(); st.Resets != 1 {
+		t.Errorf("resets = %d", st.Resets)
+	}
+}
+
+func TestBlackholeAndHeal(t *testing.T) {
+	sched := NewSchedule()
+	p, err := NewProxy(echoServer(t), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	sched.Partition(Up)
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, _ := c.Read(buf); n != 0 {
+		t.Fatalf("read %d bytes through a partition", n)
+	}
+	_ = c.SetReadDeadline(time.Time{})
+
+	sched.Heal()
+	if _, err := c.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, buf[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:4]) != "back" {
+		t.Fatalf("post-heal echo = %q", buf[:4])
+	}
+	if st := sched.Stats(); st.Dropped[Up] != 4 {
+		t.Errorf("dropped = %+v", st.Dropped)
+	}
+}
+
+func TestAcceptClose(t *testing.T) {
+	p, err := NewProxy(echoServer(t), NewSchedule(
+		Rule{Conn: 1, Op: OpAcceptClose},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// First connection dies at accept; nothing ever echoes.
+	c1 := dialProxy(t, p)
+	_, _ = c1.Write([]byte("x"))
+	if b, _ := io.ReadAll(c1); len(b) != 0 {
+		t.Fatalf("conn 1 echoed %d bytes", len(b))
+	}
+	// Second connection works.
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Schedule().Stats(); st.AcceptClosed != 1 {
+		t.Errorf("acceptClosed = %d", st.AcceptClosed)
+	}
+}
+
+func TestDelayAndChop(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	p, err := NewProxy(echoServer(t), NewSchedule(
+		Rule{Dir: Up, Op: OpDelay, Delay: delay},
+		Rule{Dir: Down, Op: OpChop, Chop: 1},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	start := time.Now()
+	if _, err := c.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < delay {
+		t.Errorf("round trip took %v, want >= %v", el, delay)
+	}
+	if string(buf) != "abcd" {
+		t.Fatalf("chopped echo = %q", buf)
+	}
+}
+
+// TestWhenTrigger arms a programmable rule mid-stream: traffic passes
+// until the switch flips, then the connection resets before the next
+// chunk is forwarded.
+func TestWhenTrigger(t *testing.T) {
+	var arm atomic.Bool
+	p, err := NewProxy(echoServer(t), NewSchedule(Rule{
+		Dir: Up, Op: OpReset,
+		When: func(_ int, _ Direction, _ int64, _ []byte) bool { return arm.Load() },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("pass")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	_, _ = c.Write([]byte("killed"))
+	if b, _ := io.ReadAll(c); len(b) != 0 {
+		t.Fatalf("armed chunk echoed %d bytes", len(b))
+	}
+}
+
+// TestChaosRulesDeterministic is the seeded-schedule contract: one
+// seed, one schedule.
+func TestChaosRulesDeterministic(t *testing.T) {
+	a := ChaosRules(42, 4, 6, 4096, time.Millisecond)
+	b := ChaosRules(42, 4, 6, 4096, time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	c := ChaosRules(43, 4, 6, 4096, time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, r := range a {
+		if r.Op == OpReset && (r.Conn < 1 || r.Conn > 4 || r.After < 1 || r.After > 4096) {
+			t.Fatalf("rule out of range: %+v", r)
+		}
+	}
+}
+
+// TestWrapListener drives the server-side wrapper: accept faults and
+// reset rules apply without a proxy hop.
+func TestWrapListener(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(
+		Rule{Conn: 1, Op: OpAcceptClose},
+		Rule{Conn: 2, Dir: Up, After: 2, Op: OpReset},
+	)
+	ln := WrapListener(raw, sched)
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	addr := raw.Addr().String()
+
+	// Conn 1 is killed at accept.
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, _ = c1.Write([]byte("x"))
+	if b, _ := io.ReadAll(c1); len(b) != 0 {
+		t.Fatalf("accept-closed conn echoed %d bytes", len(b))
+	}
+
+	// Conn 2 resets after 2 inbound bytes.
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	_, _ = c2.Write([]byte("abcdef"))
+	if b, _ := io.ReadAll(c2); len(b) > 2 {
+		t.Fatalf("reset conn echoed %d bytes, want <= 2", len(b))
+	}
+}

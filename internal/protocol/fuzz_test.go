@@ -87,3 +87,38 @@ func TestTruncatedFramesAllPrefixes(t *testing.T) {
 		t.Fatalf("full frame: %v", err)
 	}
 }
+
+// FuzzReadFrame is the native-fuzzing counterpart of the quick
+// checks above: arbitrary bytes must decode cleanly or error, never
+// panic, and whatever decodes must survive a re-encode/re-decode
+// cycle.
+func FuzzReadFrame(f *testing.F) {
+	seed := func(id uint32, m Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, id, m); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(1, &Hello{ClientName: "c", Profile: "amd64"}))
+	f.Add(seed(2, &OpenSegment{Name: "host:1/s", Create: true}))
+	f.Add(seed(3, &WriteUnlock{Seg: "s", WriterID: "w/1/1", Seq: 9}))
+	f.Add(seed(4, &Resume{Seg: "s", WriterID: "w/1/1", Seq: 9}))
+	f.Add(seed(0, &Notify{Seg: "s", Version: 3}))
+	f.Add(seed(5, &ErrorReply{Code: CodeLockState, Text: "nope"}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, id, m); err != nil {
+			t.Fatalf("re-encoding decoded %T: %v", m, err)
+		}
+		if _, _, err := ReadFrame(&buf); err != nil {
+			t.Fatalf("re-decoding own encoding of %T: %v", m, err)
+		}
+	})
+}

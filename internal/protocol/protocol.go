@@ -42,6 +42,8 @@ const (
 	TypeError
 	TypeTxCommit
 	TypeTxReply
+	TypeResume
+	TypeResumeReply
 )
 
 // maxFrame bounds a single frame; segments larger than this must be
@@ -107,9 +109,18 @@ type ReadUnlock struct {
 }
 
 // WriteUnlock releases the write lock, carrying the collected diff.
+//
+// WriterID and Seq implement at-most-once delivery: the server
+// remembers, per segment and writer, the sequence number and
+// resulting version of the last applied unlock, so a client that
+// lost the reply to a WriteUnlock can re-deliver it (or probe with
+// Resume) without the diff ever being applied twice. An empty
+// WriterID opts out of the dedup machinery.
 type WriteUnlock struct {
-	Seg  string
-	Diff *wire.SegmentDiff
+	Seg      string
+	Diff     *wire.SegmentDiff
+	WriterID string
+	Seq      uint32
 }
 
 // VersionReply acknowledges a WriteUnlock with the version the diff
@@ -144,6 +155,27 @@ type TxCommit struct {
 // in order.
 type TxReply struct {
 	Versions []uint32
+}
+
+// Resume asks whether the write unlock identified by (WriterID, Seq)
+// was applied. A client whose connection died mid-WriteUnlock sends
+// this after reconnecting to learn whether the diff landed before
+// deciding to re-deliver it.
+type Resume struct {
+	Seg      string
+	WriterID string
+	Seq      uint32
+}
+
+// ResumeReply answers Resume. When Applied is true the unlock landed
+// and AppliedVersion is the version it produced; the reply was simply
+// lost. CurrentVersion is the segment's present version either way,
+// letting the client detect an intervening writer before
+// re-delivering its diff.
+type ResumeReply struct {
+	Applied        bool
+	AppliedVersion uint32
+	CurrentVersion uint32
 }
 
 // Ack is an empty success reply.
@@ -192,6 +224,8 @@ func (*Subscribe) Type() MsgType    { return TypeSubscribe }
 func (*Unsubscribe) Type() MsgType  { return TypeUnsubscribe }
 func (*TxCommit) Type() MsgType     { return TypeTxCommit }
 func (*TxReply) Type() MsgType      { return TypeTxReply }
+func (*Resume) Type() MsgType       { return TypeResume }
+func (*ResumeReply) Type() MsgType  { return TypeResumeReply }
 func (*Ack) Type() MsgType          { return TypeAck }
 func (*Notify) Type() MsgType       { return TypeNotify }
 func (*ErrorReply) Type() MsgType   { return TypeError }
@@ -327,11 +361,15 @@ func (m *ReadUnlock) decode(r *wire.Reader) error {
 
 func (m *WriteUnlock) encode(buf []byte) []byte {
 	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendString(buf, m.WriterID)
+	buf = wire.AppendU32(buf, m.Seq)
 	return appendDiff(buf, m.Diff)
 }
 
 func (m *WriteUnlock) decode(r *wire.Reader) error {
 	m.Seg = r.Str()
+	m.WriterID = r.Str()
+	m.Seq = r.U32()
 	var err error
 	m.Diff, err = readDiff(r)
 	if err != nil {
@@ -409,6 +447,36 @@ func (m *TxReply) decode(r *wire.Reader) error {
 	return r.Err()
 }
 
+func (m *Resume) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendString(buf, m.WriterID)
+	return wire.AppendU32(buf, m.Seq)
+}
+
+func (m *Resume) decode(r *wire.Reader) error {
+	m.Seg = r.Str()
+	m.WriterID = r.Str()
+	m.Seq = r.U32()
+	return r.Err()
+}
+
+func (m *ResumeReply) encode(buf []byte) []byte {
+	if m.Applied {
+		buf = wire.AppendU8(buf, 1)
+	} else {
+		buf = wire.AppendU8(buf, 0)
+	}
+	buf = wire.AppendU32(buf, m.AppliedVersion)
+	return wire.AppendU32(buf, m.CurrentVersion)
+}
+
+func (m *ResumeReply) decode(r *wire.Reader) error {
+	m.Applied = r.U8() == 1
+	m.AppliedVersion = r.U32()
+	m.CurrentVersion = r.U32()
+	return r.Err()
+}
+
 func (*Ack) encode(buf []byte) []byte    { return buf }
 func (*Ack) decode(_ *wire.Reader) error { return nil }
 
@@ -463,6 +531,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &TxCommit{}, nil
 	case TypeTxReply:
 		return &TxReply{}, nil
+	case TypeResume:
+		return &Resume{}, nil
+	case TypeResumeReply:
+		return &ResumeReply{}, nil
 	case TypeAck:
 		return &Ack{}, nil
 	case TypeNotify:

@@ -90,8 +90,8 @@ func TestLockMessagesRoundtrip(t *testing.T) {
 	if ru.Seg != "s" {
 		t.Errorf("ReadUnlock = %+v", ru)
 	}
-	wu := roundtrip(t, 10, &WriteUnlock{Seg: "s", Diff: sampleDiff()}).(*WriteUnlock)
-	if wu.Seg != "s" || wu.Diff == nil {
+	wu := roundtrip(t, 10, &WriteUnlock{Seg: "s", Diff: sampleDiff(), WriterID: "w/9/1", Seq: 17}).(*WriteUnlock)
+	if wu.Seg != "s" || wu.Diff == nil || wu.WriterID != "w/9/1" || wu.Seq != 17 {
 		t.Errorf("WriteUnlock = %+v", wu)
 	}
 	vr := roundtrip(t, 11, &VersionReply{Version: 42}).(*VersionReply)
@@ -131,6 +131,21 @@ func TestTxMessagesRoundtrip(t *testing.T) {
 	empty := roundtrip(t, 22, &TxCommit{}).(*TxCommit)
 	if len(empty.Parts) != 0 {
 		t.Errorf("empty TxCommit = %+v", empty)
+	}
+}
+
+func TestResumeRoundtrip(t *testing.T) {
+	rs := roundtrip(t, 30, &Resume{Seg: "s", WriterID: "w/9/1", Seq: 6}).(*Resume)
+	if rs.Seg != "s" || rs.WriterID != "w/9/1" || rs.Seq != 6 {
+		t.Errorf("Resume = %+v", rs)
+	}
+	rr := roundtrip(t, 31, &ResumeReply{Applied: true, AppliedVersion: 12, CurrentVersion: 14}).(*ResumeReply)
+	if !rr.Applied || rr.AppliedVersion != 12 || rr.CurrentVersion != 14 {
+		t.Errorf("ResumeReply = %+v", rr)
+	}
+	rr2 := roundtrip(t, 32, &ResumeReply{CurrentVersion: 3}).(*ResumeReply)
+	if rr2.Applied || rr2.AppliedVersion != 0 || rr2.CurrentVersion != 3 {
+		t.Errorf("unapplied ResumeReply = %+v", rr2)
 	}
 }
 

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"interweave/internal/coherence"
+	"interweave/internal/faultnet"
+	"interweave/internal/protocol"
+)
+
+// startShapedServer runs a server behind a faultnet-wrapped listener
+// so every session's traffic goes through the schedule.
+func startShapedServer(t *testing.T, sched *faultnet.Schedule) (*Server, string) {
+	t.Helper()
+	srv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(faultnet.WrapListener(ln, sched)) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+// TestServerShapedLink drives the full protocol flow over a link that
+// chops every write into 3-byte fragments and adds per-chunk latency:
+// frame decoding must reassemble partial reads correctly, so the
+// whole lock/diff cycle behaves exactly as on a clean link.
+func TestServerShapedLink(t *testing.T) {
+	sched := faultnet.NewSchedule(
+		faultnet.Rule{Dir: faultnet.Up, Op: faultnet.OpChop, Chop: 3},
+		faultnet.Rule{Dir: faultnet.Down, Op: faultnet.OpChop, Chop: 3},
+		faultnet.Rule{Dir: faultnet.Up, Op: faultnet.OpDelay, Delay: 100 * time.Microsecond},
+	)
+	srv, addr := startShapedServer(t, sched)
+	rc := dialRaw(t, addr)
+	rc.mustAck(&protocol.Hello{ClientName: "shaped", Profile: "x86-32le"})
+
+	reply, _ := rc.call(&protocol.OpenSegment{Name: "s", Create: true})
+	if or, ok := reply.(*protocol.OpenReply); !ok || !or.Created {
+		t.Fatalf("open reply = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.WriteLock{Seg: "s", Policy: coherence.Full()})
+	if lr, ok := reply.(*protocol.LockReply); !ok || !lr.Fresh {
+		t.Fatalf("write lock reply = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.WriteUnlock{
+		Seg: "s", Diff: intCreateDiff(t, 1, 7, 8, 9), WriterID: "shaped", Seq: 1,
+	})
+	if vr, ok := reply.(*protocol.VersionReply); !ok || vr.Version != 1 {
+		t.Fatalf("write unlock reply = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.ReadLock{Seg: "s", Policy: coherence.Full()})
+	lr, ok := reply.(*protocol.LockReply)
+	if !ok || lr.Fresh || lr.Diff == nil || lr.Diff.Version != 1 {
+		t.Fatalf("read lock reply = %+v", reply)
+	}
+	if seg := srv.SegmentSnapshot("s"); seg == nil || seg.Version != 1 {
+		t.Fatal("segment state wrong after shaped session")
+	}
+	if st := sched.Stats(); st.Bytes[faultnet.Up] == 0 || st.Bytes[faultnet.Down] == 0 {
+		t.Fatalf("traffic did not flow through the schedule: %+v", st)
+	}
+}
+
+// TestServerSurvivesMidFrameReset cuts a session in the middle of a
+// framed request and checks the server just drops the session —
+// no partial application, and the next session works normally.
+func TestServerSurvivesMidFrameReset(t *testing.T) {
+	sched := faultnet.NewSchedule(
+		// Kill connection 1 once a WriteUnlock-sized request is
+		// partially through: after the Hello+Open+WriteLock bytes.
+		faultnet.Rule{Conn: 1, Dir: faultnet.Up, Op: faultnet.OpReset, After: 90},
+	)
+	srv, addr := startShapedServer(t, sched)
+
+	rc := dialRaw(t, addr)
+	rc.mustAck(&protocol.Hello{ClientName: "doomed", Profile: "x86-32le"})
+	reply, _ := rc.call(&protocol.OpenSegment{Name: "s", Create: true})
+	if _, ok := reply.(*protocol.OpenReply); !ok {
+		t.Fatalf("open reply = %+v", reply)
+	}
+	// This request straddles the 90-byte mark, so the server sees a
+	// torn frame and the reply never comes back.
+	_ = protocol.WriteFrame(rc.conn, 99, &protocol.WriteUnlock{
+		Seg: "s", Diff: intCreateDiff(t, 1, 7, 8, 9), WriterID: "doomed", Seq: 1,
+	})
+	if _, _, err := protocol.ReadFrame(rc.conn); err == nil {
+		t.Fatal("expected the shaped reset to kill the session")
+	}
+
+	// The torn request must not have been applied.
+	if seg := srv.SegmentSnapshot("s"); seg == nil || seg.Version != 0 {
+		t.Fatalf("torn frame changed segment state: %+v", seg)
+	}
+	// A fresh session (conn 2, no rule) proceeds normally.
+	rc2 := dialRaw(t, addr)
+	rc2.mustAck(&protocol.Hello{ClientName: "next", Profile: "x86-32le"})
+	reply, _ = rc2.call(&protocol.WriteLock{Seg: "s", Policy: coherence.Full()})
+	if lr, ok := reply.(*protocol.LockReply); !ok || !lr.Fresh {
+		t.Fatalf("write lock after torn session = %+v", reply)
+	}
+	reply, _ = rc2.call(&protocol.WriteUnlock{
+		Seg: "s", Diff: intCreateDiff(t, 1, 4, 5, 6), WriterID: "next", Seq: 1,
+	})
+	if vr, ok := reply.(*protocol.VersionReply); !ok || vr.Version != 1 {
+		t.Fatalf("write unlock after torn session = %+v", reply)
+	}
+}

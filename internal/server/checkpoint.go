@@ -3,8 +3,10 @@ package server
 import (
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"interweave/internal/types"
@@ -16,7 +18,9 @@ import (
 // persistent storage (paper Section 2.2). A checkpoint file holds one
 // segment: its descriptors and its blocks in blk_version_list order
 // (so a restored segment retains the version-locality of its data),
-// with per-subblock version arrays intact.
+// with per-subblock version arrays intact, followed by the segment's
+// applied-writer table (so release dedup survives a restart) and a
+// CRC-32 trailer that makes any on-disk corruption detectable.
 
 const ckptMagic = 0x4957434B // "IWCK"
 
@@ -35,7 +39,9 @@ func (s *Server) Checkpoint() error {
 	s.mu.Lock()
 	encoded := make(map[string][]byte, len(s.segs))
 	for name, st := range s.segs {
-		encoded[name] = st.seg.encode()
+		buf := st.seg.encode()
+		buf = appendApplied(buf, st.applied)
+		encoded[name] = sealCheckpoint(buf)
 	}
 	s.mu.Unlock()
 	for name, data := range encoded {
@@ -62,13 +68,18 @@ func (s *Server) restore() error {
 	}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ckptSuffix) {
+			s.logf("checkpoint dir: skipping unrelated entry %s", e.Name())
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.opts.CheckpointDir, e.Name()))
 		if err != nil {
 			return fmt.Errorf("server: reading checkpoint %s: %w", e.Name(), err)
 		}
-		seg, err := decodeSegment(data)
+		payload, err := openCheckpoint(data)
+		if err != nil {
+			return fmt.Errorf("server: checkpoint %s: %w", e.Name(), err)
+		}
+		seg, applied, err := decodeCheckpointPayload(payload)
 		if err != nil {
 			return fmt.Errorf("server: checkpoint %s: %w", e.Name(), err)
 		}
@@ -79,15 +90,85 @@ func (s *Server) restore() error {
 			}
 			seg.SetDiffCacheCap(n)
 		}
-		s.segs[seg.Name] = &segState{seg: seg, subs: make(map[*session]*subState)}
+		s.segs[seg.Name] = &segState{seg: seg, subs: make(map[*session]*subState), applied: applied}
 	}
 	return nil
+}
+
+// sealCheckpoint appends a CRC-32 (IEEE) of the payload; truncations
+// and bit flips anywhere in the file then fail restore loudly instead
+// of resurrecting silently wrong data.
+func sealCheckpoint(payload []byte) []byte {
+	return wire.AppendU32(payload, crc32.ChecksumIEEE(payload))
+}
+
+// openCheckpoint verifies and strips the CRC trailer.
+func openCheckpoint(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("checkpoint truncated to %d bytes", len(data))
+	}
+	payload := data[:len(data)-4]
+	want := wire.NewReader(data[len(data)-4:]).U32()
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("checkpoint checksum mismatch (have %08x, want %08x): file corrupted or truncated", got, want)
+	}
+	return payload, nil
+}
+
+// appendApplied serializes the applied-writer table in sorted order,
+// so identical state produces identical checkpoint bytes.
+func appendApplied(buf []byte, applied map[string]appliedWrite) []byte {
+	buf = wire.AppendU32(buf, uint32(len(applied)))
+	ids := make([]string, 0, len(applied))
+	for id := range applied {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		buf = wire.AppendString(buf, id)
+		buf = wire.AppendU32(buf, applied[id].seq)
+		buf = wire.AppendU32(buf, applied[id].version)
+	}
+	return buf
+}
+
+// decodeCheckpointPayload rebuilds a segment and its applied-writer
+// table from a checkpoint payload (CRC already stripped).
+func decodeCheckpointPayload(data []byte) (*Segment, map[string]appliedWrite, error) {
+	r := wire.NewReader(data)
+	seg, err := decodeSegmentReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	na := r.U32()
+	if r.Err() != nil || na > 1<<20 {
+		return nil, nil, fmt.Errorf("bad applied-writer count")
+	}
+	applied := make(map[string]appliedWrite, na)
+	for i := uint32(0); i < na; i++ {
+		id := r.Str()
+		seq := r.U32()
+		ver := r.U32()
+		if r.Err() != nil {
+			return nil, nil, fmt.Errorf("applied-writer entry %d: %w", i, r.Err())
+		}
+		applied[id] = appliedWrite{seq: seq, version: ver}
+	}
+	if r.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes in checkpoint", r.Remaining())
+	}
+	return seg, applied, nil
 }
 
 // DecodeCheckpoint decodes one checkpoint file's contents; tools like
 // cmd/iwdump use it to inspect a server's persistent state off-line.
 func DecodeCheckpoint(data []byte) (*Segment, error) {
-	return decodeSegment(data)
+	payload, err := openCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	seg, _, err := decodeCheckpointPayload(payload)
+	return seg, err
 }
 
 // CheckpointFileSuffix is the filename suffix of segment checkpoint
@@ -133,10 +214,24 @@ func (s *Segment) encode() []byte {
 	return buf
 }
 
-// decodeSegment rebuilds a segment from its checkpoint encoding,
-// including the blk_version_list and marker tree.
+// decodeSegment rebuilds a segment from its bare encoding (no applied
+// table, no CRC), the form tx staging clones travel in.
 func decodeSegment(data []byte) (*Segment, error) {
 	r := wire.NewReader(data)
+	s, err := decodeSegmentReader(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in checkpoint", r.Remaining())
+	}
+	return s, nil
+}
+
+// decodeSegmentReader rebuilds a segment from its encoding, including
+// the blk_version_list and marker tree, leaving any trailing reader
+// content untouched.
+func decodeSegmentReader(r *wire.Reader) (*Segment, error) {
 	if r.U32() != ckptMagic {
 		return nil, fmt.Errorf("bad checkpoint magic")
 	}
@@ -237,9 +332,6 @@ func decodeSegment(data []byte) (*Segment, error) {
 	}
 	if err := r.Err(); err != nil {
 		return nil, err
-	}
-	if r.Remaining() != 0 {
-		return nil, fmt.Errorf("%d trailing bytes in checkpoint", r.Remaining())
 	}
 	return s, nil
 }

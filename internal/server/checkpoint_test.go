@@ -162,3 +162,122 @@ func TestCreateSegmentDuplicates(t *testing.T) {
 		t.Error("Addr non-nil before Serve")
 	}
 }
+
+// makeCheckpointFile produces one sealed checkpoint file with real
+// content (descriptors, a block, an applied-writer entry) and returns
+// its name and bytes.
+func makeCheckpointFile(t *testing.T) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, addr := startTestServer(t, Options{CheckpointDir: dir})
+	rc := dialRaw(t, addr)
+	rc.call(&protocol.OpenSegment{Name: "c/seg", Create: true})
+	rc.call(&protocol.WriteLock{Seg: "c/seg", Policy: coherence.Full()})
+	rc.call(&protocol.WriteUnlock{Seg: "c/seg", Diff: intCreateDiff(t, 1, 5, 6, 7), WriterID: "w-ckpt", Seq: 3})
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ckptSuffix) {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Name(), b
+		}
+	}
+	t.Fatal("no checkpoint file written")
+	return "", nil
+}
+
+// restoreFrom attempts a restore with the given file contents in an
+// otherwise empty checkpoint directory.
+func restoreFrom(t *testing.T, name string, data []byte) error {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Options{CheckpointDir: dir})
+	return err
+}
+
+// TestRestoreRejectsTruncation restores every prefix of a valid
+// checkpoint file: each must fail with an error, never panic, never
+// succeed with partial state.
+func TestRestoreRejectsTruncation(t *testing.T) {
+	name, data := makeCheckpointFile(t)
+	for cut := 0; cut < len(data); cut++ {
+		if err := restoreFrom(t, name, data[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes restored successfully", cut, len(data))
+		}
+	}
+}
+
+// TestRestoreRejectsBitFlips flips one bit at every byte position:
+// the CRC-32 trailer guarantees each is detected.
+func TestRestoreRejectsBitFlips(t *testing.T) {
+	name, data := makeCheckpointFile(t)
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if err := restoreFrom(t, name, bad); err == nil {
+			t.Fatalf("bit flip at byte %d restored successfully", i)
+		}
+	}
+}
+
+// TestRestoreRejectsWrongMagic re-seals a payload with a bogus magic
+// so the CRC passes and the failure comes from the decoder, with a
+// descriptive message.
+func TestRestoreRejectsWrongMagic(t *testing.T) {
+	name, data := makeCheckpointFile(t)
+	payload := append([]byte(nil), data[:len(data)-4]...)
+	copy(payload, []byte("NOPE"))
+	err := restoreFrom(t, name, sealCheckpoint(payload))
+	if err == nil {
+		t.Fatal("wrong-magic checkpoint restored successfully")
+	}
+	if !strings.Contains(err.Error(), "magic") {
+		t.Errorf("error does not mention the magic: %v", err)
+	}
+}
+
+// TestRestorePersistsAppliedTable proves release dedup survives a
+// server restart: a retried WriteUnlock whose original was applied
+// (and checkpointed) before the crash is answered from the restored
+// record instead of applied twice.
+func TestRestorePersistsAppliedTable(t *testing.T) {
+	dir := t.TempDir()
+	srv, addr := startTestServer(t, Options{CheckpointDir: dir})
+	rc := dialRaw(t, addr)
+	rc.call(&protocol.OpenSegment{Name: "c/dedup", Create: true})
+	rc.call(&protocol.WriteLock{Seg: "c/dedup", Policy: coherence.Full()})
+	rc.call(&protocol.WriteUnlock{Seg: "c/dedup", Diff: intCreateDiff(t, 1, 5), WriterID: "w-a", Seq: 7})
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, addr2 := startTestServer(t, Options{CheckpointDir: dir})
+	rc2 := dialRaw(t, addr2)
+	reply, _ := rc2.call(&protocol.Resume{Seg: "c/dedup", WriterID: "w-a", Seq: 7})
+	rr, ok := reply.(*protocol.ResumeReply)
+	if !ok || !rr.Applied || rr.AppliedVersion != 1 {
+		t.Fatalf("Resume after restart = %+v", reply)
+	}
+	reply, _ = rc2.call(&protocol.WriteUnlock{Seg: "c/dedup", Diff: intCreateDiff(t, 1, 5), WriterID: "w-a", Seq: 7})
+	vr, ok := reply.(*protocol.VersionReply)
+	if !ok || vr.Version != 1 {
+		t.Fatalf("retried release after restart = %+v", reply)
+	}
+	if seg := srv2.SegmentSnapshot("c/dedup"); seg == nil || seg.Version != 1 {
+		t.Errorf("duplicate release advanced the segment: %+v", seg)
+	}
+}

@@ -47,6 +47,17 @@ type segState struct {
 	writer  *session
 	waiters []*waiter
 	subs    map[*session]*subState
+	// applied records each writer's most recent release outcome, so a
+	// release retried after a lost reply is answered from the record
+	// instead of applied twice (at-most-once). Persisted with the
+	// segment's checkpoint.
+	applied map[string]appliedWrite
+}
+
+// appliedWrite is the recorded outcome of a write release.
+type appliedWrite struct {
+	seq     uint32
+	version uint32
 }
 
 type subState struct {
@@ -208,7 +219,7 @@ func (s *Server) getSeg(name string, create bool) (*segState, error) {
 	if !create {
 		return nil, fmt.Errorf("no segment %q", name)
 	}
-	st = &segState{seg: NewSegment(name), subs: make(map[*session]*subState)}
+	st = &segState{seg: NewSegment(name), subs: make(map[*session]*subState), applied: make(map[string]appliedWrite)}
 	if s.opts.DiffCacheCap != 0 {
 		n := s.opts.DiffCacheCap
 		if n < 0 {
@@ -267,6 +278,8 @@ func (sess *session) handle(msg protocol.Message) protocol.Message {
 		return &protocol.Ack{}
 	case *protocol.WriteUnlock:
 		return sess.handleWriteUnlock(m)
+	case *protocol.Resume:
+		return sess.handleResume(m)
 	case *protocol.Subscribe:
 		return sess.handleSubscribe(m)
 	case *protocol.Unsubscribe:
@@ -405,6 +418,17 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 		s.mu.Unlock()
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	if m.WriterID != "" {
+		if ap, ok := st.applied[m.WriterID]; ok && ap.seq == m.Seq {
+			// A retry of a release whose reply was lost: the diff is
+			// already in, so answer from the record without touching
+			// the segment. The retry arrives on a fresh session, which
+			// may meanwhile have reacquired the lock — release it.
+			releaseWriter(st, sess)
+			s.mu.Unlock()
+			return &protocol.VersionReply{Version: ap.version}
+		}
+	}
 	if st.writer != sess {
 		s.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock not held")
@@ -421,12 +445,34 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 		version = newVer
 		notifications = updateSubscribers(st, sess, newVer, modified)
 	}
+	if m.WriterID != "" {
+		st.applied[m.WriterID] = appliedWrite{seq: m.Seq, version: version}
+	}
 	releaseWriter(st, sess)
 	s.mu.Unlock()
 	for _, n := range notifications {
 		n()
 	}
 	return &protocol.VersionReply{Version: version}
+}
+
+// handleResume answers a client probing the fate of a write release
+// it sent on a connection that died: whether (WriterID, Seq) was
+// applied, at which version, and where the segment stands now.
+func (sess *session) handleResume(m *protocol.Resume) protocol.Message {
+	s := sess.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	rr := &protocol.ResumeReply{CurrentVersion: st.seg.Version}
+	if ap, ok := st.applied[m.WriterID]; ok && ap.seq == m.Seq {
+		rr.Applied = true
+		rr.AppliedVersion = ap.version
+	}
+	return rr
 }
 
 // updateSubscribers advances subscription counters after a new

@@ -394,3 +394,55 @@ func TestDiffCoherenceSubscription(t *testing.T) {
 		t.Fatalf("diff-bound notify = %+v", msg)
 	}
 }
+
+// TestWriteUnlockDedupAndResume exercises the at-most-once release
+// protocol raw: a duplicate (WriterID, Seq) release is answered from
+// the applied record without touching the segment, and Resume reports
+// the fate of any probed release.
+func TestWriteUnlockDedupAndResume(t *testing.T) {
+	srv, addr := startTestServer(t, Options{})
+	rc := dialRaw(t, addr)
+	rc.call(&protocol.OpenSegment{Name: "d/seg", Create: true})
+	rc.call(&protocol.WriteLock{Seg: "d/seg", Policy: coherence.Full()})
+	reply, _ := rc.call(&protocol.WriteUnlock{Seg: "d/seg", Diff: intCreateDiff(t, 1, 1, 2), WriterID: "w", Seq: 1})
+	vr, ok := reply.(*protocol.VersionReply)
+	if !ok || vr.Version != 1 {
+		t.Fatalf("first release = %+v", reply)
+	}
+
+	// The identical retry — no lock held, diff would collide with the
+	// existing block if re-applied — returns the recorded version.
+	reply, _ = rc.call(&protocol.WriteUnlock{Seg: "d/seg", Diff: intCreateDiff(t, 1, 1, 2), WriterID: "w", Seq: 1})
+	if vr, ok = reply.(*protocol.VersionReply); !ok || vr.Version != 1 {
+		t.Fatalf("duplicate release = %+v", reply)
+	}
+	if seg := srv.SegmentSnapshot("d/seg"); seg.Version != 1 || seg.NumBlocks() != 1 {
+		t.Fatalf("duplicate modified the segment: v%d, %d blocks", seg.Version, seg.NumBlocks())
+	}
+
+	// Resume: applied seq, unknown seq, unknown segment.
+	reply, _ = rc.call(&protocol.Resume{Seg: "d/seg", WriterID: "w", Seq: 1})
+	if rr, ok := reply.(*protocol.ResumeReply); !ok || !rr.Applied || rr.AppliedVersion != 1 || rr.CurrentVersion != 1 {
+		t.Fatalf("Resume(applied) = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.Resume{Seg: "d/seg", WriterID: "w", Seq: 2})
+	if rr, ok := reply.(*protocol.ResumeReply); !ok || rr.Applied || rr.CurrentVersion != 1 {
+		t.Fatalf("Resume(unknown seq) = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.Resume{Seg: "d/none", WriterID: "w", Seq: 1})
+	if er, ok := reply.(*protocol.ErrorReply); !ok || er.Code != protocol.CodeNoSegment {
+		t.Fatalf("Resume(no segment) = %+v", reply)
+	}
+
+	// A release without a WriterID keeps the legacy semantics: no
+	// record, so an identical resend without the lock is an error.
+	rc.call(&protocol.WriteLock{Seg: "d/seg", Policy: coherence.Full()})
+	reply, _ = rc.call(&protocol.WriteUnlock{Seg: "d/seg"})
+	if _, ok := reply.(*protocol.VersionReply); !ok {
+		t.Fatalf("anonymous release = %+v", reply)
+	}
+	reply, _ = rc.call(&protocol.WriteUnlock{Seg: "d/seg"})
+	if er, ok := reply.(*protocol.ErrorReply); !ok || er.Code != protocol.CodeLockState {
+		t.Fatalf("anonymous resend = %+v", reply)
+	}
+}

@@ -92,6 +92,9 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit) protocol.Message {
 			notifications = append(notifications,
 				updateSubscribers(st, sess, stage[i].version, stage[i].modified)...)
 		}
+		if wid := m.Parts[i].WriterID; wid != "" {
+			st.applied[wid] = appliedWrite{seq: m.Parts[i].Seq, version: stage[i].version}
+		}
 		releaseWriter(st, sess)
 		reply.Versions[i] = stage[i].version
 	}
