@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench figures examples cover clean
+.PHONY: all build vet test race race-short bench figures fig4 fig5 fig6 fig7 examples cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -25,8 +25,13 @@ race-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
+# recorded tables.
 figures:
-	$(GO) run ./cmd/iwfigures all
+	$(GO) run ./cmd/iwfigures -iters 3 all
+
+fig4 fig5 fig6 fig7:
+	$(GO) run ./cmd/iwfigures -iters 3 $@
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -37,6 +42,14 @@ examples:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Documentation checks (also run in CI): godoc coverage and offline
+# markdown link validation.
+doccheck:
+	$(GO) run ./tools/doccheck ./internal/... ./cmd/... ./tools/...
+
+linkcheck:
+	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

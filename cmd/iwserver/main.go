@@ -17,19 +17,30 @@
 //
 // injects the same connection resets and latency on every run with
 // the same seed, so client retry behavior is reproducible end to end.
+//
+// Observability (see OBSERVABILITY.md) is opt-in:
+//
+//	iwserver -addr :7777 -metrics-addr :9090
+//
+// serves Prometheus text metrics on /metrics and a per-segment JSON
+// snapshot on /debug/segments. With -metrics-addr :0 the chosen port
+// is logged at startup.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"interweave/internal/faultnet"
+	"interweave/internal/obs"
 	"interweave/internal/server"
 )
 
@@ -51,6 +62,7 @@ func run(args []string) error {
 	chaosResets := fs.Int("chaos-resets", 4, "connection resets in the chaos schedule")
 	chaosMaxBytes := fs.Int64("chaos-max-bytes", 64<<10, "latest byte offset at which a chaos reset fires")
 	chaosMaxDelay := fs.Duration("chaos-max-delay", 0, "upper bound for chaos per-chunk latency (0 = none)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/segments on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,9 +74,25 @@ func run(args []string) error {
 		logger := log.New(os.Stderr, "iwserver: ", log.LstdFlags)
 		opts.Logf = logger.Printf
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
 	srv, err := server.New(opts)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
+		}
+		defer mln.Close()
+		go func() { _ = http.Serve(mln, metricsMux(reg, srv)) }()
+		if !*quiet {
+			log.Printf("iwserver: metrics on http://%s/metrics", mln.Addr())
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -95,4 +123,18 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	}
+}
+
+// metricsMux builds the observability surface: Prometheus text on
+// /metrics, per-segment JSON on /debug/segments.
+func metricsMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/segments", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(srv.DebugSegments())
+	})
+	return mux
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,9 +14,59 @@ import (
 	"interweave/internal/coherence"
 	"interweave/internal/faultnet"
 	"interweave/internal/mem"
+	"interweave/internal/obs"
 	"interweave/internal/server"
 	"interweave/internal/types"
 )
+
+// counterSum totals a counter family across its label instances in a
+// registry snapshot.
+func counterSum(snap obs.Snapshot, family string) uint64 {
+	var n uint64
+	for key, v := range snap.Counters {
+		if key == family || strings.HasPrefix(key, family+"{") {
+			n += v
+		}
+	}
+	return n
+}
+
+// eventLog is a concurrency-safe obs.TraceFunc recorder.
+type eventLog struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (l *eventLog) record(ev obs.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+// count returns how many recorded events carry the given name.
+func (l *eventLog) count(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// find returns the first recorded event with the given name.
+func (l *eventLog) find(name string) (obs.Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range l.events {
+		if ev.Name == name {
+			return ev, true
+		}
+	}
+	return obs.Event{}, false
+}
 
 // startChaosServer is startServer, but also returns the handle so
 // tests can inspect the authoritative segment state.
@@ -110,9 +161,12 @@ func serverBytes(t *testing.T, srv *server.Server, name string) []byte {
 // Open → WLock → write → WUnlock → RLock. The second release is the
 // one a schedule may kill mid-RPC (the test arms the rule just
 // before it). Returns the server-side segment bytes afterwards.
-func chaosAccWorkload(t *testing.T, srv *server.Server, segName string, arm *atomic.Bool) []byte {
+func chaosAccWorkload(t *testing.T, srv *server.Server, segName string, arm *atomic.Bool, reg *obs.Registry, trace obs.TraceFunc) []byte {
 	t.Helper()
-	c := newChaosClient(t, fastRetry("acc"))
+	opts := fastRetry("acc")
+	opts.Metrics = reg
+	opts.Trace = trace
+	c := newChaosClient(t, opts)
 	h, err := c.Open(segName)
 	if err != nil {
 		t.Fatal(err)
@@ -189,15 +243,56 @@ func TestChaosAcceptanceMidRPCReset(t *testing.T) {
 			var arm atomic.Bool
 			sched.AddRule(faultnet.Rule{Dir: tc.dir, Op: faultnet.OpReset, When: armOnce(&arm)})
 			p := startChaosProxy(t, addr, sched)
-			got := chaosAccWorkload(t, srv, p.Addr()+"/acc", &arm)
+			reg := obs.NewRegistry()
+			var events eventLog
+			got := chaosAccWorkload(t, srv, p.Addr()+"/acc", &arm, reg, events.record)
 
 			if n := sched.Stats().Resets; n != 1 {
 				t.Fatalf("schedule fired %d resets, want exactly 1", n)
 			}
 
-			// Fault-free twin run on its own server.
+			// The observability layer must have seen the recovery: the
+			// killed RPC is a transport error, and the release is
+			// resolved through the Resume protocol, traced as
+			// wunlock.recover plus an outcome event telling the two
+			// fault points apart.
+			snap := reg.Snapshot()
+			if n := counterSum(snap, "iw_client_rpc_transport_errors_total"); n < 1 {
+				t.Errorf("transport-error counters total %d, want >= 1", n)
+			}
+			if _, ok := events.find("wunlock.recover"); !ok {
+				t.Error("no wunlock.recover trace event recorded")
+			}
+			switch tc.dir {
+			case faultnet.Up:
+				// Request lost before the server saw it: the probe finds
+				// nothing applied and the identical release is resent.
+				if _, ok := events.find("wunlock.resent"); !ok {
+					t.Error("no wunlock.resent trace event for lost request")
+				}
+			case faultnet.Down:
+				// Reply lost after the server applied the release: the
+				// probe finds it applied and nothing is resent.
+				if _, ok := events.find("wunlock.recover-applied"); !ok {
+					t.Error("no wunlock.recover-applied trace event for lost reply")
+				}
+				if _, ok := events.find("wunlock.resent"); ok {
+					t.Error("lost-reply recovery resent the release")
+				}
+			}
+
+			// Fault-free twin run on its own server, also instrumented:
+			// it must record no transport errors or retries at all.
 			srv2, addr2 := startChaosServer(t)
-			want := chaosAccWorkload(t, srv2, addr2+"/acc", nil)
+			cleanReg := obs.NewRegistry()
+			want := chaosAccWorkload(t, srv2, addr2+"/acc", nil, cleanReg, nil)
+			cleanSnap := cleanReg.Snapshot()
+			if n := counterSum(cleanSnap, "iw_client_rpc_transport_errors_total"); n != 0 {
+				t.Errorf("fault-free run recorded %d transport errors, want 0", n)
+			}
+			if n := counterSum(cleanSnap, "iw_client_rpc_retries_total"); n != 0 {
+				t.Errorf("fault-free run recorded %d retries, want 0", n)
+			}
 
 			if !bytes.Equal(got, want) {
 				t.Errorf("server bytes diverge from fault-free run:\n faulted %x\n clean   %x", got, want)
@@ -362,10 +457,12 @@ func TestChaosPartitionDegradedRead(t *testing.T) {
 	// Two readers, one relaxed, one strict. A blackholed request
 	// hangs rather than failing fast, so reads during the partition
 	// depend on RPCTimeout to detect the outage.
-	readerOpts := func(name string) Options {
+	readerOpts := func(name string, reg *obs.Registry, trace obs.TraceFunc) Options {
 		o := fastRetry(name)
 		o.RPCTimeout = 150 * time.Millisecond
 		o.MaxRetries = 1
+		o.Metrics = reg
+		o.Trace = trace
 		return o
 	}
 	readVal := func(c *Client, h *Segment) (int32, error) {
@@ -380,7 +477,9 @@ func TestChaosPartitionDegradedRead(t *testing.T) {
 		return c.Heap().ReadI32(b.Addr)
 	}
 
-	relaxed := newChaosClient(t, readerOpts("relaxed"))
+	relaxedReg, strictReg := obs.NewRegistry(), obs.NewRegistry()
+	var relaxedEvents eventLog
+	relaxed := newChaosClient(t, readerOpts("relaxed", relaxedReg, relaxedEvents.record))
 	hr, err := relaxed.Open(segName)
 	if err != nil {
 		t.Fatal(err)
@@ -388,7 +487,7 @@ func TestChaosPartitionDegradedRead(t *testing.T) {
 	if err := relaxed.SetPolicy(hr, coherence.Delta(4)); err != nil {
 		t.Fatal(err)
 	}
-	strict := newChaosClient(t, readerOpts("strict"))
+	strict := newChaosClient(t, readerOpts("strict", strictReg, nil))
 	hf, err := strict.Open(segName)
 	if err != nil {
 		t.Fatal(err)
@@ -415,11 +514,30 @@ func TestChaosPartitionDegradedRead(t *testing.T) {
 	if n := relaxed.StaleReads(); n != 1 {
 		t.Errorf("relaxed StaleReads = %d, want 1", n)
 	}
+	// The degraded read is observable from the outside: the metric
+	// counter advanced and a structured read.degraded event names the
+	// affected segment.
+	if n := counterSum(relaxedReg.Snapshot(), "iw_client_degraded_reads_total"); n != 1 {
+		t.Errorf("relaxed degraded-read counter = %d, want 1", n)
+	}
+	if ev, ok := relaxedEvents.find("read.degraded"); !ok {
+		t.Error("no read.degraded trace event recorded")
+	} else {
+		if ev.Seg != segName {
+			t.Errorf("read.degraded event names segment %q, want %q", ev.Seg, segName)
+		}
+		if ev.Err == "" {
+			t.Error("read.degraded event carries no cause")
+		}
+	}
 	if _, err := readVal(strict, hf); err == nil {
 		t.Error("strict reader succeeded during partition, want error")
 	}
 	if n := strict.StaleReads(); n != 0 {
 		t.Errorf("strict StaleReads = %d, want 0", n)
+	}
+	if n := counterSum(strictReg.Snapshot(), "iw_client_degraded_reads_total"); n != 0 {
+		t.Errorf("strict degraded-read counter = %d, want 0", n)
 	}
 
 	sched.Heal()
@@ -444,6 +562,9 @@ func TestChaosPartitionDegradedRead(t *testing.T) {
 	}
 	if n := relaxed.StaleReads(); n != 1 {
 		t.Errorf("relaxed StaleReads after heal = %d, want still 1", n)
+	}
+	if n := counterSum(relaxedReg.Snapshot(), "iw_client_degraded_reads_total"); n != 1 {
+		t.Errorf("relaxed degraded-read counter after heal = %d, want still 1", n)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"interweave/internal/arch"
 	"interweave/internal/coherence"
 	"interweave/internal/mem"
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 	"interweave/internal/types"
 )
@@ -68,6 +69,15 @@ type Options struct {
 	RetryBackoff time.Duration
 	// RetryMaxBackoff caps the exponential backoff (default 1s).
 	RetryMaxBackoff time.Duration
+	// Metrics, when non-nil, receives the client's counters and
+	// histograms (OBSERVABILITY.md catalogues them). A nil registry
+	// disables instrumentation entirely — no clocks are read and no
+	// atomics are touched on the hot paths.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured events (retries,
+	// degraded reads, release recovery) synchronously on the emitting
+	// goroutine. Meant for tests asserting behaviour; must be fast.
+	Trace obs.TraceFunc
 }
 
 // Client is one InterWeave client process.
@@ -89,6 +99,12 @@ type Client struct {
 	// staleReads counts read locks granted from the cache because the
 	// server was unreachable and the coherence policy tolerated it.
 	staleReads atomic.Uint64
+
+	// ins holds the metric handles when Options.Metrics was set; nil
+	// means instrumentation is disabled.
+	ins *clientInstruments
+	// traceFn is Options.Trace (nil when tracing is disabled).
+	traceFn obs.TraceFunc
 }
 
 // clientSeq distinguishes writer IDs of clients created by one
@@ -144,6 +160,10 @@ func NewClient(opts Options) (*Client, error) {
 		conns:    make(map[string]*serverConn),
 		segs:     make(map[string]*segment),
 		writerID: fmt.Sprintf("%s/%d/%d", opts.Name, os.Getpid(), clientSeq.Add(1)),
+		traceFn:  opts.Trace,
+	}
+	if opts.Metrics != nil {
+		c.ins = newClientInstruments(opts.Metrics)
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c, nil
@@ -223,6 +243,9 @@ func (c *Client) connFor(segName string) (*serverConn, error) {
 	}
 	sc := newServerConn(conn, c.onNotify)
 	c.conns[addr] = sc
+	if c.ins != nil {
+		c.ins.dials.Inc()
+	}
 	// Introduce ourselves; failure here surfaces on first real call.
 	go func() {
 		_, err := sc.call(&protocol.Hello{ClientName: c.opts.Name, Profile: c.prof.Name})
@@ -250,7 +273,7 @@ func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, erro
 			sc, derr := c.connFor(s.name)
 			if derr != nil {
 				lastErr = fmt.Errorf("core: reconnecting to server of %q: %w", s.name, derr)
-				if retryable(m) && attempt < c.opts.MaxRetries && c.sleepRetry(attempt) {
+				if retryable(m) && attempt < c.opts.MaxRetries && c.retryPause(m, attempt, lastErr) {
 					continue
 				}
 				return nil, lastErr
@@ -259,12 +282,12 @@ func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, erro
 			s.state.Subscribed = false
 			s.state.Invalidated = false
 		}
-		reply, err := s.conn.callT(m, c.timeoutFor(m))
+		reply, err := c.callObserved(s.conn, m)
 		if err == nil || !isTransport(err) {
 			return reply, err
 		}
 		lastErr = err
-		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.sleepRetry(attempt) {
+		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.retryPause(m, attempt, err) {
 			return nil, lastErr
 		}
 	}
@@ -280,16 +303,51 @@ func (c *Client) callRetry(segName string, m protocol.Message) (protocol.Message
 		if err != nil {
 			lastErr = err
 		} else {
-			reply, err := sc.callT(m, c.timeoutFor(m))
+			reply, err := c.callObserved(sc, m)
 			if err == nil || !isTransport(err) {
 				return reply, err
 			}
 			lastErr = err
 		}
-		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.sleepRetry(attempt) {
+		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.retryPause(m, attempt, lastErr) {
 			return nil, lastErr
 		}
 	}
+}
+
+// callObserved performs one RPC round trip through sc, recording
+// latency (healthy round trips, including server-reported errors) or
+// a transport error when metrics are enabled.
+func (c *Client) callObserved(sc *serverConn, m protocol.Message) (protocol.Message, error) {
+	if c.ins == nil {
+		return sc.callT(m, c.timeoutFor(m))
+	}
+	rpc := rpcName(m)
+	start := time.Now()
+	reply, err := sc.callT(m, c.timeoutFor(m))
+	if err != nil && isTransport(err) {
+		c.ins.transportErrors(rpc).Inc()
+	} else {
+		c.ins.latency(rpc).ObserveSince(start)
+	}
+	return reply, err
+}
+
+// retryPause records the retry (metrics + trace) and sleeps out the
+// backoff; it reports false when the client was closed meanwhile.
+func (c *Client) retryPause(m protocol.Message, attempt int, cause error) bool {
+	if c.ins != nil || c.traceFn != nil {
+		rpc := rpcName(m)
+		if c.ins != nil {
+			c.ins.retries(rpc).Inc()
+		}
+		ev := obs.Event{Name: "rpc.retry", RPC: rpc, Attempt: attempt}
+		if cause != nil {
+			ev.Err = cause.Error()
+		}
+		c.trace(ev)
+	}
+	return c.sleepRetry(attempt)
 }
 
 // retryable reports whether a transport-failed RPC may safely be sent

@@ -8,6 +8,7 @@ import (
 	"interweave/internal/coherence"
 	"interweave/internal/diff"
 	"interweave/internal/mem"
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 	"interweave/internal/swizzle"
 	"interweave/internal/types"
@@ -255,7 +256,11 @@ func (c *Client) applyIncoming(s *segment, d *wire.SegmentDiff, advance bool) er
 		}
 		return seg.m, nil
 	})
-	_, err := diff.ApplySegment(s.m, d, diff.ApplyOptions{
+	var applyStart time.Time
+	if c.ins != nil {
+		applyStart = time.Now()
+	}
+	res, err := diff.ApplySegment(s.m, d, diff.ApplyOptions{
 		Resolve: func(mip string) (mem.Addr, error) {
 			if a, err := uw.Addr(mip); err == nil {
 				return a, nil
@@ -272,6 +277,10 @@ func (c *Client) applyIncoming(s *segment, d *wire.SegmentDiff, advance bool) er
 	})
 	if err != nil {
 		return err
+	}
+	if c.ins != nil {
+		c.ins.diffApply.ObserveSince(applyStart)
+		c.ins.applyUnits.Add(uint64(res.UnitsApplied))
 	}
 	if advance {
 		s.version = d.Version
@@ -356,6 +365,10 @@ func (c *Client) SetPolicy(h *Segment, p coherence.Policy) error {
 // policy requires.
 func (c *Client) RLock(h *Segment) error {
 	s := h.s
+	var start time.Time
+	if c.ins != nil {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for s.writer || s.writeWaiters > 0 {
@@ -365,6 +378,9 @@ func (c *Client) RLock(h *Segment) error {
 		return err
 	}
 	s.readers++
+	if c.ins != nil {
+		c.ins.lockWaitRead.ObserveSince(start)
+	}
 	return nil
 }
 
@@ -415,6 +431,10 @@ func (c *Client) ensureFresh(s *segment) error {
 			s.state.FetchedAt = now
 			s.state.Invalidated = false
 			c.staleReads.Add(1)
+			if c.ins != nil {
+				c.ins.degradedReads.Inc()
+			}
+			c.trace(obs.Event{Name: "read.degraded", Seg: s.name, Err: err.Error()})
 			return nil
 		}
 		return fmt.Errorf("core: read lock on %q: %w", s.name, err)
@@ -429,7 +449,15 @@ func (c *Client) ensureFresh(s *segment) error {
 			return err
 		}
 		updated = true
-	} else {
+	}
+	if c.ins != nil {
+		if updated {
+			c.ins.versionUpdate.Inc()
+		} else {
+			c.ins.versionFresh.Inc()
+		}
+	}
+	if !updated {
 		// The server says we are recent enough.
 		s.state.FetchedAt = now
 		s.state.Invalidated = false
@@ -472,6 +500,10 @@ func (c *Client) adapt(s *segment, updated, wasInvalidated bool) {
 // local pages so modifications are tracked.
 func (c *Client) WLock(h *Segment) error {
 	s := h.s
+	var start time.Time
+	if c.ins != nil {
+		start = time.Now()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s.writeWaiters++
@@ -498,6 +530,9 @@ func (c *Client) WLock(h *Segment) error {
 	if !s.noDiff {
 		s.m.WriteProtect()
 	}
+	if c.ins != nil {
+		c.ins.lockWaitWrite.ObserveSince(start)
+	}
 	return nil
 }
 
@@ -513,6 +548,10 @@ func (c *Client) WUnlock(h *Segment) error {
 		return fmt.Errorf("%w: write", ErrNotLocked)
 	}
 	var st diff.Stats
+	var collectStart time.Time
+	if c.ins != nil {
+		collectStart = time.Now()
+	}
 	d, err := diff.CollectSegment(s.m, diff.CollectOptions{
 		NoDiff:  s.noDiff,
 		Freed:   s.freed,
@@ -525,6 +564,21 @@ func (c *Client) WUnlock(h *Segment) error {
 		return fmt.Errorf("core: collecting diff of %q: %w", s.name, err)
 	}
 	s.lastCollect = st
+	if c.ins != nil {
+		c.ins.diffCollect.ObserveSince(collectStart)
+		c.ins.diffSize.Observe(float64(st.Bytes))
+		c.ins.diffBytes.Add(uint64(st.Bytes))
+		c.ins.diffUnitsSent.Add(uint64(st.Units))
+		total := 0
+		s.m.Blocks(func(b *mem.Block) bool {
+			total += b.PrimCount()
+			return true
+		})
+		c.ins.diffUnitsFull.Add(uint64(total))
+		if s.noDiff {
+			c.ins.noDiffReleases.Inc()
+		}
+	}
 	attachDescDefs(s, d)
 	var payload *wire.SegmentDiff
 	if !d.Empty() {
@@ -577,6 +631,7 @@ func (s *segment) releaseWrite(c *Client) {
 // abandoned with ErrWriteConflict. Caller holds c.mu and the local
 // write lock.
 func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.Message, error) {
+	c.trace(obs.Event{Name: "wunlock.recover", Seg: s.name, RPC: "WriteUnlock"})
 	base := s.version
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
@@ -596,6 +651,7 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 			return nil, fmt.Errorf("core: unexpected reply %T to resume", reply)
 		}
 		if rr.Applied {
+			c.trace(obs.Event{Name: "wunlock.recover-applied", Seg: s.name, Attempt: attempt})
 			return &protocol.VersionReply{Version: rr.AppliedVersion}, nil
 		}
 		if rr.CurrentVersion != base {
@@ -621,6 +677,7 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 			_, _ = c.callSeg(s, &protocol.WriteUnlock{Seg: s.name})
 			return nil, c.conflict(s)
 		}
+		c.trace(obs.Event{Name: "wunlock.resent", Seg: s.name, Attempt: attempt})
 		reply, err = c.callSeg(s, m)
 		if err == nil || !isTransport(err) {
 			return reply, err
@@ -634,6 +691,10 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 // write race and resets the cache so the next lock refetches a full
 // copy.
 func (c *Client) conflict(s *segment) error {
+	if c.ins != nil {
+		c.ins.writeConflicts.Inc()
+	}
+	c.trace(obs.Event{Name: "wunlock.conflict", Seg: s.name})
 	c.resetSegCache(s)
 	return ErrWriteConflict
 }

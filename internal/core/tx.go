@@ -72,6 +72,10 @@ func (c *Client) TxCommit(hs ...*Segment) error {
 			return fmt.Errorf("core: collecting diff of %q: %w", s.name, err)
 		}
 		collected[i] = d
+		if c.ins != nil {
+			c.ins.diffBytes.Add(uint64(stats[i].Bytes))
+			c.ins.diffUnitsSent.Add(uint64(stats[i].Units))
+		}
 		attachDescDefs(s, d)
 		s.wseq++
 		part := protocol.WriteUnlock{Seg: s.name, WriterID: c.writerID, Seq: s.wseq}

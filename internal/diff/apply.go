@@ -122,6 +122,7 @@ func ApplySegment(seg *mem.SegMem, d *wire.SegmentDiff, opts ApplyOptions) (*App
 		opts.Stats.Translate += time.Since(start)
 		opts.Stats.Runs += countRuns(d)
 		opts.Stats.Units += res.UnitsApplied
+		opts.Stats.Bytes += d.DataBytes()
 	}
 	return res, nil
 }

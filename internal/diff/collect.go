@@ -50,6 +50,11 @@ type Stats struct {
 	Runs int
 	// Units is the number of primitive units transmitted.
 	Units int
+	// Bytes is the canonical wire payload of the runs produced or
+	// consumed — the bandwidth a diff actually costs, which against
+	// the segment's full-transfer size gives the byte savings of
+	// diffing (Figure 7's measure).
+	Bytes int
 }
 
 // CollectOptions controls diff collection.
@@ -321,6 +326,7 @@ func (c *collector) emitRun(b *mem.Block, u0, u1 int) error {
 	})
 	if c.opts.Stats != nil {
 		c.opts.Stats.Units += u1 - u0
+		c.opts.Stats.Bytes += len(data)
 	}
 	return nil
 }

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iw_test_total", "help", L("k", "a"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create returns the same instance for the same key, a
+	// distinct one for a different label value.
+	if r.Counter("iw_test_total", "", L("k", "a")) != c {
+		t.Error("same name+labels returned a different counter")
+	}
+	if r.Counter("iw_test_total", "", L("k", "b")) == c {
+		t.Error("different label value returned the same counter")
+	}
+	g := r.Gauge("iw_test_gauge", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iw_test_seconds", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive: 1 lands in the first bucket, 10 and 100
+	// in theirs, everything above 100 in +Inf.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 99 + 100 + 101 + 1e9
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrentConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iw_test_seconds", "", DurationBuckets)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%13) * 1e-5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if want := uint64(goroutines * per); s.Count != want || bucketSum != want {
+		t.Fatalf("count = %d, bucket sum = %d, want both %d", s.Count, bucketSum, want)
+	}
+	// Sum must equal the closed-form total despite CAS contention.
+	var wantSum float64
+	for i := 0; i < per; i++ {
+		wantSum += float64(i%13) * 1e-5
+	}
+	wantSum *= goroutines
+	if math.Abs(s.Sum-wantSum) > 1e-9*wantSum {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	build := func(n uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("iw_c_total", "").Add(n)
+		r.Gauge("iw_g", "").Set(int64(n))
+		h := r.Histogram("iw_h", "", []float64{1, 2})
+		for i := uint64(0); i < n; i++ {
+			h.Observe(1.5)
+		}
+		return r.Snapshot()
+	}
+	a, b := build(3), build(5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters["iw_c_total"] != 8 {
+		t.Errorf("merged counter = %d, want 8", a.Counters["iw_c_total"])
+	}
+	if a.Gauges["iw_g"] != 8 {
+		t.Errorf("merged gauge = %g, want 8", a.Gauges["iw_g"])
+	}
+	h := a.Histograms["iw_h"]
+	if h.Count != 8 || h.Counts[1] != 8 {
+		t.Errorf("merged histogram count = %d, bucket1 = %d, want 8/8", h.Count, h.Counts[1])
+	}
+	if math.Abs(h.Sum-12) > 1e-9 {
+		t.Errorf("merged histogram sum = %g, want 12", h.Sum)
+	}
+	// Mismatched layouts must refuse to merge.
+	r := NewRegistry()
+	r.Histogram("iw_h", "", []float64{1}).Observe(0.5)
+	c := r.Snapshot()
+	if err := a.Merge(c); err == nil {
+		t.Error("merging mismatched bucket layouts succeeded, want error")
+	}
+}
+
+// TestPrometheusOutputParses renders a populated registry and checks
+// the exposition line by line: every line is a comment or a
+// name{labels} value sample, bucket counts are cumulative, _count
+// equals the +Inf bucket, and each family gets exactly one TYPE
+// header.
+func TestPrometheusOutputParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iw_rpc_total", "RPCs issued", L("rpc", "ReadLock")).Add(7)
+	r.Counter("iw_rpc_total", "RPCs issued", L("rpc", "WriteLock")).Add(2)
+	r.Gauge("iw_sessions", "connected sessions").Set(3)
+	h := r.Histogram("iw_lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	r.RegisterCollector(func(emit GaugeEmit) {
+		emit("iw_seg_version", "per-segment version", 42, L("seg", `x"y\z`))
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	types := map[string]int{}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q: unparseable value: %v", line, err)
+		}
+		if strings.Contains(key, "{") && !strings.HasSuffix(key, "}") {
+			t.Fatalf("sample %q: unterminated label set", line)
+		}
+		samples[key] = v
+	}
+
+	for fam, n := range types {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE headers, want 1", fam, n)
+		}
+	}
+	for _, fam := range []string{"iw_rpc_total", "iw_sessions", "iw_lat_seconds", "iw_seg_version"} {
+		if types[fam] != 1 {
+			t.Errorf("family %s missing a TYPE header", fam)
+		}
+	}
+	if v := samples[`iw_rpc_total{rpc="ReadLock"}`]; v != 7 {
+		t.Errorf("ReadLock counter = %g, want 7", v)
+	}
+	// Buckets are cumulative and capped by _count.
+	b1 := samples[`iw_lat_seconds_bucket{le="0.001"}`]
+	b2 := samples[`iw_lat_seconds_bucket{le="0.01"}`]
+	inf := samples[`iw_lat_seconds_bucket{le="+Inf"}`]
+	cnt := samples["iw_lat_seconds_count"]
+	if b1 != 1 || b2 != 2 || inf != 3 || cnt != 3 {
+		t.Errorf("buckets = %g/%g/%g count = %g, want 1/2/3 and 3", b1, b2, inf, cnt)
+	}
+	if sum := samples["iw_lat_seconds_sum"]; math.Abs(sum-5.0055) > 1e-9 {
+		t.Errorf("sum = %g, want 5.0055", sum)
+	}
+	if v := samples[`iw_seg_version{seg="x\"y\\z"}`]; v != 42 {
+		t.Errorf("collector gauge = %g (samples: %v)", v, samples)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iw_x_total", "x").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(sb.String(), "iw_x_total 9") {
+		t.Errorf("body missing counter:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per family,
+// histograms with cumulative le buckets plus _sum and _count.
+// Families appear in registration order; collector gauges follow.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	collectors := make([]CollectFunc, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	pw := &promWriter{w: w, seen: make(map[string]bool)}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			pw.header(e.family, e.help, "counter")
+			pw.sample(e.family, e.labels, "", formatUint(e.counter.Value()))
+		case kindGauge:
+			pw.header(e.family, e.help, "gauge")
+			pw.sample(e.family, e.labels, "", formatFloat(float64(e.gauge.Value())))
+		case kindHistogram:
+			pw.header(e.family, e.help, "histogram")
+			s := e.hist.Snapshot()
+			cum := uint64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				pw.sample(e.family+"_bucket", e.labels, formatFloat(b), formatUint(cum))
+			}
+			cum += s.Counts[len(s.Bounds)]
+			pw.sample(e.family+"_bucket", e.labels, "+Inf", formatUint(cum))
+			pw.sample(e.family+"_sum", e.labels, "", formatFloat(s.Sum))
+			pw.sample(e.family+"_count", e.labels, "", formatUint(s.Count))
+		}
+	}
+	for _, fn := range collectors {
+		fn(func(name, help string, v float64, labels ...Label) {
+			pw.header(name, help, "gauge")
+			pw.sample(name, labels, "", formatFloat(v))
+		})
+	}
+	return pw.err
+}
+
+// promWriter accumulates exposition lines, emitting each family's
+// HELP/TYPE header exactly once.
+type promWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+func (pw *promWriter) header(family, help, typ string) {
+	if pw.err != nil || pw.seen[family] {
+		return
+	}
+	pw.seen[family] = true
+	if help != "" {
+		_, pw.err = fmt.Fprintf(pw.w, "# HELP %s %s\n", family, escapeHelp(help))
+		if pw.err != nil {
+			return
+		}
+	}
+	_, pw.err = fmt.Fprintf(pw.w, "# TYPE %s %s\n", family, typ)
+}
+
+// sample writes one metric line; le, when non-empty, is appended as
+// the bucket bound label.
+func (pw *promWriter) sample(name string, labels []Label, le, value string) {
+	if pw.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Key)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`le="`)
+			sb.WriteString(le)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+	_, pw.err = io.WriteString(pw.w, sb.String())
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns an http.Handler serving the registry at /metrics
+// scrape requests (any path; mount it wherever).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

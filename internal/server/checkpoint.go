@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"interweave/internal/types"
 	"interweave/internal/wire"
@@ -33,6 +34,20 @@ func (s *Server) Checkpoint() error {
 	if dir == "" {
 		return nil
 	}
+	if s.ins != nil {
+		start := time.Now()
+		defer func() { s.ins.ckptSec.ObserveSince(start) }()
+	}
+	err := s.checkpoint(dir)
+	if err != nil && s.ins != nil {
+		s.ins.ckptErrors.Inc()
+	}
+	return err
+}
+
+// checkpoint does the actual pass, split out so Checkpoint can record
+// timing and failures around it.
+func (s *Server) checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: checkpoint dir: %w", err)
 	}

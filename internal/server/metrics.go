@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interweave/internal/obs"
+	"interweave/internal/protocol"
+)
+
+// Server-side metric names; OBSERVABILITY.md documents each one and
+// maps it to its paper figure or DESIGN.md section.
+const (
+	smRPCSeconds        = "iw_server_rpc_seconds"
+	smRPCErrors         = "iw_server_rpc_errors_total"
+	smLockWait          = "iw_server_lock_wait_seconds"
+	smVersionChecks     = "iw_server_version_checks_total"
+	smCollectSeconds    = "iw_server_diff_collect_seconds"
+	smApplySeconds      = "iw_server_diff_apply_seconds"
+	smDiffBytes         = "iw_server_diff_bytes_total"
+	smDiffSize          = "iw_server_diff_size_bytes"
+	smUnitsSent         = "iw_server_units_sent_total"
+	smUnitsFull         = "iw_server_units_full_total"
+	smApplyUnits        = "iw_server_apply_units_total"
+	smNotifications     = "iw_server_notifications_total"
+	smCheckpointSeconds = "iw_server_checkpoint_seconds"
+	smCheckpointErrors  = "iw_server_checkpoint_errors_total"
+	smSessions          = "iw_server_sessions"
+	smSegVersion        = "iw_server_segment_version"
+	smSegBlocks         = "iw_server_segment_blocks"
+	smSegUnits          = "iw_server_segment_units"
+	smSegSubscribers    = "iw_server_segment_subscribers"
+	smSegWaiters        = "iw_server_segment_waiters"
+)
+
+// serverInstruments holds the server's metric handles. nil disables
+// instrumentation (no clocks, no atomics), mirroring the client.
+type serverInstruments struct {
+	reg *obs.Registry
+
+	lockWait      *obs.Histogram
+	versionFresh  *obs.Counter
+	versionDiff   *obs.Counter
+	collectSec    *obs.Histogram
+	applySec      *obs.Histogram
+	diffSize      *obs.Histogram
+	diffBytes     *obs.Counter
+	unitsSent     *obs.Counter
+	unitsFull     *obs.Counter
+	applyUnits    *obs.Counter
+	notifications *obs.Counter
+	ckptSec       *obs.Histogram
+	ckptErrors    *obs.Counter
+	sessions      *obs.Gauge
+}
+
+func newServerInstruments(reg *obs.Registry) *serverInstruments {
+	return &serverInstruments{
+		reg: reg,
+		lockWait: reg.Histogram(smLockWait,
+			"Time a writer spent queued for a segment's write lock before the grant.",
+			obs.DurationBuckets),
+		versionFresh: reg.Counter(smVersionChecks,
+			"Lock-acquisition freshness checks, by outcome: the client was current (fresh) or needed a diff.",
+			obs.L("result", "fresh")),
+		versionDiff: reg.Counter(smVersionChecks,
+			"Lock-acquisition freshness checks, by outcome: the client was current (fresh) or needed a diff.",
+			obs.L("result", "diff")),
+		collectSec: reg.Histogram(smCollectSeconds,
+			"Server-side diff collection time per lock reply (Figure 5, sv collect).",
+			obs.DurationBuckets),
+		applySec: reg.Histogram(smApplySeconds,
+			"Server-side diff application time per write release (Figure 5, sv apply).",
+			obs.DurationBuckets),
+		diffSize: reg.Histogram(smDiffSize,
+			"Per-reply wire payload size of served diffs.",
+			obs.SizeBuckets),
+		diffBytes: reg.Counter(smDiffBytes,
+			"Wire payload bytes of diff runs served to clients (Figure 7 bandwidth)."),
+		unitsSent: reg.Counter(smUnitsSent,
+			"Primitive units shipped in served diffs."),
+		unitsFull: reg.Counter(smUnitsFull,
+			"Primitive units a full transfer would have shipped per served diff; sent/full is the diffing savings."),
+		applyUnits: reg.Counter(smApplyUnits,
+			"Primitive units modified by applied write releases (subblock-rounded)."),
+		notifications: reg.Counter(smNotifications,
+			"Invalidation notifications pushed to subscribed clients."),
+		ckptSec: reg.Histogram(smCheckpointSeconds,
+			"Wall time of a full checkpoint pass over every segment.",
+			obs.DurationBuckets),
+		ckptErrors: reg.Counter(smCheckpointErrors,
+			"Checkpoint passes that failed."),
+		sessions: reg.Gauge(smSessions,
+			"Currently connected client sessions."),
+	}
+}
+
+// rpcSeconds returns the handling-latency histogram for one RPC kind.
+// Registry get-or-create is internally locked, so sessions may race
+// here freely.
+func (si *serverInstruments) rpcSeconds(rpc string) *obs.Histogram {
+	return si.reg.Histogram(smRPCSeconds,
+		"Request handling time by protocol message kind, including any lock queueing.",
+		obs.DurationBuckets, obs.L("rpc", rpc))
+}
+
+// rpcErrors returns the error counter for one RPC kind.
+func (si *serverInstruments) rpcErrors(rpc string) *obs.Counter {
+	return si.reg.Counter(smRPCErrors,
+		"Requests answered with an ErrorReply, by protocol message kind.",
+		obs.L("rpc", rpc))
+}
+
+// reqName is the metric label for a protocol message: the type's
+// short name, e.g. "WriteUnlock".
+func reqName(m protocol.Message) string {
+	return strings.TrimPrefix(fmt.Sprintf("%T", m), "*protocol.")
+}
+
+// collectSegmentGauges emits the per-segment gauges at scrape time,
+// so no continuous bookkeeping is needed.
+func (s *Server) collectSegmentGauges(emit obs.GaugeEmit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, st := range s.segs {
+		l := obs.L("seg", name)
+		emit(smSegVersion, "Current version of each segment.", float64(st.seg.Version), l)
+		emit(smSegBlocks, "Blocks in each segment.", float64(st.seg.NumBlocks()), l)
+		emit(smSegUnits, "Primitive units in each segment.", float64(st.seg.TotalUnits()), l)
+		emit(smSegSubscribers, "Clients subscribed to each segment's notifications.", float64(len(st.subs)), l)
+		emit(smSegWaiters, "Writers queued for each segment's write lock.", float64(len(st.waiters)), l)
+	}
+}
+
+// SegmentDebug is one segment's entry in the /debug/segments JSON
+// snapshot.
+type SegmentDebug struct {
+	Name           string `json:"name"`
+	Version        uint32 `json:"version"`
+	Blocks         int    `json:"blocks"`
+	Units          int    `json:"units"`
+	Descriptors    int    `json:"descriptors"`
+	Subscribers    int    `json:"subscribers"`
+	WriterHeld     bool   `json:"writer_held"`
+	Waiters        int    `json:"waiters"`
+	AppliedWriters int    `json:"applied_writers"`
+}
+
+// DebugSegments snapshots per-segment state for the /debug/segments
+// endpoint and for tests, sorted by segment name.
+func (s *Server) DebugSegments() []SegmentDebug {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentDebug, 0, len(s.segs))
+	for name, st := range s.segs {
+		out = append(out, SegmentDebug{
+			Name:           name,
+			Version:        st.seg.Version,
+			Blocks:         st.seg.NumBlocks(),
+			Units:          st.seg.TotalUnits(),
+			Descriptors:    len(st.seg.DescSerials()),
+			Subscribers:    len(st.subs),
+			WriterHeld:     st.writer != nil,
+			Waiters:        len(st.waiters),
+			AppliedWriters: len(st.applied),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

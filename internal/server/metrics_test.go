@@ -1,0 +1,320 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/core"
+	"interweave/internal/obs"
+	"interweave/internal/server"
+	"interweave/internal/types"
+)
+
+// scrape fetches the /metrics endpoint once and parses it.
+func scrape(t *testing.T, ts *httptest.Server) *promScrape {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseProm(t, string(body))
+}
+
+// promScrape is one parsed exposition: every sample by its full key
+// (name plus label set) and every family's declared TYPE.
+type promScrape struct {
+	samples map[string]float64
+	types   map[string]string
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+
+// parseProm parses Prometheus text format line by line, failing the
+// test on any malformed line or duplicated header/sample.
+func parseProm(t *testing.T, text string) *promScrape {
+	t.Helper()
+	p := &promScrape{samples: make(map[string]float64), types: make(map[string]string)}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE header %q", ln+1, line)
+			}
+			if _, dup := p.types[parts[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE header for %s", ln+1, parts[2])
+			}
+			p.types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, m[3], err)
+		}
+		key := m[1] + m[2]
+		if _, dup := p.samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %s", ln+1, key)
+		}
+		p.samples[key] = v
+	}
+	return p
+}
+
+// get returns a sample by exact key, failing if absent.
+func (p *promScrape) get(t *testing.T, key string) float64 {
+	t.Helper()
+	v, ok := p.samples[key]
+	if !ok {
+		keys := make([]string, 0, len(p.samples))
+		for k := range p.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t.Fatalf("no sample %s; have:\n  %s", key, strings.Join(keys, "\n  "))
+	}
+	return v
+}
+
+var leRe = regexp.MustCompile(`,?le="[^"]*"`)
+
+// checkHistograms verifies every histogram family's internal
+// consistency: buckets cumulative and non-decreasing, the +Inf bucket
+// equal to _count, and _sum present.
+func (p *promScrape) checkHistograms(t *testing.T) {
+	t.Helper()
+	type inst struct {
+		buckets map[float64]float64 // le -> cumulative count
+		inf     float64
+		hasInf  bool
+	}
+	insts := make(map[string]*inst)
+	for key, v := range p.samples {
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+		}
+		fam, ok := strings.CutSuffix(name, "_bucket")
+		if !ok || p.types[fam] != "histogram" {
+			continue
+		}
+		base := strings.Replace(leRe.ReplaceAllString(key, ""), "_bucket", "", 1)
+		base = strings.TrimSuffix(base, "{}")
+		in := insts[base]
+		if in == nil {
+			in = &inst{buckets: make(map[float64]float64)}
+			insts[base] = in
+		}
+		leStart := strings.Index(key, `le="`) + len(`le="`)
+		leStr := key[leStart : leStart+strings.IndexByte(key[leStart:], '"')]
+		if leStr == "+Inf" {
+			in.inf, in.hasInf = v, true
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("%s: bad le %q", key, leStr)
+		}
+		in.buckets[le] = v
+	}
+	if len(insts) == 0 {
+		t.Fatal("no histogram instances found")
+	}
+	for base, in := range insts {
+		if !in.hasInf {
+			t.Errorf("%s: no +Inf bucket", base)
+			continue
+		}
+		les := make([]float64, 0, len(in.buckets))
+		for le := range in.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := 0.0
+		for _, le := range les {
+			if in.buckets[le] < prev {
+				t.Errorf("%s: bucket le=%g count %g below previous %g", base, le, in.buckets[le], prev)
+			}
+			prev = in.buckets[le]
+		}
+		if in.inf < prev {
+			t.Errorf("%s: +Inf bucket %g below last bucket %g", base, in.inf, prev)
+		}
+		countKey, sumKey := base+"_count", base+"_sum"
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			countKey = base[:i] + "_count" + base[i:]
+			sumKey = base[:i] + "_sum" + base[i:]
+		}
+		if c := p.get(t, countKey); c != in.inf {
+			t.Errorf("%s: _count %g != +Inf bucket %g", base, c, in.inf)
+		}
+		if s := p.get(t, sumKey); s < 0 {
+			t.Errorf("%s: negative _sum %g", base, s)
+		}
+	}
+}
+
+// TestMetricsEndpointScrape runs a small two-client workload against
+// an instrumented server, scrapes /metrics through HTTP twice, and
+// checks the exposition parses, the histograms are internally
+// consistent, and every counter is monotone across scrapes.
+func TestMetricsEndpointScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	ts := httptest.NewServer(obs.Handler(reg))
+	defer ts.Close()
+
+	w, err := core.NewClient(core.Options{Profile: arch.AMD64(), Name: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := core.NewClient(core.Options{Profile: arch.X86(), Name: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	segName := addr + "/metrics-seg"
+	hw, err := w.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRound := func(v int32) {
+		t.Helper()
+		if err := w.WLock(hw); err != nil {
+			t.Fatal(err)
+		}
+		blk, ok := hw.Mem().BlockByName("a")
+		if !ok {
+			b, err := w.Alloc(hw, types.Int32(), 64, "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			blk = b
+		}
+		if err := w.Heap().WriteI32(blk.Addr, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WUnlock(hw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeRound(1)
+	hr, err := r.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readRound := func() {
+		t.Helper()
+		if err := r.RLock(hr); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RUnlock(hr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readRound()
+
+	first := scrape(t, ts)
+	first.checkHistograms(t)
+	if got := first.get(t, `iw_server_version_checks_total{result="diff"}`); got < 1 {
+		t.Errorf("diff version checks = %g, want >= 1", got)
+	}
+	if got := first.get(t, "iw_server_diff_bytes_total"); got <= 0 {
+		t.Errorf("diff bytes = %g, want > 0", got)
+	}
+	if got := first.get(t, `iw_server_rpc_seconds_count{rpc="WriteUnlock"}`); got < 1 {
+		t.Errorf("WriteUnlock handled count = %g, want >= 1", got)
+	}
+	if got := first.get(t, "iw_server_sessions"); got != 2 {
+		t.Errorf("sessions gauge = %g, want 2", got)
+	}
+
+	// More workload, then a second scrape: the live endpoint must show
+	// strictly advancing counters and stay internally consistent.
+	writeRound(2)
+	readRound()
+	writeRound(3)
+	readRound()
+
+	second := scrape(t, ts)
+	second.checkHistograms(t)
+	for key, v1 := range first.samples {
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && second.types[f] == "histogram" {
+				fam = f
+			}
+		}
+		if second.types[fam] != "counter" && second.types[fam] != "histogram" {
+			continue // gauges may move either way
+		}
+		v2, ok := second.samples[key]
+		if !ok {
+			t.Errorf("sample %s vanished from second scrape", key)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("%s went backwards: %g -> %g", key, v1, v2)
+		}
+	}
+	if d1 := first.get(t, "iw_server_diff_bytes_total"); second.get(t, "iw_server_diff_bytes_total") <= d1 {
+		t.Errorf("diff bytes did not advance past %g under workload", d1)
+	}
+
+	// The per-segment collector gauges must agree with DebugSegments.
+	segs := srv.DebugSegments()
+	if len(segs) != 1 {
+		t.Fatalf("DebugSegments() = %d entries, want 1", len(segs))
+	}
+	sd := segs[0]
+	if sd.Name != segName || sd.Version == 0 || sd.Blocks != 1 || sd.Units != 64 {
+		t.Errorf("unexpected debug snapshot %+v", sd)
+	}
+	gauge := second.get(t, fmt.Sprintf("iw_server_segment_version{seg=%q}", segName))
+	// The gauge is from the second scrape, before the final state read;
+	// it can only trail the snapshot.
+	if gauge > float64(sd.Version) {
+		t.Errorf("segment version gauge %g ahead of snapshot %d", gauge, sd.Version)
+	}
+}

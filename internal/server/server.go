@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"interweave/internal/coherence"
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
 
@@ -24,6 +25,10 @@ type Options struct {
 	DiffCacheCap int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the server's instrumentation
+	// (see OBSERVABILITY.md). A nil registry disables every
+	// instrumentation site.
+	Metrics *obs.Registry
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -39,6 +44,8 @@ type Server struct {
 
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	ins *serverInstruments
 }
 
 // segState couples a segment with its lock and subscription state.
@@ -89,6 +96,10 @@ func New(opts Options) (*Server, error) {
 		segs:     make(map[string]*segState),
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
+	}
+	if opts.Metrics != nil {
+		s.ins = newServerInstruments(opts.Metrics)
+		opts.Metrics.RegisterCollector(s.collectSegmentGauges)
 	}
 	if opts.CheckpointDir != "" {
 		if err := s.restore(); err != nil {
@@ -147,6 +158,9 @@ func (s *Server) Serve(ln net.Listener) error {
 			return net.ErrClosed
 		}
 		s.sessions[sess] = struct{}{}
+		if s.ins != nil {
+			s.ins.sessions.Set(int64(len(s.sessions)))
+		}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -262,8 +276,23 @@ func errReply(code uint16, format string, args ...any) *protocol.ErrorReply {
 	return &protocol.ErrorReply{Code: code, Text: fmt.Sprintf(format, args...)}
 }
 
-// handle dispatches one request and returns the reply.
+// handle times and dispatches one request, counting error replies.
 func (sess *session) handle(msg protocol.Message) protocol.Message {
+	ins := sess.srv.ins
+	if ins == nil {
+		return sess.dispatch(msg)
+	}
+	start := time.Now()
+	reply := sess.dispatch(msg)
+	ins.rpcSeconds(reqName(msg)).ObserveSince(start)
+	if _, isErr := reply.(*protocol.ErrorReply); isErr {
+		ins.rpcErrors(reqName(msg)).Inc()
+	}
+	return reply
+}
+
+// dispatch routes one request to its handler and returns the reply.
+func (sess *session) dispatch(msg protocol.Message) protocol.Message {
 	switch m := msg.(type) {
 	case *protocol.Hello:
 		sess.name, sess.profile = m.ClientName, m.Profile
@@ -319,15 +348,34 @@ func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherenc
 			unitsModified = seg.UnitsModifiedSince(haveVer)
 		}
 	}
+	ins := sess.srv.ins
 	if !policy.ShouldUpdate(haveVer, seg.Version, unitsModified, seg.TotalUnits()) {
+		if ins != nil {
+			ins.versionFresh.Inc()
+		}
 		return &protocol.LockReply{Fresh: true}
+	}
+	var start time.Time
+	if ins != nil {
+		start = time.Now()
 	}
 	d, err := seg.CollectDiff(haveVer)
 	if err != nil {
 		return errReply(protocol.CodeInternal, "collecting diff: %v", err)
 	}
 	if d == nil {
+		if ins != nil {
+			ins.versionFresh.Inc()
+		}
 		return &protocol.LockReply{Fresh: true}
+	}
+	if ins != nil {
+		ins.collectSec.ObserveSince(start)
+		ins.versionDiff.Inc()
+		ins.diffSize.Observe(float64(d.DataBytes()))
+		ins.diffBytes.Add(uint64(d.DataBytes()))
+		ins.unitsSent.Add(uint64(d.Units()))
+		ins.unitsFull.Add(uint64(seg.TotalUnits()))
 	}
 	// The client is now current: refresh its subscription state.
 	if sub, ok := st.subs[sess]; ok {
@@ -367,6 +415,10 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
 		s.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock already held")
 	}
+	var queuedAt time.Time
+	if s.ins != nil {
+		queuedAt = time.Now()
+	}
 	for st.writer != nil {
 		w := &waiter{sess: sess, ch: make(chan struct{})}
 		st.waiters = append(st.waiters, w)
@@ -383,6 +435,9 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
 		// Our wait was cancelled (session cleanup raced); try again.
 	}
 	st.writer = sess
+	if s.ins != nil {
+		s.ins.lockWait.ObserveSince(queuedAt)
+	}
 	// A writer always works against the current version.
 	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full())
 	if _, isErr := reply.(*protocol.ErrorReply); isErr {
@@ -436,11 +491,19 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 	version := st.seg.Version
 	var notifications []func()
 	if m.Diff != nil && !m.Diff.Empty() {
+		var start time.Time
+		if s.ins != nil {
+			start = time.Now()
+		}
 		newVer, modified, err := st.seg.ApplyDiff(m.Diff)
 		if err != nil {
 			releaseWriter(st, sess)
 			s.mu.Unlock()
 			return errReply(protocol.CodeBadRequest, "applying diff: %v", err)
+		}
+		if s.ins != nil {
+			s.ins.applySec.ObserveSince(start)
+			s.ins.applyUnits.Add(uint64(modified))
 		}
 		version = newVer
 		notifications = updateSubscribers(st, sess, newVer, modified)
@@ -450,6 +513,9 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 	}
 	releaseWriter(st, sess)
 	s.mu.Unlock()
+	if s.ins != nil && len(notifications) > 0 {
+		s.ins.notifications.Add(uint64(len(notifications)))
+	}
 	for _, n := range notifications {
 		n()
 	}
@@ -540,6 +606,9 @@ func (sess *session) cleanup() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.sessions, sess)
+	if s.ins != nil {
+		s.ins.sessions.Set(int64(len(s.sessions)))
+	}
 	for _, st := range s.segs {
 		delete(st.subs, sess)
 		// Drop queued waiters belonging to this session.

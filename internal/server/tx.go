@@ -95,10 +95,16 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit) protocol.Message {
 		if wid := m.Parts[i].WriterID; wid != "" {
 			st.applied[wid] = appliedWrite{seq: m.Parts[i].Seq, version: stage[i].version}
 		}
+		if s.ins != nil && stage[i].clone != nil {
+			s.ins.applyUnits.Add(uint64(stage[i].modified))
+		}
 		releaseWriter(st, sess)
 		reply.Versions[i] = stage[i].version
 	}
 	s.mu.Unlock()
+	if s.ins != nil && len(notifications) > 0 {
+		s.ins.notifications.Add(uint64(len(notifications)))
+	}
 	for _, n := range notifications {
 		n()
 	}

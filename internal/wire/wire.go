@@ -246,6 +246,29 @@ func (d *SegmentDiff) Empty() bool {
 // reports as bandwidth.
 func (d *SegmentDiff) WireSize() int { return len(d.Marshal(nil)) }
 
+// DataBytes returns the total run payload across every block diff,
+// without marshaling — the cheap per-release byte count the
+// observability layer feeds its diff-vs-full-transfer ratios.
+func (d *SegmentDiff) DataBytes() int {
+	n := 0
+	for i := range d.Blocks {
+		n += d.Blocks[i].DataLen()
+	}
+	return n
+}
+
+// Units returns the total primitive units carried by the diff's runs,
+// the numerator of the units-sent/units-full diffing-savings ratio.
+func (d *SegmentDiff) Units() int {
+	n := 0
+	for i := range d.Blocks {
+		for _, r := range d.Blocks[i].Runs {
+			n += int(r.Count)
+		}
+	}
+	return n
+}
+
 // Marshal appends the canonical encoding of the diff to buf.
 func (d *SegmentDiff) Marshal(buf []byte) []byte {
 	buf = AppendU32(buf, d.Version)

@@ -1,0 +1,221 @@
+// Command doccheck enforces the repo's godoc conventions without any
+// external linters: every package must carry a package comment, and
+// every exported top-level declaration (type, function, method,
+// const/var group) must carry a doc comment. CI runs it over internal
+// and cmd; see .github/workflows/ci.yml.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/... ./cmd/...
+//
+// Patterns ending in /... recurse. Test files are exempt, as are
+// generated files (a "Code generated" header). Exit status is 1 when
+// any package or symbol is undocumented, with one line per finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, arg := range args {
+		for _, d := range expand(arg) {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	bad := 0
+	for _, dir := range dirs {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// expand resolves one argument to the list of directories holding Go
+// files: the directory itself, or every subdirectory for /... forms.
+func expand(arg string) []string {
+	root, recursive := strings.CutSuffix(arg, "/...")
+	root = filepath.Clean(root)
+	if !recursive {
+		return []string{root}
+	}
+	var dirs []string
+	_ = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); strings.HasPrefix(name, ".") && path != root {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory and reports undocumented
+// exported declarations, returning the number of findings.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for name, pkg := range pkgs {
+		if !packageDocumented(pkg) {
+			fmt.Printf("%s: package %s has no package comment\n", dir, name)
+			bad++
+		}
+		for file, f := range pkg.Files {
+			if isGenerated(f) {
+				continue
+			}
+			bad += checkFile(fset, file, f)
+		}
+	}
+	return bad
+}
+
+// packageDocumented reports whether any file carries the package's
+// doc comment.
+func packageDocumented(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// isGenerated detects the standard "Code generated ... DO NOT EDIT."
+// marker in a file's leading comments.
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated") && strings.Contains(c.Text, "DO NOT EDIT") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFile reports every undocumented exported top-level declaration
+// in one file.
+func checkFile(fset *token.FileSet, path string, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: exported %s %s has no doc comment\n", path, p.Line, what, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// One-line methods are exempt: tag methods of the
+			// `func (*Hello) Type() MsgType { return TypeHello }`
+			// shape are self-describing, and requiring a comment on
+			// each member of such a block buries the real docs.
+			oneLiner := d.Recv != nil &&
+				fset.Position(d.Pos()).Line == fset.Position(d.End()).Line
+			if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil && !oneLiner {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						// A group doc, a per-spec doc, or a trailing
+						// line comment all count: const blocks often
+						// document the family once.
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(n.Pos(), declKind(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are internal detail even when the
+// method name is capitalized).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,129 @@
+// Command linkcheck validates markdown cross-references offline: for
+// every [text](target) link in the given files it checks that a
+// relative target exists on disk and, when the target carries a
+// #fragment, that the destination file has a heading whose GitHub
+// anchor slug matches. External links (http, https, mailto) are
+// skipped — CI must not depend on the network. Exit status is 1 when
+// any link is broken, with one line per finding.
+//
+// Usage:
+//
+//	go run ./tools/linkcheck README.md DESIGN.md OBSERVABILITY.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+var headingRe = regexp.MustCompile("(?m)^#{1,6} +(.+?) *$")
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, file := range os.Args[1:] {
+		bad += checkFile(file)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every link in one markdown file, returning the
+// number of broken ones.
+func checkFile(file string) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Printf("%s: %v\n", file, err)
+		return 1
+	}
+	text := string(data)
+	bad := 0
+	for _, m := range linkRe.FindAllStringSubmatchIndex(text, -1) {
+		target := text[m[2]:m[3]]
+		line := 1 + strings.Count(text[:m[0]], "\n")
+		if isExternal(target) {
+			continue
+		}
+		path, frag, _ := strings.Cut(target, "#")
+		dest := file
+		if path != "" {
+			dest = filepath.Join(filepath.Dir(file), path)
+			if info, err := os.Stat(dest); err != nil {
+				fmt.Printf("%s:%d: broken link %s: %v\n", file, line, target, err)
+				bad++
+				continue
+			} else if info.IsDir() {
+				continue // directory links render as listings
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		if !strings.HasSuffix(dest, ".md") {
+			continue // fragments into non-markdown are out of scope
+		}
+		if !hasAnchor(dest, frag) {
+			fmt.Printf("%s:%d: link %s: no heading with anchor #%s in %s\n", file, line, target, frag, dest)
+			bad++
+		}
+	}
+	return bad
+}
+
+func isExternal(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub slug equals frag.
+func hasAnchor(file, frag string) bool {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false
+	}
+	seen := make(map[string]int)
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		s := slug(m[1])
+		// GitHub deduplicates repeated headings as slug, slug-1, ...
+		if n := seen[s]; n > 0 {
+			s = fmt.Sprintf("%s-%d", s, n)
+		}
+		seen[slug(m[1])]++
+		if s == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// slug converts a heading to its GitHub anchor: lowercase, markup and
+// punctuation stripped, spaces to dashes.
+func slug(heading string) string {
+	h := strings.TrimSpace(heading)
+	// Strip inline code/emphasis markers and link syntax before
+	// slugging, the way GitHub renders first and anchors second.
+	h = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(h, "$1")
+	h = strings.NewReplacer("`", "", "*", "").Replace(h)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
