@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench figures fig4 fig5 fig6 fig7 examples cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json figures fig4 fig5 fig6 fig7 examples cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -24,6 +24,13 @@ race-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot: writes BENCH_<UTC-date>.json at
+# the repo root (schema interweave-bench/1). Pass flags through
+# BENCHJSON_FLAGS, e.g. `make bench-json BENCHJSON_FLAGS=-smoke` for
+# the fast CI schema check.
+bench-json:
+	$(GO) run ./tools/benchjson $(BENCHJSON_FLAGS)
 
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.

@@ -22,9 +22,14 @@
 //
 //	iwserver -addr :7777 -metrics-addr :9090
 //
-// serves Prometheus text metrics on /metrics and a per-segment JSON
-// snapshot on /debug/segments. With -metrics-addr :0 the chosen port
-// is logged at startup.
+// serves Prometheus text metrics on /metrics, a per-segment JSON
+// snapshot on /debug/segments, distributed traces on /debug/traces
+// (JSON, ?id= detail, ?format=chrome Perfetto export), a runtime
+// health snapshot on /debug/runtime, and the standard pprof profiles
+// under /debug/pprof/. With -metrics-addr :0 the chosen port is
+// logged at startup. Tracing rides the same flag; -trace=false turns
+// it off, and -trace-capacity / -trace-sample / -trace-slowest tune
+// the tail-sampled store.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,7 +68,11 @@ func run(args []string) error {
 	chaosResets := fs.Int("chaos-resets", 4, "connection resets in the chaos schedule")
 	chaosMaxBytes := fs.Int64("chaos-max-bytes", 64<<10, "latest byte offset at which a chaos reset fires")
 	chaosMaxDelay := fs.Duration("chaos-max-delay", 0, "upper bound for chaos per-chunk latency (0 = none)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/segments on this address (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and the /debug endpoints on this address (empty = off)")
+	traceOn := fs.Bool("trace", true, "record distributed traces when -metrics-addr is set")
+	traceCap := fs.Int("trace-capacity", 256, "finished traces kept in the tail-sampled store")
+	traceSample := fs.Float64("trace-sample", 1, "probability of keeping an unremarkable trace (errored and slowest-N are always kept; negative = 0)")
+	traceSlowest := fs.Int("trace-slowest", 16, "slowest-N traces always kept regardless of sampling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,9 +85,18 @@ func run(args []string) error {
 		opts.Logf = logger.Printf
 	}
 	var reg *obs.Registry
+	var tracer *obs.Tracer
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
+		if *traceOn {
+			tracer = obs.NewTracer(obs.TracerOptions{
+				Capacity:   *traceCap,
+				SampleRate: *traceSample,
+				SlowestN:   *traceSlowest,
+			})
+			opts.Tracer = tracer
+		}
 	}
 	srv, err := server.New(opts)
 	if err != nil {
@@ -89,7 +108,7 @@ func run(args []string) error {
 			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
 		}
 		defer mln.Close()
-		go func() { _ = http.Serve(mln, metricsMux(reg, srv)) }()
+		go func() { _ = http.Serve(mln, metricsMux(reg, srv, tracer)) }()
 		if !*quiet {
 			log.Printf("iwserver: metrics on http://%s/metrics", mln.Addr())
 		}
@@ -126,8 +145,10 @@ func run(args []string) error {
 }
 
 // metricsMux builds the observability surface: Prometheus text on
-// /metrics, per-segment JSON on /debug/segments.
-func metricsMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
+// /metrics, per-segment JSON on /debug/segments, traces on
+// /debug/traces (when tracing is on), runtime health on
+// /debug/runtime, and pprof under /debug/pprof/.
+func metricsMux(reg *obs.Registry, srv *server.Server, tracer *obs.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.HandleFunc("/debug/segments", func(w http.ResponseWriter, r *http.Request) {
@@ -136,5 +157,16 @@ func metricsMux(reg *obs.Registry, srv *server.Server) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(srv.DebugSegments())
 	})
+	if tracer != nil {
+		mux.Handle("/debug/traces", obs.TraceHandler(tracer))
+	}
+	mux.Handle("/debug/runtime", obs.RuntimeHandler())
+	// pprof registers itself on http.DefaultServeMux; mount its
+	// handlers explicitly since this mux is private.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

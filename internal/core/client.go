@@ -78,6 +78,12 @@ type Options struct {
 	// degraded reads, release recovery) synchronously on the emitting
 	// goroutine. Meant for tests asserting behaviour; must be fast.
 	Trace obs.TraceFunc
+	// Tracer, when non-nil, records a distributed span per lock
+	// operation, with child spans per RPC attempt whose context rides
+	// the wire so server-side work links into the same trace. A nil
+	// tracer disables span tracing entirely — no clock reads and no
+	// allocations on the hot paths.
+	Tracer *obs.Tracer
 }
 
 // Client is one InterWeave client process.
@@ -105,6 +111,8 @@ type Client struct {
 	ins *clientInstruments
 	// traceFn is Options.Trace (nil when tracing is disabled).
 	traceFn obs.TraceFunc
+	// tracer is Options.Tracer (nil when span tracing is disabled).
+	tracer *obs.Tracer
 }
 
 // clientSeq distinguishes writer IDs of clients created by one
@@ -161,6 +169,7 @@ func NewClient(opts Options) (*Client, error) {
 		segs:     make(map[string]*segment),
 		writerID: fmt.Sprintf("%s/%d/%d", opts.Name, os.Getpid(), clientSeq.Add(1)),
 		traceFn:  opts.Trace,
+		tracer:   opts.Tracer,
 	}
 	if opts.Metrics != nil {
 		c.ins = newClientInstruments(opts.Metrics)
@@ -266,7 +275,9 @@ func (c *Client) connFor(segName string) (*serverConn, error) {
 // lock. Non-retryable RPCs (WriteUnlock, TxCommit) get at most one
 // send per call — their recovery runs at a higher level (Resume).
 // Caller holds c.mu.
-func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, error) {
+// The span, when non-nil, parents one child span per RPC attempt
+// whose context rides the wire.
+func (c *Client) callSeg(s *segment, m protocol.Message, sp *obs.Span) (protocol.Message, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if s.conn == nil || s.conn.isClosed() {
@@ -282,7 +293,7 @@ func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, erro
 			s.state.Subscribed = false
 			s.state.Invalidated = false
 		}
-		reply, err := c.callObserved(s.conn, m)
+		reply, err := c.callObserved(s.conn, m, sp, attempt)
 		if err == nil || !isTransport(err) {
 			return reply, err
 		}
@@ -296,14 +307,14 @@ func (c *Client) callSeg(s *segment, m protocol.Message) (protocol.Message, erro
 // callRetry issues a request against the server addressed by segName
 // before any segment state exists (the open path), with the same
 // backoff-retry behaviour as callSeg. Caller holds c.mu.
-func (c *Client) callRetry(segName string, m protocol.Message) (protocol.Message, error) {
+func (c *Client) callRetry(segName string, m protocol.Message, sp *obs.Span) (protocol.Message, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		sc, err := c.connFor(segName)
 		if err != nil {
 			lastErr = err
 		} else {
-			reply, err := c.callObserved(sc, m)
+			reply, err := c.callObserved(sc, m, sp, attempt)
 			if err == nil || !isTransport(err) {
 				return reply, err
 			}
@@ -317,20 +328,49 @@ func (c *Client) callRetry(segName string, m protocol.Message) (protocol.Message
 
 // callObserved performs one RPC round trip through sc, recording
 // latency (healthy round trips, including server-reported errors) or
-// a transport error when metrics are enabled.
-func (c *Client) callObserved(sc *serverConn, m protocol.Message) (protocol.Message, error) {
+// a transport error when metrics are enabled. When sp is non-nil, the
+// round trip gets its own child span — one per attempt, so retries
+// appear as sibling spans — and the child's context is attached to
+// the outgoing frame for the server to join. All span work is gated
+// on sp, keeping the nil-tracer path free of clock reads and
+// allocations (rpcName formats).
+func (c *Client) callObserved(sc *serverConn, m protocol.Message, sp *obs.Span, attempt int) (protocol.Message, error) {
+	var asp *obs.Span
+	var tc protocol.TraceContext
+	if sp != nil {
+		asp = sp.Child("rpc." + rpcName(m))
+		asp.AttrInt("attempt", int64(attempt))
+		sctx := asp.Context()
+		tc = protocol.TraceContext{TraceID: sctx.TraceID, SpanID: sctx.SpanID}
+	}
 	if c.ins == nil {
-		return sc.callT(m, c.timeoutFor(m))
+		reply, err := sc.callT(m, c.timeoutFor(m), tc)
+		endRPCSpan(asp, err)
+		return reply, err
 	}
 	rpc := rpcName(m)
 	start := time.Now()
-	reply, err := sc.callT(m, c.timeoutFor(m))
+	reply, err := sc.callT(m, c.timeoutFor(m), tc)
 	if err != nil && isTransport(err) {
 		c.ins.transportErrors(rpc).Inc()
 	} else {
 		c.ins.latency(rpc).ObserveSince(start)
 	}
+	endRPCSpan(asp, err)
 	return reply, err
+}
+
+// endRPCSpan closes an attempt span, recording the error when the
+// round trip failed (transport death and server-reported errors
+// alike).
+func endRPCSpan(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Error(err)
+	}
+	sp.End()
 }
 
 // retryPause records the retry (metrics + trace) and sleeps out the
@@ -495,14 +535,16 @@ func (sc *serverConn) close() error {
 // call sends one request and waits for its reply. ErrorReply payloads
 // are returned as errors.
 func (sc *serverConn) call(m protocol.Message) (protocol.Message, error) {
-	return sc.callT(m, 0)
+	return sc.callT(m, 0, protocol.TraceContext{})
 }
 
-// callT is call with an optional timeout. A timeout fails the whole
-// connection: replies on a multiplexed stream arrive in server order,
-// so once one is overdue the stream's state is unknowable and every
-// later reply suspect.
-func (sc *serverConn) callT(m protocol.Message, timeout time.Duration) (protocol.Message, error) {
+// callT is call with an optional timeout and an optional trace
+// context to attach to the outgoing frame (a zero context sends the
+// classic frame format). A timeout fails the whole connection:
+// replies on a multiplexed stream arrive in server order, so once one
+// is overdue the stream's state is unknowable and every later reply
+// suspect.
+func (sc *serverConn) callT(m protocol.Message, timeout time.Duration, tc protocol.TraceContext) (protocol.Message, error) {
 	sc.mu.Lock()
 	if sc.closed {
 		err := sc.err
@@ -519,7 +561,7 @@ func (sc *serverConn) callT(m protocol.Message, timeout time.Duration) (protocol
 	}
 	ch := make(chan protocol.Message, 1)
 	sc.pending[id] = ch
-	err := protocol.WriteFrame(sc.conn, id, m)
+	err := protocol.WriteFrameCtx(sc.conn, id, m, tc)
 	sc.mu.Unlock()
 	if err != nil {
 		sc.fail(err)

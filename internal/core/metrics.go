@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
@@ -155,9 +156,14 @@ func (ci *clientInstruments) transportErrors(rpc string) *obs.Counter {
 	return c
 }
 
-// trace emits a structured event to the Options.Trace hook, if any.
+// trace emits a structured event to the Options.Trace hook, if any,
+// stamping the monotonic timestamp unless the emitter already did.
+// The clock read happens only when a hook is installed.
 func (c *Client) trace(ev obs.Event) {
 	if c.traceFn != nil {
+		if ev.At.IsZero() {
+			ev.At = time.Now()
+		}
 		c.traceFn(ev)
 	}
 }

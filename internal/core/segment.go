@@ -159,7 +159,9 @@ func (c *Client) openShell(name string, create bool) (*segment, error) {
 	if s, ok := c.segs[name]; ok {
 		return s, nil
 	}
-	reply, err := c.callRetry(name, &protocol.OpenSegment{Name: name, Create: create})
+	sp := c.tracer.Start("client.Open")
+	defer sp.End()
+	reply, err := c.callRetry(name, &protocol.OpenSegment{Name: name, Create: create}, sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: opening %q: %w", name, err)
 	}
@@ -201,7 +203,7 @@ func (c *Client) openShell(name string, create bool) (*segment, error) {
 // refreshDir re-fetches the block directory, materializing blocks
 // created since the shell was opened. Caller holds c.mu.
 func (c *Client) refreshDir(s *segment) error {
-	reply, err := c.callSeg(s, &protocol.OpenSegment{Name: s.name, Create: false})
+	reply, err := c.callSeg(s, &protocol.OpenSegment{Name: s.name, Create: false}, nil)
 	if err != nil {
 		return err
 	}
@@ -291,6 +293,21 @@ func (c *Client) applyIncoming(s *segment, d *wire.SegmentDiff, advance bool) er
 	return nil
 }
 
+// applyTraced is applyIncoming (advancing the version) wrapped in a
+// "client.diff_apply" child span when tracing is on. Caller holds
+// c.mu.
+func (c *Client) applyTraced(s *segment, d *wire.SegmentDiff, sp *obs.Span) error {
+	asp := sp.Child("client.diff_apply")
+	err := c.applyIncoming(s, d, true)
+	if asp != nil {
+		asp.Attr("seg", s.name)
+		asp.AttrInt("version", int64(d.Version))
+		asp.Error(err)
+		asp.End()
+	}
+	return err
+}
+
 // resolveMIP turns a MIP into a local address, reserving the target
 // segment if it is not yet cached. Caller holds c.mu.
 func (c *Client) resolveMIP(mipStr string) (mem.Addr, error) {
@@ -352,7 +369,7 @@ func (c *Client) SetPolicy(h *Segment, p coherence.Policy) error {
 	s := h.s
 	s.policy = p
 	if s.state.Subscribed {
-		if _, err := c.callSeg(s, &protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: p}); err != nil {
+		if _, err := c.callSeg(s, &protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: p}, nil); err != nil {
 			s.state.Subscribed = false
 			return err
 		}
@@ -369,12 +386,16 @@ func (c *Client) RLock(h *Segment) error {
 	if c.ins != nil {
 		start = time.Now()
 	}
+	sp := c.tracer.Start("client.ReadLock")
+	sp.Attr("seg", s.name)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for s.writer || s.writeWaiters > 0 {
 		c.cond.Wait()
 	}
-	if err := c.ensureFresh(s); err != nil {
+	if err := c.ensureFresh(s, sp); err != nil {
+		sp.Error(err)
 		return err
 	}
 	s.readers++
@@ -401,8 +422,9 @@ func (c *Client) RUnlock(h *Segment) error {
 
 // ensureFresh implements the read-lock freshness protocol: grant
 // locally when the policy allows, otherwise poll the server and apply
-// whatever diff comes back. Caller holds c.mu.
-func (c *Client) ensureFresh(s *segment) error {
+// whatever diff comes back. The span, when non-nil, parents the RPC
+// attempt and diff-apply child spans. Caller holds c.mu.
+func (c *Client) ensureFresh(s *segment, sp *obs.Span) error {
 	now := time.Now()
 	if s.state.Subscribed && s.conn.isClosed() {
 		// The server holding our subscription is gone; notifications
@@ -420,7 +442,7 @@ func (c *Client) ensureFresh(s *segment) error {
 		// apply only to subsequent acquisitions.
 		policy = coherence.Full()
 	}
-	reply, err := c.callSeg(s, &protocol.ReadLock{Seg: s.name, HaveVersion: s.version, Policy: policy})
+	reply, err := c.callSeg(s, &protocol.ReadLock{Seg: s.name, HaveVersion: s.version, Policy: policy}, sp)
 	if err != nil {
 		if isTransport(err) && s.version > 0 && s.policy.Model != coherence.ModelFull {
 			// Graceful degradation: relaxed coherence already tolerates
@@ -445,7 +467,7 @@ func (c *Client) ensureFresh(s *segment) error {
 	}
 	updated := false
 	if !lr.Fresh && lr.Diff != nil {
-		if err := c.applyIncoming(s, lr.Diff, true); err != nil {
+		if err := c.applyTraced(s, lr.Diff, sp); err != nil {
 			return err
 		}
 		updated = true
@@ -504,6 +526,9 @@ func (c *Client) WLock(h *Segment) error {
 	if c.ins != nil {
 		start = time.Now()
 	}
+	sp := c.tracer.Start("client.WriteLock")
+	sp.Attr("seg", s.name)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s.writeWaiters++
@@ -512,11 +537,11 @@ func (c *Client) WLock(h *Segment) error {
 	}
 	s.writeWaiters--
 	s.writer = true
-	reply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: s.version, Policy: s.policy})
+	reply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: s.version, Policy: s.policy}, sp)
 	if err == nil {
 		if lr, ok := reply.(*protocol.LockReply); ok {
 			if !lr.Fresh && lr.Diff != nil {
-				err = c.applyIncoming(s, lr.Diff, true)
+				err = c.applyTraced(s, lr.Diff, sp)
 			}
 		} else {
 			err = fmt.Errorf("core: unexpected reply %T to write lock", reply)
@@ -525,6 +550,7 @@ func (c *Client) WLock(h *Segment) error {
 	if err != nil {
 		s.writer = false
 		c.cond.Broadcast()
+		sp.Error(err)
 		return fmt.Errorf("core: write lock on %q: %w", s.name, err)
 	}
 	if !s.noDiff {
@@ -542,25 +568,38 @@ func (c *Client) WLock(h *Segment) error {
 // server, which assigns the new segment version.
 func (c *Client) WUnlock(h *Segment) error {
 	s := h.s
+	sp := c.tracer.Start("client.WriteUnlock")
+	sp.Attr("seg", s.name)
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !s.writer {
-		return fmt.Errorf("%w: write", ErrNotLocked)
+		err := fmt.Errorf("%w: write", ErrNotLocked)
+		sp.Error(err)
+		return err
 	}
 	var st diff.Stats
 	var collectStart time.Time
 	if c.ins != nil {
 		collectStart = time.Now()
 	}
+	csp := sp.Child("client.diff_collect")
 	d, err := diff.CollectSegment(s.m, diff.CollectOptions{
 		NoDiff:  s.noDiff,
 		Freed:   s.freed,
 		Stats:   &st,
 		Swizzle: c.swizzler(),
 	})
+	if csp != nil {
+		csp.AttrInt("bytes", int64(st.Bytes))
+		csp.AttrInt("units", int64(st.Units))
+		csp.Error(err)
+		csp.End()
+	}
 	if err != nil {
 		// Leave the lock held: the caller may retry after fixing the
 		// problem (e.g. an unswizzlable private pointer).
+		sp.Error(err)
 		return fmt.Errorf("core: collecting diff of %q: %w", s.name, err)
 	}
 	s.lastCollect = st
@@ -586,20 +625,23 @@ func (c *Client) WUnlock(h *Segment) error {
 	}
 	s.wseq++
 	msg := &protocol.WriteUnlock{Seg: s.name, Diff: payload, WriterID: c.writerID, Seq: s.wseq}
-	reply, err := c.callSeg(s, msg)
+	reply, err := c.callSeg(s, msg, sp)
 	if err != nil && isTransport(err) {
 		// The connection died with the release in flight: the server
 		// may or may not have applied it. Resolve the ambiguity.
-		reply, err = c.recoverWUnlock(s, msg)
+		reply, err = c.recoverWUnlock(s, msg, sp)
 	}
 	if err != nil {
 		s.releaseWrite(c)
+		sp.Error(err)
 		return fmt.Errorf("core: write unlock on %q: %w", s.name, err)
 	}
 	vr, ok := reply.(*protocol.VersionReply)
 	if !ok {
 		s.releaseWrite(c)
-		return fmt.Errorf("core: unexpected reply %T to write unlock", reply)
+		err := fmt.Errorf("core: unexpected reply %T to write unlock", reply)
+		sp.Error(err)
+		return err
 	}
 	s.version = vr.Version
 	s.state.Version = vr.Version
@@ -628,17 +670,24 @@ func (s *segment) releaseWrite(c *Client) {
 // late-arriving original. If another writer did commit (the server
 // released our lock with the dead session), the diff was computed
 // against a version that no longer exists and the release is
-// abandoned with ErrWriteConflict. Caller holds c.mu and the local
-// write lock.
-func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.Message, error) {
+// abandoned with ErrWriteConflict. The span, when non-nil, parents a
+// "client.recover" child span covering the whole probe/resend loop.
+// Caller holds c.mu and the local write lock.
+func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock, sp *obs.Span) (reply protocol.Message, err error) {
 	c.trace(obs.Event{Name: "wunlock.recover", Seg: s.name, RPC: "WriteUnlock"})
+	rsp := sp.Child("client.recover")
+	rsp.Attr("seg", s.name)
+	defer func() {
+		rsp.Error(err)
+		rsp.End()
+	}()
 	base := s.version
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 && !c.sleepRetry(attempt-1) {
 			return nil, errors.New("core: client closed")
 		}
-		reply, err := c.callSeg(s, &protocol.Resume{Seg: s.name, WriterID: m.WriterID, Seq: m.Seq})
+		reply, err := c.callSeg(s, &protocol.Resume{Seg: s.name, WriterID: m.WriterID, Seq: m.Seq}, rsp)
 		if err != nil {
 			lastErr = err
 			if isTransport(err) {
@@ -652,6 +701,7 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 		}
 		if rr.Applied {
 			c.trace(obs.Event{Name: "wunlock.recover-applied", Seg: s.name, Attempt: attempt})
+			rsp.Attr("outcome", "already-applied")
 			return &protocol.VersionReply{Version: rr.AppliedVersion}, nil
 		}
 		if rr.CurrentVersion != base {
@@ -659,7 +709,7 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 		}
 		// Not applied and nobody else wrote: take the lock again on
 		// the new session and resend the identical release.
-		lreply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: base, Policy: s.policy})
+		lreply, err := c.callSeg(s, &protocol.WriteLock{Seg: s.name, HaveVersion: base, Policy: s.policy}, rsp)
 		if err != nil {
 			lastErr = err
 			if isTransport(err) {
@@ -674,11 +724,12 @@ func (c *Client) recoverWUnlock(s *segment, m *protocol.WriteUnlock) (protocol.M
 		if !lr.Fresh {
 			// The version moved between probe and grant. We now hold
 			// the server lock — surrender it untouched before failing.
-			_, _ = c.callSeg(s, &protocol.WriteUnlock{Seg: s.name})
+			_, _ = c.callSeg(s, &protocol.WriteUnlock{Seg: s.name}, rsp)
 			return nil, c.conflict(s)
 		}
 		c.trace(obs.Event{Name: "wunlock.resent", Seg: s.name, Attempt: attempt})
-		reply, err = c.callSeg(s, m)
+		rsp.Attr("outcome", "resent")
+		reply, err = c.callSeg(s, m, rsp)
 		if err == nil || !isTransport(err) {
 			return reply, err
 		}

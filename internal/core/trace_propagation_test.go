@@ -1,0 +1,278 @@
+package core
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"interweave/internal/faultnet"
+	"interweave/internal/obs"
+	"interweave/internal/server"
+	"interweave/internal/types"
+)
+
+// Cross-process trace propagation under chaos: these tests share one
+// obs.Tracer between the client and the in-process server, so client
+// spans and the server spans joined from wire-propagated contexts
+// land in the same store and the parent/child links can be asserted
+// end to end across faultnet-injected failures.
+
+// startTracedServer is startChaosServer with a tracer wired in.
+func startTracedServer(t *testing.T, tr *obs.Tracer) string {
+	t.Helper()
+	srv, err := server.New(server.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String()
+}
+
+// tracedTrace finds the single kept trace rooted at rootName.
+func tracedTrace(t *testing.T, tr *obs.Tracer, rootName string) obs.TraceData {
+	t.Helper()
+	var ids []string
+	for _, s := range tr.Traces() {
+		if s.Root == rootName {
+			ids = append(ids, s.TraceID)
+		}
+	}
+	if len(ids) != 1 {
+		t.Fatalf("%d kept traces rooted at %q, want exactly 1", len(ids), rootName)
+	}
+	td, ok := tr.Trace(ids[0])
+	if !ok {
+		t.Fatalf("trace %s vanished from the store", ids[0])
+	}
+	return td
+}
+
+// tracedSpans returns every span in td with the given name.
+func tracedSpans(td obs.TraceData, name string) []obs.SpanData {
+	var out []obs.SpanData
+	for _, sd := range td.Spans {
+		if sd.Name == name {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// tracedSpan returns the single span named name, failing on absence
+// or ambiguity.
+func tracedSpan(t *testing.T, td obs.TraceData, name string) obs.SpanData {
+	t.Helper()
+	found := tracedSpans(td, name)
+	if len(found) != 1 {
+		names := make([]string, len(td.Spans))
+		for i, sd := range td.Spans {
+			names[i] = sd.Name
+		}
+		t.Fatalf("trace has %d spans named %q, want 1 (spans: %v)", len(found), name, names)
+	}
+	return found[0]
+}
+
+func attrValue(sd obs.SpanData, key string) string {
+	for _, a := range sd.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestChaosTraceWriteUnlockReplyLost is the issue's acceptance
+// scenario for tracing: a WriteUnlock whose reply is lost must leave
+// ONE trace telling the whole story — the errored RPC attempt, the
+// server handler that did apply the release (joined via the wire
+// context, so its parent is the client's attempt span), and the
+// recovery probe whose server span links the same way.
+func TestChaosTraceWriteUnlockReplyLost(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerOptions{Seed: 11})
+	addr := startTracedServer(t, tr)
+	sched := faultnet.NewSchedule()
+	var arm atomic.Bool
+	sched.AddRule(faultnet.Rule{Dir: faultnet.Down, Op: faultnet.OpReset, When: armOnce(&arm)})
+	p := startChaosProxy(t, addr, sched)
+
+	opts := fastRetry("traced")
+	opts.Tracer = tr
+	c := newChaosClient(t, opts)
+	h, err := c.Open(p.Addr() + "/traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 1, "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heap().WriteI32(blk.Addr, 7); err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	if err := c.WUnlock(h); err != nil {
+		t.Fatalf("write unlock under fault: %v", err)
+	}
+	if n := sched.Stats().Resets; n != 1 {
+		t.Fatalf("schedule fired %d resets, want exactly 1", n)
+	}
+
+	td := tracedTrace(t, tr, "client.WriteUnlock")
+	if !td.Errored || td.Kept != "error" {
+		t.Errorf("trace errored=%v kept=%q, want true/error", td.Errored, td.Kept)
+	}
+
+	root := tracedSpan(t, td, "client.WriteUnlock")
+	if root.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", root.ParentID)
+	}
+
+	// The killed attempt: errored, child of the root, and — because
+	// the request DID reach the server before the reply was lost —
+	// parent of the server's handler span.
+	rpcWU := tracedSpan(t, td, "rpc.WriteUnlock")
+	if rpcWU.ParentID != root.SpanID {
+		t.Errorf("rpc.WriteUnlock parent = %d, want root %d", rpcWU.ParentID, root.SpanID)
+	}
+	if rpcWU.Err == "" {
+		t.Error("killed rpc.WriteUnlock attempt carries no error")
+	}
+	if got := attrValue(rpcWU, "attempt"); got != "0" {
+		t.Errorf("rpc.WriteUnlock attempt = %q, want 0", got)
+	}
+	srvWU := tracedSpan(t, td, "server.WriteUnlock")
+	if srvWU.ParentID != rpcWU.SpanID {
+		t.Errorf("server.WriteUnlock parent = %d, want client attempt span %d (cross-process link)", srvWU.ParentID, rpcWU.SpanID)
+	}
+
+	// The recovery: client.recover under the root, its Resume probe
+	// under it, and the server's Resume handler joined to the probe.
+	rec := tracedSpan(t, td, "client.recover")
+	if rec.ParentID != root.SpanID {
+		t.Errorf("client.recover parent = %d, want root %d", rec.ParentID, root.SpanID)
+	}
+	if got := attrValue(rec, "outcome"); got != "already-applied" {
+		t.Errorf("recovery outcome = %q, want already-applied", got)
+	}
+	rpcResume := tracedSpan(t, td, "rpc.Resume")
+	if rpcResume.ParentID != rec.SpanID {
+		t.Errorf("rpc.Resume parent = %d, want client.recover %d", rpcResume.ParentID, rec.SpanID)
+	}
+	if rpcResume.Err != "" {
+		t.Errorf("rpc.Resume errored: %s", rpcResume.Err)
+	}
+	srvResume := tracedSpan(t, td, "server.Resume")
+	if srvResume.ParentID != rpcResume.SpanID {
+		t.Errorf("server.Resume parent = %d, want rpc.Resume %d (cross-process link)", srvResume.ParentID, rpcResume.SpanID)
+	}
+
+	// The collected diff rides the same trace.
+	coll := tracedSpan(t, td, "client.diff_collect")
+	if coll.ParentID != root.SpanID {
+		t.Errorf("client.diff_collect parent = %d, want root %d", coll.ParentID, root.SpanID)
+	}
+}
+
+// TestChaosTraceReadLockRetryAttempts: a ReadLock whose request is
+// lost is retried by the transport layer, and the trace must show the
+// retries as sibling attempt spans under one root — attempt 0 errored
+// with no server span (the server never saw it), attempt 1 clean and
+// linked to the server's handler span.
+func TestChaosTraceReadLockRetryAttempts(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerOptions{Seed: 12})
+	addr := startTracedServer(t, tr)
+	sched := faultnet.NewSchedule()
+	var arm atomic.Bool
+	sched.AddRule(faultnet.Rule{Dir: faultnet.Up, Op: faultnet.OpReset, When: armOnce(&arm)})
+	p := startChaosProxy(t, addr, sched)
+	segName := p.Addr() + "/rt"
+
+	// A writer (untraced) publishes data for the reader to fetch.
+	w := newChaosClient(t, fastRetry("writer"))
+	wh, err := w.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WLock(wh); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := w.Alloc(wh, types.Int32(), 1, "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Heap().WriteI32(blk.Addr, 41); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WUnlock(wh); err != nil {
+		t.Fatal(err)
+	}
+
+	// The traced reader: its first ReadLock request is killed on the
+	// way up, so the client retries on a fresh connection.
+	ropts := fastRetry("reader")
+	ropts.Tracer = tr
+	r := newChaosClient(t, ropts)
+	rh, err := r.Open(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm.Store(true)
+	if err := r.RLock(rh); err != nil {
+		t.Fatalf("read lock under fault: %v", err)
+	}
+	if err := r.RUnlock(rh); err != nil {
+		t.Fatal(err)
+	}
+
+	td := tracedTrace(t, tr, "client.ReadLock")
+	root := tracedSpan(t, td, "client.ReadLock")
+	attempts := tracedSpans(td, "rpc.ReadLock")
+	if len(attempts) < 2 {
+		names := make([]string, len(td.Spans))
+		for i, sd := range td.Spans {
+			names[i] = sd.Name
+		}
+		t.Fatalf("trace has %d rpc.ReadLock attempt spans, want >= 2 (spans: %v)", len(attempts), names)
+	}
+	seen := map[string]bool{}
+	var okAttempt obs.SpanData
+	for _, a := range attempts {
+		if a.ParentID != root.SpanID {
+			t.Errorf("attempt span parent = %d, want root %d", a.ParentID, root.SpanID)
+		}
+		n := attrValue(a, "attempt")
+		if seen[n] {
+			t.Errorf("duplicate attempt attr %q", n)
+		}
+		seen[n] = true
+		if a.Err == "" {
+			okAttempt = a
+		}
+	}
+	if !seen["0"] || !seen["1"] {
+		t.Errorf("attempt attrs = %v, want 0 and 1", seen)
+	}
+	if okAttempt.SpanID == 0 {
+		t.Fatal("no successful rpc.ReadLock attempt in the trace")
+	}
+
+	// The server saw exactly one ReadLock (the lost request never
+	// arrived) and its handler span links to the successful attempt.
+	srvRL := tracedSpan(t, td, "server.ReadLock")
+	if srvRL.ParentID != okAttempt.SpanID {
+		t.Errorf("server.ReadLock parent = %d, want successful attempt %d (cross-process link)", srvRL.ParentID, okAttempt.SpanID)
+	}
+	fresh := tracedSpan(t, td, "server.freshness")
+	if fresh.ParentID != srvRL.SpanID {
+		t.Errorf("server.freshness parent = %d, want server.ReadLock %d", fresh.ParentID, srvRL.SpanID)
+	}
+}

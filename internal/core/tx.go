@@ -45,6 +45,8 @@ func (c *Client) TxLock(hs ...*Segment) error {
 // local modifications remain in the caller's cache (at the old
 // version) and are discarded on the next update.
 func (c *Client) TxCommit(hs ...*Segment) error {
+	sp := c.tracer.Start("client.TxCommit")
+	defer sp.End()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(hs) == 0 {
@@ -85,13 +87,14 @@ func (c *Client) TxCommit(hs ...*Segment) error {
 		msg.Parts[i] = part
 	}
 
-	reply, err := c.callSeg(first, msg)
+	reply, err := c.callSeg(first, msg, sp)
 	if err != nil {
 		// The commit failed as a unit; release local locks so the
 		// caller can recover (retry after a fresh TxLock).
 		for _, h := range hs {
 			h.s.releaseWrite(c)
 		}
+		sp.Error(err)
 		return fmt.Errorf("core: transaction commit: %w", err)
 	}
 	tr, ok := reply.(*protocol.TxReply)

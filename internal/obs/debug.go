@@ -1,0 +1,213 @@
+// Debug HTTP surface for the tracing store and the Go runtime:
+// TraceHandler serves /debug/traces (JSON list, single-trace detail,
+// and a Chrome trace_event export loadable in Perfetto), and
+// RuntimeHandler serves /debug/runtime (goroutines, heap, GC, and a
+// curated runtime/metrics selection). cmd/iwserver mounts both next
+// to /metrics; OBSERVABILITY.md documents the endpoints.
+
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// TraceHandler serves the tracer's kept traces:
+//
+//	GET /debug/traces                   JSON list of trace summaries
+//	GET /debug/traces?id=<hex>          one trace in full (all spans)
+//	GET /debug/traces?format=chrome     Chrome trace_event export of
+//	                                    every kept trace (add &id= for
+//	                                    one), loadable in Perfetto
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="iw-trace.json"`)
+			_ = json.NewEncoder(w).Encode(ChromeTrace(t, id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id != "" {
+			td, ok := t.Trace(id)
+			if !ok {
+				http.Error(w, "no such trace", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(td)
+			return
+		}
+		_ = enc.Encode(t.Traces())
+	})
+}
+
+// ChromeEvent is one event of the Chrome trace_event format (the
+// "JSON Array Format" variant wrapped in an object), as consumed by
+// Perfetto and chrome://tracing.
+type ChromeEvent struct {
+	// Name labels the slice.
+	Name string `json:"name"`
+	// Cat is the event category.
+	Cat string `json:"cat,omitempty"`
+	// Ph is the phase: "X" for complete slices, "M" for metadata.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds.
+	Ts float64 `json:"ts"`
+	// Dur is the slice duration in microseconds ("X" events).
+	Dur float64 `json:"dur,omitempty"`
+	// Pid groups events into a process track; one per trace.
+	Pid uint64 `json:"pid"`
+	// Tid is the thread track within the process.
+	Tid uint64 `json:"tid"`
+	// Args carries span IDs, attributes, and errors.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeExport is the top-level Chrome trace_event JSON document.
+type ChromeExport struct {
+	// TraceEvents holds every event.
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit hints the UI's time unit.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders kept traces (all, or the one named by idHex) in
+// Chrome trace_event form. Each trace becomes one process track whose
+// name is "<id> <root>"; spans are "X" complete events with span and
+// parent IDs, attributes, and errors in args. Timestamps are relative
+// to the earliest kept span so Perfetto shows a compact timeline.
+func ChromeTrace(t *Tracer, idHex string) ChromeExport {
+	out := ChromeExport{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	if t == nil {
+		return out
+	}
+	var traces []*TraceData
+	if idHex != "" {
+		if td, ok := t.Trace(idHex); ok {
+			traces = []*TraceData{&td}
+		}
+	} else {
+		traces = t.keptData()
+	}
+	if len(traces) == 0 {
+		return out
+	}
+	epoch := traces[0].Start
+	for _, td := range traces {
+		if td.Start.Before(epoch) {
+			epoch = td.Start
+		}
+	}
+	for pid, td := range traces {
+		p := uint64(pid + 1)
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: p, Tid: 0,
+			Args: map[string]string{"name": td.TraceID[:8] + " " + td.Root},
+		})
+		for _, sd := range td.Spans {
+			args := map[string]string{
+				"span_id":   formatID(sd.SpanID),
+				"parent_id": formatID(sd.ParentID),
+			}
+			for _, a := range sd.Attrs {
+				args[a.Key] = a.Value
+			}
+			if sd.Err != "" {
+				args["error"] = sd.Err
+			}
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: sd.Name,
+				Cat:  "interweave",
+				Ph:   "X",
+				Ts:   float64(sd.Start.Sub(epoch).Nanoseconds()) / 1e3,
+				Dur:  float64(sd.Duration.Nanoseconds()) / 1e3,
+				Pid:  p,
+				Tid:  1,
+				Args: args,
+			})
+		}
+	}
+	return out
+}
+
+// runtimeMetricNames is the curated runtime/metrics selection
+// /debug/runtime reports (scalar kinds only; missing names are
+// skipped, keeping the endpoint stable across Go releases).
+var runtimeMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/frees:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sync/mutex/wait/total:seconds",
+}
+
+// RuntimeDebug is the /debug/runtime JSON document.
+type RuntimeDebug struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// HeapAllocBytes is currently allocated heap memory.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is heap memory obtained from the OS.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// HeapObjects is the live object count.
+	HeapObjects uint64 `json:"heap_objects"`
+	// NumGC is the completed GC cycle count.
+	NumGC uint32 `json:"num_gc"`
+	// GCPauseTotalNs is the cumulative stop-the-world pause time.
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// GCPauseLastNs is the most recent stop-the-world pause.
+	GCPauseLastNs uint64 `json:"gc_pause_last_ns"`
+	// LastGC is when the last GC cycle finished.
+	LastGC time.Time `json:"last_gc,omitempty"`
+	// RuntimeMetrics holds the curated runtime/metrics samples that
+	// exist in this Go version, keyed by metric name.
+	RuntimeMetrics map[string]float64 `json:"runtime_metrics"`
+}
+
+// RuntimeHandler serves a JSON snapshot of runtime health —
+// goroutines, heap, GC pauses, and a curated runtime/metrics
+// selection — cheap enough to poll.
+func RuntimeHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rd := RuntimeDebug{
+			Goroutines:     runtime.NumGoroutine(),
+			HeapAllocBytes: ms.HeapAlloc,
+			HeapSysBytes:   ms.HeapSys,
+			HeapObjects:    ms.HeapObjects,
+			NumGC:          ms.NumGC,
+			GCPauseTotalNs: ms.PauseTotalNs,
+			RuntimeMetrics: make(map[string]float64),
+		}
+		if ms.NumGC > 0 {
+			rd.GCPauseLastNs = ms.PauseNs[(ms.NumGC+255)%256]
+			rd.LastGC = time.Unix(0, int64(ms.LastGC))
+		}
+		samples := make([]metrics.Sample, len(runtimeMetricNames))
+		for i, n := range runtimeMetricNames {
+			samples[i].Name = n
+		}
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				rd.RuntimeMetrics[s.Name] = float64(s.Value.Uint64())
+			case metrics.KindFloat64:
+				rd.RuntimeMetrics[s.Name] = s.Value.Float64()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rd)
+	})
+}

@@ -371,6 +371,15 @@ type Event struct {
 	Attempt int
 	// Err is the triggering error's text, when any.
 	Err string
+	// At is when the event occurred, captured with time.Now on the
+	// emitting goroutine. The reading carries Go's monotonic clock, so
+	// events can be ordered and merged with span timelines without
+	// wall-clock guessing. Emitters stamp it just before delivery; a
+	// zero At means the emitting site predates stamping.
+	At time.Time
+	// Dur is the duration of the operation the event describes, when
+	// the event marks a completion rather than an instant.
+	Dur time.Duration
 }
 
 // TraceFunc receives trace events synchronously on the emitting

@@ -1,0 +1,513 @@
+// Span-based distributed tracing. A Span is one timed operation; a
+// trace is the tree of spans sharing a trace ID, possibly spanning
+// processes: the client propagates its span context inside RPC frames
+// (internal/protocol) and the server joins its handler spans to it, so
+// one ReadLock trace shows the client attempt(s), the server's queue
+// wait, freshness check, and diff collection as linked, timed spans.
+//
+// The Tracer keeps finished traces in a bounded in-memory store with
+// tail sampling: traces containing an errored span are always kept,
+// the slowest-N traces are always kept, and the rest are sampled with
+// a configurable probability. Everything is nil-safe — a nil *Tracer
+// returns nil *Spans and every *Span method no-ops on a nil receiver,
+// so instrumented code calls the API unconditionally and pays only a
+// nil check (no clock reads, no allocation) when tracing is off.
+
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies one span within one trace; it is the part of
+// a span that travels across the wire. The zero value is "no context".
+type SpanContext struct {
+	// TraceID identifies the whole distributed operation. Zero means
+	// no trace.
+	TraceID uint64
+	// SpanID identifies this span within the trace.
+	SpanID uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	// Key names the attribute, e.g. "seg" or "attempt".
+	Key string `json:"key"`
+	// Value is the attribute's rendered value.
+	Value string `json:"value"`
+}
+
+// Span is one timed operation inside a trace. Spans are created with
+// Tracer.Start / Tracer.Join / Span.Child, annotated from the single
+// goroutine running the operation, and closed exactly once with End.
+// All methods are safe on a nil receiver (the disabled state).
+type Span struct {
+	tr     *Tracer
+	ctx    SpanContext
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	errs   string
+	ended  bool
+}
+
+// Context returns the span's wire context (zero for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// Attr annotates the span. No-op on nil.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// AttrInt annotates the span with an integer value. No-op on nil.
+func (s *Span) AttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// Error marks the span errored; errors force the whole trace through
+// tail sampling. No-op on nil or nil error.
+func (s *Span) Error(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errs = err.Error()
+}
+
+// Child starts a span in the same trace with this span as parent.
+// Returns nil when the receiver is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(s.ctx.TraceID, s.ctx.SpanID, name)
+}
+
+// End closes the span, recording its duration into the trace. The
+// trace is finalized (and tail-sampled) once its last open span ends.
+// Safe on nil; a second End is ignored.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tr.endSpan(s)
+}
+
+// SpanData is the immutable record of one finished span.
+type SpanData struct {
+	// SpanID identifies the span within its trace.
+	SpanID uint64 `json:"span_id"`
+	// ParentID is the parent span's ID, zero for a root span.
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Name identifies the operation, e.g. "client.WriteUnlock" or
+	// "server.diff_collect"; OBSERVABILITY.md lists the taxonomy.
+	Name string `json:"name"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// Duration is how long the span ran.
+	Duration time.Duration `json:"duration_ns"`
+	// Attrs are the span's annotations, in order.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Err is the error text when the span was marked errored.
+	Err string `json:"error,omitempty"`
+}
+
+// TraceData is one finished trace: every finished span that shared
+// the trace ID, in end order.
+type TraceData struct {
+	// TraceID is the trace's identity, hex-rendered for URLs.
+	TraceID string `json:"trace_id"`
+	// Root names the first span started locally in this trace.
+	Root string `json:"root"`
+	// Start is the earliest local span start.
+	Start time.Time `json:"start"`
+	// Duration spans the earliest start to the latest end.
+	Duration time.Duration `json:"duration_ns"`
+	// Errored reports whether any span carried an error.
+	Errored bool `json:"errored"`
+	// Kept records the tail-sampling class that retained the trace:
+	// "error", "slow", or "sampled".
+	Kept string `json:"kept"`
+	// Spans holds the trace's spans in end order.
+	Spans []SpanData `json:"spans"`
+}
+
+// TraceSummary is the list-endpoint view of a kept trace.
+type TraceSummary struct {
+	// TraceID is the trace's identity, hex-rendered.
+	TraceID string `json:"trace_id"`
+	// Root names the trace's locally-rooted operation.
+	Root string `json:"root"`
+	// Start is the trace's earliest span start.
+	Start time.Time `json:"start"`
+	// Duration spans earliest start to latest end.
+	Duration time.Duration `json:"duration_ns"`
+	// Spans is the number of spans recorded.
+	Spans int `json:"spans"`
+	// Errored reports whether any span errored.
+	Errored bool `json:"errored"`
+	// Kept is the retention class ("error", "slow", "sampled").
+	Kept string `json:"kept"`
+}
+
+// TracerOptions tunes a Tracer's tail-sampled store.
+type TracerOptions struct {
+	// Capacity bounds the number of finished traces kept (default
+	// 256). When full, the oldest probabilistically-sampled trace is
+	// evicted first, then the oldest errored, then the oldest slow.
+	Capacity int
+	// SlowestN is how many of the slowest traces are always kept
+	// regardless of SampleRate (default 16).
+	SlowestN int
+	// SampleRate is the probability a trace that is neither errored
+	// nor among the slowest-N is kept. Zero means the default of 1
+	// (keep everything, bounded by Capacity); negative means 0 (tail
+	// discard of all unremarkable traces).
+	SampleRate float64
+	// MaxActive bounds in-flight traces (default 1024); spans for new
+	// traces beyond the bound are dropped and counted.
+	MaxActive int
+	// Seed seeds span/trace ID generation and sampling, for
+	// deterministic tests. Zero picks a time-based seed.
+	Seed int64
+}
+
+// TracerStats counts a tracer's store state.
+type TracerStats struct {
+	// Active is the number of in-flight traces.
+	Active int `json:"active"`
+	// Kept is the number of finished traces in the store.
+	Kept int `json:"kept"`
+	// DroppedActive counts spans dropped because MaxActive in-flight
+	// traces already existed.
+	DroppedActive uint64 `json:"dropped_active"`
+	// SampledOut counts finished traces discarded by tail sampling.
+	SampledOut uint64 `json:"sampled_out"`
+	// Evicted counts kept traces evicted by the capacity bound.
+	Evicted uint64 `json:"evicted"`
+}
+
+// activeTrace accumulates the finished spans of an in-flight trace.
+type activeTrace struct {
+	id       uint64
+	open     int
+	rootName string
+	start    time.Time
+	lastEnd  time.Time
+	errored  bool
+	spans    []SpanData
+}
+
+// keptTrace is one finished trace in the tail-sampled store.
+type keptTrace struct {
+	data  *TraceData
+	class string // "error" | "slow" | "sampled"
+}
+
+// Tracer creates spans and retains finished traces in a bounded
+// tail-sampled in-memory store. A nil *Tracer is the disabled state:
+// Start/Join return nil spans and no work happens.
+type Tracer struct {
+	opts TracerOptions
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	active     map[uint64]*activeTrace
+	kept       []keptTrace
+	dropped    uint64
+	sampledOut uint64
+	evicted    uint64
+}
+
+// NewTracer returns a tracer with the given options (zero values take
+// the documented defaults).
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 256
+	}
+	if opts.SlowestN <= 0 {
+		opts.SlowestN = 16
+	}
+	switch {
+	case opts.SampleRate == 0:
+		opts.SampleRate = 1
+	case opts.SampleRate < 0:
+		opts.SampleRate = 0
+	}
+	if opts.MaxActive <= 0 {
+		opts.MaxActive = 1024
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Tracer{
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		active: make(map[uint64]*activeTrace),
+	}
+}
+
+// Start begins a new trace rooted at a span with the given name.
+// Returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(0, 0, name)
+}
+
+// Join begins a span in the trace identified by a remote parent
+// context — the server side of wire propagation. An invalid parent
+// starts a fresh locally-rooted trace instead, so a tracing server
+// still records requests from clients that sent no context. Returns
+// nil on a nil tracer.
+func (t *Tracer) Join(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return t.startSpan(0, 0, name)
+	}
+	return t.startSpan(parent.TraceID, parent.SpanID, name)
+}
+
+// startSpan creates a span; traceID zero mints a fresh trace.
+func (t *Tracer) startSpan(traceID, parentID uint64, name string) *Span {
+	now := time.Now()
+	t.mu.Lock()
+	if traceID == 0 {
+		traceID = t.id()
+	}
+	at, ok := t.active[traceID]
+	if !ok {
+		if len(t.active) >= t.opts.MaxActive {
+			t.dropped++
+			t.mu.Unlock()
+			return nil
+		}
+		at = &activeTrace{id: traceID, rootName: name, start: now}
+		t.active[traceID] = at
+	}
+	at.open++
+	sp := &Span{
+		tr:     t,
+		ctx:    SpanContext{TraceID: traceID, SpanID: t.id()},
+		parent: parentID,
+		name:   name,
+		start:  now,
+	}
+	t.mu.Unlock()
+	return sp
+}
+
+// id mints a nonzero random identifier; caller holds t.mu.
+func (t *Tracer) id() uint64 {
+	for {
+		if v := t.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// endSpan records a finished span and finalizes the trace when its
+// last open local span ends.
+func (t *Tracer) endSpan(s *Span) {
+	end := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at, ok := t.active[s.ctx.TraceID]
+	if !ok {
+		return // trace already finalized (late span); drop silently
+	}
+	at.spans = append(at.spans, SpanData{
+		SpanID:   s.ctx.SpanID,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+		Attrs:    s.attrs,
+		Err:      s.errs,
+	})
+	if s.errs != "" {
+		at.errored = true
+	}
+	if s.start.Before(at.start) {
+		at.start = s.start
+	}
+	if end.After(at.lastEnd) {
+		at.lastEnd = end
+	}
+	at.open--
+	if at.open <= 0 {
+		delete(t.active, s.ctx.TraceID)
+		t.finalize(at)
+	}
+}
+
+// finalize runs the tail-sampling decision on a finished trace;
+// caller holds t.mu.
+func (t *Tracer) finalize(at *activeTrace) {
+	dur := at.lastEnd.Sub(at.start)
+	class := ""
+	switch {
+	case at.errored:
+		class = "error"
+	default:
+		// Slowest-N: claim a slot, or displace the currently slowest
+		// set's minimum (which is demoted to the sampled class, not
+		// discarded — it earned its keep when it was recorded).
+		slowCount, minIdx := 0, -1
+		var minDur time.Duration
+		for i := range t.kept {
+			if t.kept[i].class != "slow" {
+				continue
+			}
+			slowCount++
+			if minIdx == -1 || t.kept[i].data.Duration < minDur {
+				minIdx, minDur = i, t.kept[i].data.Duration
+			}
+		}
+		switch {
+		case slowCount < t.opts.SlowestN:
+			class = "slow"
+		case dur > minDur:
+			t.kept[minIdx].class = "sampled"
+			t.kept[minIdx].data.Kept = "sampled"
+			class = "slow"
+		case t.rng.Float64() < t.opts.SampleRate:
+			class = "sampled"
+		default:
+			t.sampledOut++
+			return
+		}
+	}
+	t.kept = append(t.kept, keptTrace{
+		data: &TraceData{
+			TraceID:  formatID(at.id),
+			Root:     at.rootName,
+			Start:    at.start,
+			Duration: dur,
+			Errored:  at.errored,
+			Kept:     class,
+			Spans:    at.spans,
+		},
+		class: class,
+	})
+	for len(t.kept) > t.opts.Capacity {
+		t.evict()
+	}
+}
+
+// evict removes one kept trace: the oldest sampled one, else the
+// oldest errored one, else the oldest overall. Caller holds t.mu.
+func (t *Tracer) evict() {
+	idx := -1
+	for _, class := range []string{"sampled", "error"} {
+		for i := range t.kept {
+			if t.kept[i].class == class {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	t.kept = append(t.kept[:idx], t.kept[idx+1:]...)
+	t.evicted++
+}
+
+// Stats reports the tracer's store state.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TracerStats{
+		Active:        len(t.active),
+		Kept:          len(t.kept),
+		DroppedActive: t.dropped,
+		SampledOut:    t.sampledOut,
+		Evicted:       t.evicted,
+	}
+}
+
+// Traces lists the kept traces, newest first.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(t.kept))
+	for _, k := range t.kept {
+		out = append(out, TraceSummary{
+			TraceID:  k.data.TraceID,
+			Root:     k.data.Root,
+			Start:    k.data.Start,
+			Duration: k.data.Duration,
+			Spans:    len(k.data.Spans),
+			Errored:  k.data.Errored,
+			Kept:     k.class,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Trace returns a copy of one kept trace by hex ID.
+func (t *Tracer) Trace(idHex string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range t.kept {
+		if k.data.TraceID == idHex {
+			cp := *k.data
+			cp.Spans = append([]SpanData(nil), k.data.Spans...)
+			return cp, true
+		}
+	}
+	return TraceData{}, false
+}
+
+// keptData copies the store for export; newest last (arrival order).
+func (t *Tracer) keptData() []*TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TraceData, len(t.kept))
+	for i, k := range t.kept {
+		out[i] = k.data
+	}
+	return out
+}
+
+// formatID hex-renders a trace or span ID the way URLs and exports
+// show them.
+func formatID(v uint64) string { return fmt.Sprintf("%016x", v) }

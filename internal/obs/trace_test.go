@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// spanByName finds one span in a trace by name; fails the test when
+// it is absent or ambiguous.
+func spanByName(t *testing.T, td TraceData, name string) SpanData {
+	t.Helper()
+	var found []SpanData
+	for _, sd := range td.Spans {
+		if sd.Name == name {
+			found = append(found, sd)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("trace has %d spans named %q, want 1 (spans: %v)", len(found), name, spanNames(td))
+	}
+	return found[0]
+}
+
+func spanNames(td TraceData) []string {
+	names := make([]string, len(td.Spans))
+	for i, sd := range td.Spans {
+		names[i] = sd.Name
+	}
+	return names
+}
+
+func TestSpanLifecycleAndLinkage(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 1})
+	root := tr.Start("client.WriteUnlock")
+	root.Attr("seg", "host/acc")
+	child := root.Child("rpc.WriteUnlock")
+	child.AttrInt("attempt", 0)
+	if !child.Context().Valid() {
+		t.Fatal("child context invalid while open")
+	}
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Error("child span is in a different trace than its parent")
+	}
+	child.End()
+	child.End() // double End must be a no-op
+	root.End()
+
+	st := tr.Stats()
+	if st.Active != 0 || st.Kept != 1 {
+		t.Fatalf("stats = %+v, want 0 active / 1 kept", st)
+	}
+	sums := tr.Traces()
+	if len(sums) != 1 || sums[0].Root != "client.WriteUnlock" || sums[0].Spans != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	td, ok := tr.Trace(sums[0].TraceID)
+	if !ok {
+		t.Fatal("Trace() did not find the kept trace")
+	}
+	rd := spanByName(t, td, "client.WriteUnlock")
+	cd := spanByName(t, td, "rpc.WriteUnlock")
+	if rd.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", rd.ParentID)
+	}
+	if cd.ParentID != rd.SpanID {
+		t.Errorf("child parent = %d, want root span %d", cd.ParentID, rd.SpanID)
+	}
+	if len(rd.Attrs) != 1 || rd.Attrs[0] != (Attr{Key: "seg", Value: "host/acc"}) {
+		t.Errorf("root attrs = %+v", rd.Attrs)
+	}
+	if len(cd.Attrs) != 1 || cd.Attrs[0] != (Attr{Key: "attempt", Value: "0"}) {
+		t.Errorf("child attrs = %+v", cd.Attrs)
+	}
+}
+
+// TestJoinRemoteParent is the server side of wire propagation: a span
+// joined with a remote context lands in the remote trace with the
+// remote span as parent; an invalid context falls back to a fresh
+// locally-rooted trace.
+func TestJoinRemoteParent(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 2})
+	remote := SpanContext{TraceID: 0x42, SpanID: 0x99}
+	sp := tr.Join(remote, "server.WriteUnlock")
+	if got := sp.Context().TraceID; got != 0x42 {
+		t.Errorf("joined trace ID = %#x, want %#x", got, remote.TraceID)
+	}
+	sp.End()
+	td, ok := tr.Trace("0000000000000042")
+	if !ok {
+		t.Fatal("joined trace not kept under the remote trace ID")
+	}
+	sd := spanByName(t, td, "server.WriteUnlock")
+	if sd.ParentID != 0x99 {
+		t.Errorf("joined span parent = %#x, want %#x", sd.ParentID, remote.SpanID)
+	}
+
+	orphan := tr.Join(SpanContext{}, "server.ReadLock")
+	if orphan == nil {
+		t.Fatal("Join with invalid context returned nil on a live tracer")
+	}
+	if orphan.Context().TraceID == 0 {
+		t.Error("orphan join did not mint a fresh trace")
+	}
+	orphan.End()
+}
+
+// TestTailSampling covers the three retention classes: errored traces
+// are always kept, the slowest-N are always kept (displacing demotes,
+// not discards), and unremarkable traces follow SampleRate — here 0
+// (negative), so they are discarded.
+func TestTailSampling(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 3, SlowestN: 1, SampleRate: -1})
+
+	fast := tr.Start("op.fast")
+	fast.End() // claims the single slowest slot
+	fastID := tr.Traces()[0].TraceID
+
+	slow := tr.Start("op.slow")
+	time.Sleep(5 * time.Millisecond)
+	slow.End() // displaces op.fast, which is demoted to "sampled"
+
+	discarded := tr.Start("op.discarded")
+	discarded.End() // not slowest, rate 0 -> dropped
+
+	errored := tr.Start("op.errored")
+	errored.Error(errors.New("boom"))
+	errored.End() // errors bypass sampling entirely
+
+	st := tr.Stats()
+	if st.Kept != 3 || st.SampledOut != 1 {
+		t.Fatalf("stats = %+v, want 3 kept / 1 sampled out", st)
+	}
+	classes := map[string]string{}
+	for _, s := range tr.Traces() {
+		classes[s.Root] = s.Kept
+	}
+	if classes["op.slow"] != "slow" {
+		t.Errorf("op.slow kept as %q, want slow", classes["op.slow"])
+	}
+	if classes["op.fast"] != "sampled" {
+		t.Errorf("displaced op.fast kept as %q, want demotion to sampled", classes["op.fast"])
+	}
+	if classes["op.errored"] != "error" {
+		t.Errorf("op.errored kept as %q, want error", classes["op.errored"])
+	}
+	if _, ok := classes["op.discarded"]; ok {
+		t.Error("op.discarded survived a zero sample rate")
+	}
+	if td, ok := tr.Trace(fastID); !ok || td.Kept != "sampled" {
+		t.Errorf("demoted trace detail kept=%q ok=%v, want sampled/true", td.Kept, ok)
+	}
+}
+
+// TestCapacityEviction: over capacity, sampled traces are evicted
+// before errored ones, and errored before slow ones.
+func TestCapacityEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 4, Capacity: 2, SlowestN: 1, SampleRate: 1})
+
+	s1 := tr.Start("op.slow")
+	time.Sleep(2 * time.Millisecond)
+	s1.End() // slow slot
+
+	s2 := tr.Start("op.sampled")
+	s2.End() // sampled
+
+	s3 := tr.Start("op.errored")
+	s3.Error(errors.New("boom"))
+	s3.End() // error; store now over capacity -> evict oldest sampled
+
+	st := tr.Stats()
+	if st.Kept != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want 2 kept / 1 evicted", st)
+	}
+	roots := map[string]bool{}
+	for _, s := range tr.Traces() {
+		roots[s.Root] = true
+	}
+	if roots["op.sampled"] {
+		t.Error("sampled trace survived eviction ahead of slow/errored ones")
+	}
+	if !roots["op.slow"] || !roots["op.errored"] {
+		t.Errorf("kept roots = %v, want op.slow and op.errored", roots)
+	}
+}
+
+// TestNilTracerZeroAlloc is the disabled-path guard from the issue: a
+// nil tracer's whole span API must cost zero allocations (and, by
+// construction, no clock reads — Start returns before touching the
+// clock).
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Start("client.WriteUnlock")
+		sp.Attr("seg", "host/acc")
+		sp.AttrInt("attempt", 0)
+		sp.Error(nil)
+		child := sp.Child("rpc.WriteUnlock")
+		child.End()
+		_ = sp.Context()
+		sp.End()
+		jsp := tr.Join(SpanContext{TraceID: 1, SpanID: 2}, "server.WriteUnlock")
+		jsp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer span API allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkNilTracerSpan is the benchmark form of the zero-alloc
+// guard: the whole per-RPC span sequence against a nil tracer. Any
+// allocation or clock read regression shows up in allocs/op and
+// ns/op here.
+func BenchmarkNilTracerSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("client.WriteUnlock")
+		sp.Attr("seg", "host/acc")
+		child := sp.Child("rpc.WriteUnlock")
+		child.AttrInt("attempt", 0)
+		child.End()
+		sp.End()
+	}
+}
+
+// BenchmarkTracerSpan is the enabled-path cost for comparison: a
+// root+child trace recorded and tail-discarded each iteration.
+func BenchmarkTracerSpan(b *testing.B) {
+	tr := NewTracer(TracerOptions{Seed: 1, SlowestN: 1, SampleRate: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("client.WriteUnlock")
+		sp.Attr("seg", "host/acc")
+		child := sp.Child("rpc.WriteUnlock")
+		child.AttrInt("attempt", 0)
+		child.End()
+		sp.End()
+	}
+}
+
+// TestChromeExport validates the Perfetto-loadable trace_event
+// document: one process_name metadata event per trace, one "X"
+// complete event per span, span/parent IDs and attributes in args.
+func TestChromeExport(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 5})
+	root := tr.Start("client.ReadLock")
+	child := root.Child("rpc.ReadLock")
+	child.Attr("attempt", "0")
+	child.Error(errors.New("connection reset"))
+	child.End()
+	root.End()
+
+	export := ChromeTrace(tr, "")
+	buf, err := json.Marshal(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChromeExport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("export does not round-trip as Chrome trace_event JSON: %v", err)
+	}
+	var meta, slices int
+	var sawError bool
+	for _, ev := range back.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "process_name" || ev.Args["name"] == "" {
+				t.Errorf("metadata event = %+v", ev)
+			}
+		case "X":
+			slices++
+			if ev.Pid == 0 || ev.Tid != 1 {
+				t.Errorf("slice pid/tid = %d/%d", ev.Pid, ev.Tid)
+			}
+			if ev.Args["span_id"] == "" || ev.Args["parent_id"] == "" {
+				t.Errorf("slice args missing span identity: %+v", ev.Args)
+			}
+			if ev.Args["error"] != "" {
+				sawError = true
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 || slices != 2 {
+		t.Errorf("export has %d metadata / %d slice events, want 1/2", meta, slices)
+	}
+	if !sawError {
+		t.Error("errored span's error text missing from args")
+	}
+	if export.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", export.DisplayTimeUnit)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 6})
+	sp := tr.Start("client.Open")
+	sp.End()
+	id := tr.Traces()[0].TraceID
+	h := TraceHandler(tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var sums []TraceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sums); err != nil {
+		t.Fatalf("list response: %v", err)
+	}
+	if len(sums) != 1 || sums[0].TraceID != id {
+		t.Fatalf("list = %+v", sums)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+id, nil))
+	var td TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatalf("detail response: %v", err)
+	}
+	if td.TraceID != id || len(td.Spans) != 1 {
+		t.Fatalf("detail = %+v", td)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=ffffffffffffffff", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown id -> %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?format=chrome", nil))
+	var export ChromeExport
+	if err := json.Unmarshal(rec.Body.Bytes(), &export); err != nil {
+		t.Fatalf("chrome response: %v", err)
+	}
+	if len(export.TraceEvents) == 0 {
+		t.Error("chrome export is empty")
+	}
+	if got := rec.Header().Get("Content-Disposition"); got == "" {
+		t.Error("chrome export lacks a download disposition")
+	}
+}
+
+func TestRuntimeHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	RuntimeHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/runtime", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var rd RuntimeDebug
+	if err := json.Unmarshal(rec.Body.Bytes(), &rd); err != nil {
+		t.Fatalf("response: %v", err)
+	}
+	if rd.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", rd.Goroutines)
+	}
+	if rd.HeapAllocBytes == 0 {
+		t.Error("heap_alloc_bytes = 0")
+	}
+	if len(rd.RuntimeMetrics) == 0 {
+		t.Error("runtime_metrics empty; curated names all missing?")
+	}
+}
+
+// TestMaxActiveDrops: spans for new traces beyond MaxActive are
+// dropped (nil) and counted, and existing traces keep working.
+func TestMaxActiveDrops(t *testing.T) {
+	tr := NewTracer(TracerOptions{Seed: 7, MaxActive: 1})
+	first := tr.Start("op.first")
+	if first == nil {
+		t.Fatal("first trace dropped below MaxActive")
+	}
+	second := tr.Start("op.second")
+	if second != nil {
+		t.Fatal("second trace admitted past MaxActive")
+	}
+	second.End() // nil-safe
+	child := first.Child("op.child")
+	if child == nil {
+		t.Fatal("child of an admitted trace dropped")
+	}
+	child.End()
+	first.End()
+	st := tr.Stats()
+	if st.DroppedActive != 1 || st.Kept != 1 {
+		t.Errorf("stats = %+v, want 1 dropped / 1 kept", st)
+	}
+}

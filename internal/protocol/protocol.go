@@ -50,6 +50,33 @@ const (
 // pathological.
 const maxFrame = 1 << 30
 
+// typeTraceFlag marks a frame whose body starts with a 16-byte trace
+// context (8-byte trace ID + 8-byte span ID) ahead of the payload.
+// The flag lives in the otherwise-unused high bit of the type byte,
+// so frames without trace context are byte-identical to the original
+// format — peers that never send context interoperate unchanged, and
+// a sender only sets the flag on its own initiative (clients attach
+// context only when tracing is enabled; servers never attach context
+// to replies at all, since parent/child linkage flows request-ward).
+const typeTraceFlag = 0x80
+
+// traceCtxBytes is the wire size of an attached trace context.
+const traceCtxBytes = 16
+
+// TraceContext is the span context a frame optionally carries: which
+// distributed trace the request belongs to and which client span is
+// the server handler's parent (see internal/obs). The zero value
+// means "no context" and encodes to the original frame format.
+type TraceContext struct {
+	// TraceID identifies the distributed operation; zero = no trace.
+	TraceID uint64
+	// SpanID is the sender's span, the parent of server-side spans.
+	SpanID uint64
+}
+
+// Valid reports whether the context names a real span.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
 // Message is one protocol message.
 type Message interface {
 	// Type returns the frame type byte.
@@ -546,16 +573,33 @@ func newMessage(t MsgType) (Message, error) {
 	}
 }
 
-// WriteFrame writes one framed message.
+// WriteFrame writes one framed message without trace context.
 func WriteFrame(w io.Writer, id uint32, m Message) error {
+	return WriteFrameCtx(w, id, m, TraceContext{})
+}
+
+// WriteFrameCtx writes one framed message, attaching the trace
+// context when it is valid. A zero context produces a frame
+// byte-identical to WriteFrame's.
+func WriteFrameCtx(w io.Writer, id uint32, m Message, tc TraceContext) error {
 	payload := m.encode(make([]byte, 0, 64))
 	if len(payload) > maxFrame {
 		return fmt.Errorf("protocol: frame of %d bytes exceeds limit", len(payload))
 	}
-	hdr := make([]byte, 0, 9+len(payload))
-	hdr = wire.AppendU32(hdr, uint32(len(payload)))
+	typ := byte(m.Type())
+	extra := 0
+	if tc.Valid() {
+		typ |= typeTraceFlag
+		extra = traceCtxBytes
+	}
+	hdr := make([]byte, 0, 9+extra+len(payload))
+	hdr = wire.AppendU32(hdr, uint32(len(payload)+extra))
 	hdr = wire.AppendU32(hdr, id)
-	hdr = wire.AppendU8(hdr, byte(m.Type()))
+	hdr = wire.AppendU8(hdr, typ)
+	if tc.Valid() {
+		hdr = wire.AppendU64(hdr, tc.TraceID)
+		hdr = wire.AppendU64(hdr, tc.SpanID)
+	}
 	hdr = append(hdr, payload...)
 	_, err := w.Write(hdr)
 	if err != nil {
@@ -564,23 +608,40 @@ func WriteFrame(w io.Writer, id uint32, m Message) error {
 	return nil
 }
 
-// ReadFrame reads one framed message.
+// ReadFrame reads one framed message, discarding any trace context.
 func ReadFrame(r io.Reader) (uint32, Message, error) {
+	id, m, _, err := ReadFrameCtx(r)
+	return id, m, err
+}
+
+// ReadFrameCtx reads one framed message plus the trace context it
+// carried, if any (zero TraceContext otherwise). Frames written
+// before trace contexts existed decode unchanged.
+func ReadFrameCtx(r io.Reader) (uint32, Message, TraceContext, error) {
+	var tc TraceContext
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, io.EOF
+			return 0, nil, tc, io.EOF
 		}
-		return 0, nil, fmt.Errorf("protocol: reading frame header: %w", err)
+		return 0, nil, tc, fmt.Errorf("protocol: reading frame header: %w", err)
 	}
 	n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
 	id := uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+		return 0, nil, tc, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
 	}
-	m, err := newMessage(MsgType(hdr[8]))
+	typ := hdr[8]
+	traced := typ&typeTraceFlag != 0
+	if traced {
+		if n < traceCtxBytes {
+			return 0, nil, tc, fmt.Errorf("protocol: traced frame of %d bytes lacks trace context", n)
+		}
+		typ &^= typeTraceFlag
+	}
+	m, err := newMessage(MsgType(typ))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, tc, err
 	}
 	// Read the payload in bounded chunks: a corrupt length field must
 	// fail after at most one chunk, not provoke a gigabyte
@@ -599,16 +660,23 @@ func ReadFrame(r io.Reader) (uint32, Message, error) {
 		off := len(payload)
 		payload = append(payload, make([]byte, step)...)
 		if _, err := io.ReadFull(r, payload[off:]); err != nil {
-			return 0, nil, fmt.Errorf("protocol: reading frame payload: %w", err)
+			return 0, nil, tc, fmt.Errorf("protocol: reading frame payload: %w", err)
 		}
 		remaining -= step
 	}
 	wr := wire.NewReader(payload)
+	if traced {
+		tc.TraceID = wr.U64()
+		tc.SpanID = wr.U64()
+		if err := wr.Err(); err != nil {
+			return 0, nil, tc, fmt.Errorf("protocol: reading trace context: %w", err)
+		}
+	}
 	if err := m.decode(wr); err != nil {
-		return 0, nil, fmt.Errorf("protocol: decoding %T: %w", m, err)
+		return 0, nil, tc, fmt.Errorf("protocol: decoding %T: %w", m, err)
 	}
 	if wr.Remaining() != 0 {
-		return 0, nil, fmt.Errorf("protocol: %d trailing bytes in %T frame", wr.Remaining(), m)
+		return 0, nil, tc, fmt.Errorf("protocol: %d trailing bytes in %T frame", wr.Remaining(), m)
 	}
-	return id, m, nil
+	return id, m, tc, nil
 }

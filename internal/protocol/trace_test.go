@@ -1,0 +1,138 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"interweave/internal/wire"
+)
+
+// TestFrameTraceContextRoundTrip proves a frame carries its trace
+// context intact: WriteFrameCtx with a valid context must come back
+// from ReadFrameCtx with the same IDs and an unchanged payload.
+func TestFrameTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef}
+	var buf bytes.Buffer
+	if err := WriteFrameCtx(&buf, 7, &ReadLock{Seg: "host/acc", HaveVersion: 3}, tc); err != nil {
+		t.Fatalf("WriteFrameCtx: %v", err)
+	}
+	id, m, got, err := ReadFrameCtx(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrameCtx: %v", err)
+	}
+	if id != 7 {
+		t.Errorf("id = %d, want 7", id)
+	}
+	if got != tc {
+		t.Errorf("trace context = %+v, want %+v", got, tc)
+	}
+	rl, ok := m.(*ReadLock)
+	if !ok {
+		t.Fatalf("message = %T, want *ReadLock", m)
+	}
+	if rl.Seg != "host/acc" || rl.HaveVersion != 3 {
+		t.Errorf("ReadLock = %+v", rl)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes left in buffer", buf.Len())
+	}
+}
+
+// TestFrameWithoutTraceContextDecodes is the version-tolerance
+// guarantee from the other side: frames written by a peer that never
+// heard of trace contexts (plain WriteFrame) must decode through
+// ReadFrameCtx with a zero context, and a zero-context WriteFrameCtx
+// must emit bytes identical to WriteFrame's so old readers are never
+// shown the flag.
+func TestFrameWithoutTraceContextDecodes(t *testing.T) {
+	msg := &WriteLock{Seg: "host/acc", HaveVersion: 9}
+
+	var old bytes.Buffer
+	if err := WriteFrame(&old, 3, msg); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	oldBytes := append([]byte(nil), old.Bytes()...)
+
+	id, m, tc, err := ReadFrameCtx(&old)
+	if err != nil {
+		t.Fatalf("ReadFrameCtx(plain frame): %v", err)
+	}
+	if id != 3 {
+		t.Errorf("id = %d, want 3", id)
+	}
+	if tc != (TraceContext{}) {
+		t.Errorf("plain frame yielded trace context %+v, want zero", tc)
+	}
+	if wl, ok := m.(*WriteLock); !ok || wl.Seg != "host/acc" || wl.HaveVersion != 9 {
+		t.Errorf("message = %#v", m)
+	}
+
+	var zero bytes.Buffer
+	if err := WriteFrameCtx(&zero, 3, msg, TraceContext{}); err != nil {
+		t.Fatalf("WriteFrameCtx(zero): %v", err)
+	}
+	if !bytes.Equal(zero.Bytes(), oldBytes) {
+		t.Errorf("zero-context frame differs from plain frame:\n got  %x\n want %x", zero.Bytes(), oldBytes)
+	}
+}
+
+// TestTracedFrameReadableByPlainReadFrame checks that a reader which
+// does not care about trace context (ReadFrame) still decodes a
+// flagged frame's message correctly.
+func TestTracedFrameReadableByPlainReadFrame(t *testing.T) {
+	tc := TraceContext{TraceID: 1, SpanID: 2}
+	var buf bytes.Buffer
+	if err := WriteFrameCtx(&buf, 11, &Ack{}, tc); err != nil {
+		t.Fatalf("WriteFrameCtx: %v", err)
+	}
+	id, m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame(traced frame): %v", err)
+	}
+	if id != 11 {
+		t.Errorf("id = %d, want 11", id)
+	}
+	if _, ok := m.(*Ack); !ok {
+		t.Errorf("message = %T, want *Ack", m)
+	}
+}
+
+// TestTraceContextHalfValidNotSent: a context with only one ID set is
+// not valid and must encode as a plain frame.
+func TestTraceContextHalfValidNotSent(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{TraceID: 5},
+		{SpanID: 5},
+		{},
+	} {
+		if tc.Valid() {
+			t.Errorf("TraceContext%+v.Valid() = true, want false", tc)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameCtx(&buf, 1, &Ack{}, tc); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Bytes()[8]&0x80 != 0 {
+			t.Errorf("half-valid context %+v set the trace flag", tc)
+		}
+	}
+}
+
+// TestTracedFrameTooShortRejected: a frame whose type byte claims a
+// trace context but whose length cannot hold one is a protocol error,
+// not a crash or a silent misparse.
+func TestTracedFrameTooShortRejected(t *testing.T) {
+	var hdr []byte
+	hdr = wire.AppendU32(hdr, 8) // shorter than the 16-byte context
+	hdr = wire.AppendU32(hdr, 1)
+	hdr = wire.AppendU8(hdr, byte(TypeAck)|0x80)
+	hdr = append(hdr, make([]byte, 8)...)
+	_, _, _, err := ReadFrameCtx(bytes.NewReader(hdr))
+	if err == nil {
+		t.Fatal("short traced frame decoded without error")
+	}
+	if !strings.Contains(err.Error(), "trace context") {
+		t.Errorf("error = %v, want mention of trace context", err)
+	}
+}

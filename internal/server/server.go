@@ -29,6 +29,12 @@ type Options struct {
 	// (see OBSERVABILITY.md). A nil registry disables every
 	// instrumentation site.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a span per handled request, joined
+	// to the client's trace when the frame carried a trace context,
+	// with child spans for queue wait, freshness check, diff
+	// collect/apply, and notification fan-out. A nil tracer disables
+	// span tracing — no clock reads and no allocations.
+	Tracer *obs.Tracer
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -45,7 +51,8 @@ type Server struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	ins *serverInstruments
+	ins    *serverInstruments
+	tracer *obs.Tracer
 }
 
 // segState couples a segment with its lock and subscription state.
@@ -96,6 +103,7 @@ func New(opts Options) (*Server, error) {
 		segs:     make(map[string]*segState),
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
+		tracer:   opts.Tracer,
 	}
 	if opts.Metrics != nil {
 		s.ins = newServerInstruments(opts.Metrics)
@@ -249,14 +257,14 @@ func (s *Server) getSeg(name string, create bool) (*segState, error) {
 func (sess *session) serve() {
 	defer sess.cleanup()
 	for {
-		id, msg, err := protocol.ReadFrame(sess.conn)
+		id, msg, tc, err := protocol.ReadFrameCtx(sess.conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				sess.srv.logf("session %s: %v", sess.conn.RemoteAddr(), err)
 			}
 			return
 		}
-		reply := sess.handle(msg)
+		reply := sess.handle(msg, tc)
 		if reply == nil {
 			continue
 		}
@@ -277,22 +285,39 @@ func errReply(code uint16, format string, args ...any) *protocol.ErrorReply {
 }
 
 // handle times and dispatches one request, counting error replies.
-func (sess *session) handle(msg protocol.Message) protocol.Message {
-	ins := sess.srv.ins
-	if ins == nil {
-		return sess.dispatch(msg)
+// When the server traces, the request gets a "server.<Kind>" span
+// joined to the client's trace context (or rooting a fresh trace for
+// clients that sent none); error replies mark the span errored. All
+// span work is gated on the tracer, keeping the disabled path free of
+// clock reads and allocations.
+func (sess *session) handle(msg protocol.Message, tc protocol.TraceContext) protocol.Message {
+	var sp *obs.Span
+	if tr := sess.srv.tracer; tr != nil {
+		sp = tr.Join(obs.SpanContext{TraceID: tc.TraceID, SpanID: tc.SpanID}, "server."+reqName(msg))
 	}
-	start := time.Now()
-	reply := sess.dispatch(msg)
-	ins.rpcSeconds(reqName(msg)).ObserveSince(start)
-	if _, isErr := reply.(*protocol.ErrorReply); isErr {
-		ins.rpcErrors(reqName(msg)).Inc()
+	ins := sess.srv.ins
+	var reply protocol.Message
+	if ins == nil {
+		reply = sess.dispatch(msg, sp)
+	} else {
+		start := time.Now()
+		reply = sess.dispatch(msg, sp)
+		ins.rpcSeconds(reqName(msg)).ObserveSince(start)
+		if _, isErr := reply.(*protocol.ErrorReply); isErr {
+			ins.rpcErrors(reqName(msg)).Inc()
+		}
+	}
+	if sp != nil {
+		if er, isErr := reply.(*protocol.ErrorReply); isErr {
+			sp.Error(er)
+		}
+		sp.End()
 	}
 	return reply
 }
 
 // dispatch routes one request to its handler and returns the reply.
-func (sess *session) dispatch(msg protocol.Message) protocol.Message {
+func (sess *session) dispatch(msg protocol.Message, sp *obs.Span) protocol.Message {
 	switch m := msg.(type) {
 	case *protocol.Hello:
 		sess.name, sess.profile = m.ClientName, m.Profile
@@ -300,13 +325,13 @@ func (sess *session) dispatch(msg protocol.Message) protocol.Message {
 	case *protocol.OpenSegment:
 		return sess.handleOpen(m)
 	case *protocol.ReadLock:
-		return sess.handleReadLock(m)
+		return sess.handleReadLock(m, sp)
 	case *protocol.WriteLock:
-		return sess.handleWriteLock(m)
+		return sess.handleWriteLock(m, sp)
 	case *protocol.ReadUnlock:
 		return &protocol.Ack{}
 	case *protocol.WriteUnlock:
-		return sess.handleWriteUnlock(m)
+		return sess.handleWriteUnlock(m, sp)
 	case *protocol.Resume:
 		return sess.handleResume(m)
 	case *protocol.Subscribe:
@@ -314,7 +339,7 @@ func (sess *session) dispatch(msg protocol.Message) protocol.Message {
 	case *protocol.Unsubscribe:
 		return sess.handleUnsubscribe(m)
 	case *protocol.TxCommit:
-		return sess.handleTxCommit(m)
+		return sess.handleTxCommit(m, sp)
 	default:
 		return errReply(protocol.CodeBadRequest, "unexpected message %T", msg)
 	}
@@ -337,8 +362,11 @@ func (sess *session) handleOpen(m *protocol.OpenSegment) protocol.Message {
 }
 
 // freshnessReply decides whether the client needs an update and
-// builds the LockReply.
-func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherence.Policy) protocol.Message {
+// builds the LockReply. The span, when non-nil, parents a
+// "server.freshness" child (result attr: fresh/diff/error) and, when
+// a diff is served, a "server.diff_collect" child.
+func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherence.Policy, sp *obs.Span) protocol.Message {
+	fsp := sp.Child("server.freshness")
 	seg := st.seg
 	unitsModified := 0
 	if policy.Model == coherence.ModelDiff {
@@ -353,21 +381,38 @@ func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherenc
 		if ins != nil {
 			ins.versionFresh.Inc()
 		}
+		fsp.Attr("result", "fresh")
+		fsp.End()
 		return &protocol.LockReply{Fresh: true}
 	}
 	var start time.Time
 	if ins != nil {
 		start = time.Now()
 	}
+	csp := fsp.Child("server.diff_collect")
 	d, err := seg.CollectDiff(haveVer)
 	if err != nil {
+		if csp != nil {
+			csp.Error(err)
+			csp.End()
+			fsp.Attr("result", "error")
+			fsp.End()
+		}
 		return errReply(protocol.CodeInternal, "collecting diff: %v", err)
 	}
+	csp.End()
 	if d == nil {
 		if ins != nil {
 			ins.versionFresh.Inc()
 		}
+		fsp.Attr("result", "fresh")
+		fsp.End()
 		return &protocol.LockReply{Fresh: true}
+	}
+	if fsp != nil {
+		fsp.Attr("result", "diff")
+		fsp.AttrInt("bytes", int64(d.DataBytes()))
+		fsp.End()
 	}
 	if ins != nil {
 		ins.collectSec.ObserveSince(start)
@@ -386,7 +431,7 @@ func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherenc
 	return &protocol.LockReply{Diff: d}
 }
 
-func (sess *session) handleReadLock(m *protocol.ReadLock) protocol.Message {
+func (sess *session) handleReadLock(m *protocol.ReadLock, sp *obs.Span) protocol.Message {
 	s := sess.srv
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -394,7 +439,7 @@ func (sess *session) handleReadLock(m *protocol.ReadLock) protocol.Message {
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
-	reply := freshnessReply(st, sess, m.HaveVersion, m.Policy)
+	reply := freshnessReply(st, sess, m.HaveVersion, m.Policy, sp)
 	if lr, ok := reply.(*protocol.LockReply); ok && lr.Fresh {
 		if sub, subbed := st.subs[sess]; subbed {
 			sub.notified = false
@@ -403,7 +448,7 @@ func (sess *session) handleReadLock(m *protocol.ReadLock) protocol.Message {
 	return reply
 }
 
-func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
+func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protocol.Message {
 	s := sess.srv
 	s.mu.Lock()
 	st, err := s.getSeg(m.Seg, false)
@@ -419,6 +464,12 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
 	if s.ins != nil {
 		queuedAt = time.Now()
 	}
+	// The queue-wait span exists only when the lock was actually
+	// contended, so uncontended grants stay span-free.
+	var qsp *obs.Span
+	if st.writer != nil {
+		qsp = sp.Child("server.queue_wait")
+	}
 	for st.writer != nil {
 		w := &waiter{sess: sess, ch: make(chan struct{})}
 		st.waiters = append(st.waiters, w)
@@ -426,6 +477,7 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
 		select {
 		case <-w.ch:
 		case <-s.done:
+			qsp.End()
 			return errReply(protocol.CodeInternal, "server shutting down")
 		}
 		s.mu.Lock()
@@ -434,12 +486,13 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock) protocol.Message {
 		}
 		// Our wait was cancelled (session cleanup raced); try again.
 	}
+	qsp.End()
 	st.writer = sess
 	if s.ins != nil {
 		s.ins.lockWait.ObserveSince(queuedAt)
 	}
 	// A writer always works against the current version.
-	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full())
+	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full(), sp)
 	if _, isErr := reply.(*protocol.ErrorReply); isErr {
 		releaseWriter(st, sess)
 	}
@@ -465,7 +518,7 @@ func releaseWriter(st *segState, sess *session) {
 	st.writer = nil
 }
 
-func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message {
+func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) protocol.Message {
 	s := sess.srv
 	s.mu.Lock()
 	st, err := s.getSeg(m.Seg, false)
@@ -495,11 +548,20 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 		if s.ins != nil {
 			start = time.Now()
 		}
+		asp := sp.Child("server.diff_apply")
 		newVer, modified, err := st.seg.ApplyDiff(m.Diff)
 		if err != nil {
+			if asp != nil {
+				asp.Error(err)
+				asp.End()
+			}
 			releaseWriter(st, sess)
 			s.mu.Unlock()
 			return errReply(protocol.CodeBadRequest, "applying diff: %v", err)
+		}
+		if asp != nil {
+			asp.AttrInt("units", int64(modified))
+			asp.End()
 		}
 		if s.ins != nil {
 			s.ins.applySec.ObserveSince(start)
@@ -516,8 +578,15 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock) protocol.Message
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))
 	}
-	for _, n := range notifications {
-		n()
+	if len(notifications) > 0 {
+		nsp := sp.Child("server.notify_fanout")
+		if nsp != nil {
+			nsp.AttrInt("subscribers", int64(len(notifications)))
+		}
+		for _, n := range notifications {
+			n()
+		}
+		nsp.End()
 	}
 	return &protocol.VersionReply{Version: version}
 }

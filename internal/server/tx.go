@@ -1,6 +1,7 @@
 package server
 
 import (
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
 
@@ -17,7 +18,7 @@ import (
 // an operation whose purpose is crossing a consistency boundary, and
 // keeps the commit path trivially correct.
 
-func (sess *session) handleTxCommit(m *protocol.TxCommit) protocol.Message {
+func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol.Message {
 	s := sess.srv
 	s.mu.Lock()
 
@@ -61,6 +62,11 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit) protocol.Message {
 		clone    *Segment
 		version  uint32
 		modified int
+	}
+	asp := sp.Child("server.diff_apply")
+	if asp != nil {
+		asp.AttrInt("parts", int64(len(m.Parts)))
+		defer asp.End()
 	}
 	stage := make([]staged, len(m.Parts))
 	for i := range m.Parts {

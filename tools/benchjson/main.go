@@ -1,0 +1,219 @@
+// Command benchjson runs the repository's benchmarks — the paper
+// figure reproductions in the root bench_test.go plus the package
+// benchmarks under internal/ — and writes the results as a single
+// schema-stable JSON document, so successive runs committed as
+// BENCH_<UTC-date>.json files form a machine-readable performance
+// trajectory that future changes can be compared against.
+//
+// Usage:
+//
+//	go run ./tools/benchjson                 # full run, BENCH_<date>.json
+//	go run ./tools/benchjson -smoke          # one iteration per benchmark
+//	go run ./tools/benchjson -out results.json -pattern 'Fig[45]'
+//
+// The tool shells out to `go test -run ^$ -bench <pattern> -benchmem`
+// per package and parses the standard benchmark output, including
+// custom b.ReportMetric units, into the "benchmarks" array. The
+// document's "schema" field names the format; additions stay
+// backward-compatible within a major schema version.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// schemaName identifies the output format; bump the suffix only for
+// incompatible changes.
+const schemaName = "interweave-bench/1"
+
+// benchPackages are the packages benchjson runs, relative to the repo
+// root: the paper figure reproductions plus the hot-path
+// microbenchmarks.
+var benchPackages = []string{".", "./internal/core", "./internal/rbtree"}
+
+// result is one parsed benchmark line.
+type result struct {
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// document is the top-level JSON structure.
+type document struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	Mode       string   `json:"mode"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default BENCH_<UTC-date>.json)")
+	pattern := fs.String("pattern", ".", "benchmark regexp passed to -bench")
+	smoke := fs.Bool("smoke", false, "run each benchmark once (-benchtime 1x) for a fast schema check")
+	benchtime := fs.String("benchtime", "", "override -benchtime (e.g. 100ms, 10x)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode := "full"
+	bt := *benchtime
+	if *smoke {
+		mode = "smoke"
+		if bt == "" {
+			bt = "1x"
+		}
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+
+	doc := document{
+		Schema:     schemaName,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Mode:       mode,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: []result{},
+	}
+	for _, pkg := range benchPackages {
+		res, err := runPackage(pkg, *pattern, bt)
+		if err != nil {
+			return fmt.Errorf("package %s: %w", pkg, err)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res...)
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		a, b := doc.Benchmarks[i], doc.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s (%s mode)\n", len(doc.Benchmarks), path, mode)
+	return nil
+}
+
+// runPackage runs one package's benchmarks and parses the output.
+func runPackage(pkg, pattern, benchtime string) ([]result, error) {
+	cmdArgs := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", benchtime)
+	}
+	cmdArgs = append(cmdArgs, pkg)
+	cmd := exec.Command("go", cmdArgs...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s%s", err, outBuf.String(), errBuf.String())
+	}
+	return parseBench(pkg, outBuf.Bytes())
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+// A benchmark line is
+//
+//	BenchmarkName-8   100   12345 ns/op   67 B/op   8 allocs/op   9.1 custom-unit
+//
+// — name, iteration count, then value/unit pairs. ns/op, B/op, and
+// allocs/op land in dedicated fields; everything else (custom
+// b.ReportMetric units) goes into the metrics map.
+func parseBench(pkg string, out []byte) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: some message"
+		}
+		name, procs := splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		r := result{Package: pkg, Name: name, Procs: procs, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// splitProcs separates the trailing GOMAXPROCS suffix from a
+// benchmark name ("Fig4/size=1KB-8" -> "Fig4/size=1KB", 8). A name
+// without a numeric suffix reports procs 1, matching go test.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n <= 0 {
+		return s, 1
+	}
+	return s[:i], n
+}
