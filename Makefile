@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json figures fig4 fig5 fig6 fig7 examples cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -45,6 +45,13 @@ examples:
 	$(GO) run ./examples/calendar
 	$(GO) run ./examples/datamining -updates 4
 	$(GO) run ./examples/astroflow -steps 8 -every 8
+	$(GO) run ./examples/cluster
+
+# Three-node cluster walk-through (DESIGN.md §7): redirect routing,
+# replica streaming, a primary killed mid-write via faultnet, and a
+# live segment migration, all in one process.
+cluster-demo:
+	$(GO) run ./examples/cluster
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

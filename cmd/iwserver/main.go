@@ -18,6 +18,20 @@
 // injects the same connection resets and latency on every run with
 // the same seed, so client retry behavior is reproducible end to end.
 //
+// Cluster mode (DESIGN.md §7) joins the server to a sharded,
+// replicated cluster:
+//
+//	iwserver -addr :7777 -cluster-self host1:7777 \
+//	  -cluster-peers host2:7777,host3:7777 -cluster-replicas 1
+//
+// -cluster-self is this node's address as peers and clients dial it;
+// every node must be started with the same total member set (its own
+// self plus its peers) so the epoch-1 views agree. Segments the
+// consistent-hash ring places elsewhere are answered with redirects,
+// committed writes stream to -cluster-replicas successors before the
+// client sees the acknowledgement, and -cluster-heartbeat drives
+// failure detection and replica promotion.
+//
 // Observability (see OBSERVABILITY.md) is opt-in:
 //
 //	iwserver -addr :7777 -metrics-addr :9090
@@ -42,9 +56,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"interweave/internal/cluster"
 	"interweave/internal/faultnet"
 	"interweave/internal/obs"
 	"interweave/internal/server"
@@ -73,6 +89,11 @@ func run(args []string) error {
 	traceCap := fs.Int("trace-capacity", 256, "finished traces kept in the tail-sampled store")
 	traceSample := fs.Float64("trace-sample", 1, "probability of keeping an unremarkable trace (errored and slowest-N are always kept; negative = 0)")
 	traceSlowest := fs.Int("trace-slowest", 16, "slowest-N traces always kept regardless of sampling")
+	clusterSelf := fs.String("cluster-self", "", "this node's address as peers and clients dial it (enables cluster mode)")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated peer addresses")
+	clusterReplicas := fs.Int("cluster-replicas", 1, "replicas each segment streams committed writes to")
+	clusterVNodes := fs.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
+	clusterHeartbeat := fs.Duration("cluster-heartbeat", 500*time.Millisecond, "peer probe interval for failure detection (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,9 +119,35 @@ func run(args []string) error {
 			opts.Tracer = tracer
 		}
 	}
+	var node *cluster.Node
+	if *clusterSelf != "" {
+		var peers []string
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			return fmt.Errorf("cluster mode needs -cluster-peers alongside -cluster-self")
+		}
+		node = cluster.NewNode(cluster.Options{
+			Self:      *clusterSelf,
+			Peers:     peers,
+			Replicas:  *clusterReplicas,
+			VNodes:    *clusterVNodes,
+			Heartbeat: *clusterHeartbeat,
+			Metrics:   reg,
+			Logf:      opts.Logf,
+		})
+		opts.Cluster = node
+	}
 	srv, err := server.New(opts)
 	if err != nil {
 		return err
+	}
+	if node != nil {
+		node.Start()
+		defer node.Close()
 	}
 	if reg != nil {
 		mln, err := net.Listen("tcp", *metricsAddr)

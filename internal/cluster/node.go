@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"interweave/internal/obs"
+	"interweave/internal/protocol"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Self is this node's address as peers and clients dial it.
+	Self string
+	// Peers lists the other cluster members' addresses. The initial
+	// membership is Self+Peers sorted, so every node that is configured
+	// with the same set starts from an identical epoch-1 view.
+	Peers []string
+	// Replicas is R, the number of successors each segment streams to.
+	// Zero means no replication.
+	Replicas int
+	// VNodes is the virtual-node count per member; 0 = DefaultVNodes.
+	VNodes int
+	// Heartbeat is the peer-probe interval. Zero disables the probe
+	// loop; tests drive failure detection manually with MarkDead.
+	Heartbeat time.Duration
+	// FailureThreshold is how many consecutive probe failures mark a
+	// peer dead; 0 = 3.
+	FailureThreshold int
+	// DialTimeout bounds peer dials and RPCs; 0 = 2s.
+	DialTimeout time.Duration
+	// Metrics receives iw_cluster_* instruments; nil disables them.
+	Metrics *obs.Registry
+	// Logf logs membership transitions; nil discards.
+	Logf func(format string, args ...any)
+	// Dial overrides peer dialing, e.g. to route through faultnet in
+	// tests; nil uses net.DialTimeout("tcp", ...).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Node is one server's live view of the cluster: the current
+// Membership, the Ring it implies, and the gossip machinery that keeps
+// peers converging on the highest epoch. All methods are safe for
+// concurrent use.
+type Node struct {
+	opts Options
+
+	mu      sync.Mutex
+	ms      protocol.Membership
+	ring    *Ring
+	onEpoch func(ms protocol.Membership)
+	fails   map[string]int
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	m *nodeMetrics
+}
+
+// nodeMetrics is the iw_cluster_* instrument set; nil when disabled.
+type nodeMetrics struct {
+	epoch     *obs.Gauge
+	live      *obs.Gauge
+	dead      *obs.Gauge
+	adoptions *obs.Counter
+	gossipOK  *obs.Counter
+	gossipErr *obs.Counter
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &nodeMetrics{
+		epoch:     reg.Gauge("iw_cluster_epoch", "Current membership epoch."),
+		live:      reg.Gauge("iw_cluster_members_live", "Live members in the current view."),
+		dead:      reg.Gauge("iw_cluster_members_dead", "Members marked dead in the current view."),
+		adoptions: reg.Counter("iw_cluster_epoch_adoptions_total", "Higher-epoch membership views adopted from peers."),
+		gossipOK:  reg.Counter("iw_cluster_gossip_total", "Membership pushes delivered to peers.", obs.L("result", "ok")),
+		gossipErr: reg.Counter("iw_cluster_gossip_total", "Membership pushes delivered to peers.", obs.L("result", "error")),
+	}
+}
+
+// NewNode builds a Node from its options. The initial membership is
+// epoch 1 over the sorted union of Self and Peers, so identically
+// configured nodes agree without any exchange.
+func NewNode(opts Options) *Node {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 3
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	addrs := append([]string{opts.Self}, opts.Peers...)
+	sort.Strings(addrs)
+	ms := protocol.Membership{
+		Epoch:    1,
+		Replicas: uint8(opts.Replicas),
+		VNodes:   uint16(opts.VNodes),
+	}
+	for _, a := range addrs {
+		ms.Members = append(ms.Members, protocol.Member{Addr: a})
+	}
+	n := &Node{
+		opts:  opts,
+		ms:    ms,
+		ring:  BuildRing(ms),
+		fails: make(map[string]int),
+		done:  make(chan struct{}),
+		m:     newNodeMetrics(opts.Metrics),
+	}
+	n.publishMetricsLocked()
+	return n
+}
+
+// publishMetricsLocked refreshes the membership gauges; callers hold
+// n.mu (or are the constructor).
+func (n *Node) publishMetricsLocked() {
+	if n.m == nil {
+		return
+	}
+	var live, dead int64
+	for _, m := range n.ms.Members {
+		if m.Dead {
+			dead++
+		} else {
+			live++
+		}
+	}
+	n.m.epoch.Set(int64(n.ms.Epoch))
+	n.m.live.Set(live)
+	n.m.dead.Set(dead)
+}
+
+// Self returns this node's address.
+func (n *Node) Self() string { return n.opts.Self }
+
+// ReplicaCount returns R.
+func (n *Node) ReplicaCount() int { return n.opts.Replicas }
+
+// Membership returns a deep copy of the current view.
+func (n *Node) Membership() protocol.Membership {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ms.Clone()
+}
+
+// Epoch returns the current membership epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ms.Epoch
+}
+
+// Ring returns the ring for the current view. The returned Ring is
+// immutable; a later epoch produces a new one.
+func (n *Node) Ring() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// Owner returns the node owning seg under the current view.
+func (n *Node) Owner(seg string) string { return n.Ring().Owner(seg) }
+
+// IsOwner reports whether this node owns seg under the current view.
+func (n *Node) IsOwner(seg string) bool { return n.Owner(seg) == n.opts.Self }
+
+// ReplicasOf returns the replica set for seg under the current view.
+func (n *Node) ReplicasOf(seg string) []string {
+	return n.Ring().Replicas(seg, n.opts.Replicas)
+}
+
+// OnEpochChange registers fn to run (on the mutating goroutine, after
+// the new view is installed) whenever the membership epoch advances —
+// locally or by adoption. The server hooks promotion catch-up here.
+func (n *Node) OnEpochChange(fn func(ms protocol.Membership)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onEpoch = fn
+}
+
+// install replaces the view, rebuilds the ring, refreshes metrics, and
+// returns the callback to fire. Callers hold n.mu.
+func (n *Node) installLocked(ms protocol.Membership) func(protocol.Membership) {
+	n.ms = ms
+	n.ring = BuildRing(ms)
+	n.publishMetricsLocked()
+	n.logf("cluster: epoch %d, %d live", ms.Epoch, len(n.ring.Live()))
+	return n.onEpoch
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+// AdoptMembership installs ms if its epoch is higher than the current
+// view's, reporting whether it was adopted.
+func (n *Node) AdoptMembership(ms protocol.Membership) bool {
+	n.mu.Lock()
+	if ms.Epoch <= n.ms.Epoch {
+		n.mu.Unlock()
+		return false
+	}
+	cp := ms.Clone()
+	fn := n.installLocked(cp)
+	n.mu.Unlock()
+	if n.m != nil {
+		n.m.adoptions.Inc()
+	}
+	if fn != nil {
+		fn(cp)
+	}
+	return true
+}
+
+// MarkDead excludes addr from placement: it marks the member dead,
+// bumps the epoch, and gossips the new view to the surviving peers.
+// No-op if addr is unknown or already dead.
+func (n *Node) MarkDead(addr string) bool {
+	n.mu.Lock()
+	idx := -1
+	for i, m := range n.ms.Members {
+		if m.Addr == addr && !m.Dead {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	cp := n.ms.Clone()
+	cp.Members[idx].Dead = true
+	cp.Epoch++
+	fn := n.installLocked(cp)
+	n.mu.Unlock()
+	n.logf("cluster: marked %s dead at epoch %d", addr, cp.Epoch)
+	if fn != nil {
+		fn(cp)
+	}
+	n.Gossip()
+	return true
+}
+
+// SetOverride pins seg's ownership to addr (the Migrate commit step),
+// bumps the epoch, and gossips the new view.
+func (n *Node) SetOverride(seg, addr string) {
+	n.mu.Lock()
+	cp := n.ms.Clone()
+	found := false
+	for i := range cp.Overrides {
+		if cp.Overrides[i].Seg == seg {
+			cp.Overrides[i].Addr = addr
+			found = true
+			break
+		}
+	}
+	if !found {
+		cp.Overrides = append(cp.Overrides, protocol.Override{Seg: seg, Addr: addr})
+	}
+	cp.Epoch++
+	fn := n.installLocked(cp)
+	n.mu.Unlock()
+	if fn != nil {
+		fn(cp)
+	}
+	n.Gossip()
+}
+
+// Gossip pushes the current view to every live peer. Push failures are
+// counted but not retried — the heartbeat and redirect paths both
+// carry the membership, so convergence has several channels.
+func (n *Node) Gossip() {
+	ms := n.Membership()
+	for _, addr := range ms.Live() {
+		if addr == n.opts.Self {
+			continue
+		}
+		if err := n.pushRing(addr, ms); err != nil {
+			if n.m != nil {
+				n.m.gossipErr.Inc()
+			}
+			n.logf("cluster: gossip to %s: %v", addr, err)
+			continue
+		}
+		if n.m != nil {
+			n.m.gossipOK.Inc()
+		}
+	}
+}
+
+// Start launches the heartbeat loop when Options.Heartbeat is set.
+func (n *Node) Start() {
+	if n.opts.Heartbeat <= 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(n.opts.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.done:
+				return
+			case <-t.C:
+				n.probePeers()
+			}
+		}
+	}()
+}
+
+// probePeers RingGets every live peer, adopting newer views and
+// marking peers dead after FailureThreshold consecutive failures.
+func (n *Node) probePeers() {
+	ms := n.Membership()
+	for _, addr := range ms.Live() {
+		if addr == n.opts.Self {
+			continue
+		}
+		reply, err := n.fetchRing(addr)
+		n.mu.Lock()
+		if err != nil {
+			n.fails[addr]++
+			failed := n.fails[addr] >= n.opts.FailureThreshold
+			n.mu.Unlock()
+			if failed {
+				n.MarkDead(addr)
+			}
+			continue
+		}
+		n.fails[addr] = 0
+		n.mu.Unlock()
+		n.AdoptMembership(reply)
+	}
+}
+
+// Close stops the heartbeat loop.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+}
+
+// dial opens a peer connection.
+func (n *Node) dial(addr string) (net.Conn, error) {
+	if n.opts.Dial != nil {
+		return n.opts.Dial(addr)
+	}
+	return net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+}
+
+// Call performs one synchronous RPC against a peer: dial, one frame
+// out, one frame in. Cluster control traffic is rare enough that
+// per-call connections keep the failure model trivial — any wedged
+// peer costs one DialTimeout, never a pooled connection.
+func (n *Node) Call(addr string, req protocol.Message) (protocol.Message, error) {
+	conn, err := n.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(n.opts.DialTimeout))
+	if err := protocol.WriteFrame(conn, 1, req); err != nil {
+		return nil, err
+	}
+	_, reply, err := protocol.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := reply.(*protocol.ErrorReply); ok {
+		return nil, fmt.Errorf("cluster: peer %s: %w", addr, e)
+	}
+	return reply, nil
+}
+
+// pushRing offers ms to addr.
+func (n *Node) pushRing(addr string, ms protocol.Membership) error {
+	_, err := n.Call(addr, &protocol.RingPush{Ms: ms})
+	return err
+}
+
+// fetchRing asks addr for its view.
+func (n *Node) fetchRing(addr string) (protocol.Membership, error) {
+	reply, err := n.Call(addr, &protocol.RingGet{HaveEpoch: n.Epoch()})
+	if err != nil {
+		return protocol.Membership{}, err
+	}
+	rr, ok := reply.(*protocol.RingReply)
+	if !ok {
+		return protocol.Membership{}, fmt.Errorf("cluster: peer %s answered RingGet with %T", addr, reply)
+	}
+	return rr.Ms, nil
+}

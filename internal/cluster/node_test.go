@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"interweave/internal/obs"
+	"interweave/internal/protocol"
+)
+
+// newTestNode builds a node with dialing stubbed out so gossip
+// attempts fail instantly instead of hitting the network.
+func newTestNode(self string, peers ...string) *Node {
+	return NewNode(Options{
+		Self:     self,
+		Peers:    peers,
+		Replicas: 1,
+		Dial: func(addr string) (net.Conn, error) {
+			return nil, net.ErrClosed
+		},
+	})
+}
+
+// TestNodeInitialAgreement: identically configured nodes start from
+// identical views regardless of peer-list order.
+func TestNodeInitialAgreement(t *testing.T) {
+	a := newTestNode("h1:1", "h2:1", "h3:1")
+	b := newTestNode("h2:1", "h3:1", "h1:1")
+	defer a.Close()
+	defer b.Close()
+	am, bm := a.Membership(), b.Membership()
+	if am.Epoch != 1 || bm.Epoch != 1 {
+		t.Fatalf("initial epochs %d, %d", am.Epoch, bm.Epoch)
+	}
+	for i := range am.Members {
+		if am.Members[i] != bm.Members[i] {
+			t.Fatalf("views differ at %d: %+v vs %+v", i, am.Members[i], bm.Members[i])
+		}
+	}
+	if a.Owner("h1:1/s") != b.Owner("h1:1/s") {
+		t.Error("nodes disagree on placement from identical config")
+	}
+}
+
+// TestNodeMarkDead: a death bumps the epoch, removes the node from
+// placement, and fires the change callback.
+func TestNodeMarkDead(t *testing.T) {
+	n := newTestNode("h1:1", "h2:1", "h3:1")
+	defer n.Close()
+
+	var mu sync.Mutex
+	var epochs []uint64
+	n.OnEpochChange(func(ms protocol.Membership) {
+		mu.Lock()
+		epochs = append(epochs, ms.Epoch)
+		mu.Unlock()
+	})
+
+	if !n.MarkDead("h2:1") {
+		t.Fatal("MarkDead(h2:1) = false")
+	}
+	if n.MarkDead("h2:1") {
+		t.Error("second MarkDead on same node should be a no-op")
+	}
+	if n.MarkDead("nope:1") {
+		t.Error("MarkDead on unknown node should be a no-op")
+	}
+	if e := n.Epoch(); e != 2 {
+		t.Errorf("epoch after one death = %d, want 2", e)
+	}
+	for _, addr := range n.Ring().Live() {
+		if addr == "h2:1" {
+			t.Error("dead node still on ring")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(epochs) != 1 || epochs[0] != 2 {
+		t.Errorf("callback epochs = %v, want [2]", epochs)
+	}
+}
+
+// TestNodeAdoptMembership: only strictly newer epochs are adopted.
+func TestNodeAdoptMembership(t *testing.T) {
+	n := newTestNode("h1:1", "h2:1")
+	defer n.Close()
+	stale := n.Membership() // epoch 1
+	if n.AdoptMembership(stale) {
+		t.Error("adopted equal-epoch view")
+	}
+	newer := n.Membership()
+	newer.Epoch = 5
+	newer.Members[0].Dead = true
+	if !n.AdoptMembership(newer) {
+		t.Fatal("rejected newer view")
+	}
+	if n.Epoch() != 5 {
+		t.Errorf("epoch = %d, want 5", n.Epoch())
+	}
+	// The node keeps its own deep copy.
+	newer.Members[1].Dead = true
+	if n.Membership().Members[1].Dead {
+		t.Error("adopted view shares caller's backing array")
+	}
+}
+
+// TestNodeSetOverride: migration pins change placement and bump the
+// epoch.
+func TestNodeSetOverride(t *testing.T) {
+	n := newTestNode("h1:1", "h2:1")
+	defer n.Close()
+	seg := "h1:1/moved"
+	n.SetOverride(seg, "h2:1")
+	if got := n.Owner(seg); got != "h2:1" {
+		t.Errorf("Owner after override = %q", got)
+	}
+	if n.Epoch() != 2 {
+		t.Errorf("epoch after override = %d, want 2", n.Epoch())
+	}
+	// Re-pointing the same segment updates in place.
+	n.SetOverride(seg, "h1:1")
+	if got := n.Owner(seg); got != "h1:1" {
+		t.Errorf("Owner after second override = %q", got)
+	}
+	if len(n.Membership().Overrides) != 1 {
+		t.Error("override list grew on update")
+	}
+}
+
+// TestNodeRPCPlumbing exercises Call/fetchRing/pushRing against a
+// minimal in-process peer speaking the cluster frames.
+func TestNodeRPCPlumbing(t *testing.T) {
+	peerView := protocol.Membership{
+		Epoch:   9,
+		Members: []protocol.Member{{Addr: "h1:1"}, {Addr: "h2:1", Dead: true}},
+	}
+	var gotPush protocol.Membership
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_, msg, err := protocol.ReadFrame(conn)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			switch m := msg.(type) {
+			case *protocol.RingGet:
+				_ = protocol.WriteFrame(conn, 1, &protocol.RingReply{Ms: peerView})
+			case *protocol.RingPush:
+				gotPush = m.Ms
+				_ = protocol.WriteFrame(conn, 1, &protocol.Ack{})
+			default:
+				_ = protocol.WriteFrame(conn, 1, &protocol.ErrorReply{Code: protocol.CodeBadRequest, Text: "?"})
+			}
+			conn.Close()
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	n := NewNode(Options{
+		Self:        "self:1",
+		Peers:       []string{ln.Addr().String()},
+		Metrics:     reg,
+		DialTimeout: time.Second,
+	})
+	defer n.Close()
+
+	ms, err := n.fetchRing(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("fetchRing: %v", err)
+	}
+	if ms.Epoch != 9 {
+		t.Errorf("fetched epoch %d, want 9", ms.Epoch)
+	}
+	if !n.AdoptMembership(ms) {
+		t.Error("fetched view not adopted")
+	}
+
+	if err := n.pushRing(ln.Addr().String(), n.Membership()); err != nil {
+		t.Fatalf("pushRing: %v", err)
+	}
+	if gotPush.Epoch != 9 {
+		t.Errorf("peer received epoch %d, want 9", gotPush.Epoch)
+	}
+
+	// An ErrorReply from the peer surfaces as an error.
+	if _, err := n.Call(ln.Addr().String(), &protocol.Migrate{Seg: "x", Target: "y"}); err == nil {
+		t.Error("Call returning ErrorReply did not error")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Gauges["iw_cluster_epoch"] != 9 {
+		t.Errorf("iw_cluster_epoch = %v, want 9", snap.Gauges["iw_cluster_epoch"])
+	}
+	if snap.Gauges["iw_cluster_members_dead"] != 1 {
+		t.Errorf("iw_cluster_members_dead = %v, want 1", snap.Gauges["iw_cluster_members_dead"])
+	}
+	ln.Close()
+	<-done
+}
+
+// TestNodeHeartbeatMarksDead: the probe loop declares an unreachable
+// peer dead after FailureThreshold consecutive failures.
+func TestNodeHeartbeatMarksDead(t *testing.T) {
+	n := NewNode(Options{
+		Self:             "self:1",
+		Peers:            []string{"gone:1"},
+		Heartbeat:        5 * time.Millisecond,
+		FailureThreshold: 2,
+		DialTimeout:      50 * time.Millisecond,
+		Dial: func(addr string) (net.Conn, error) {
+			return nil, net.ErrClosed
+		},
+	})
+	n.Start()
+	defer n.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.Epoch() > 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n.Epoch() == 1 {
+		t.Fatal("heartbeat never marked the unreachable peer dead")
+	}
+	for _, addr := range n.Ring().Live() {
+		if addr == "gone:1" {
+			t.Error("unreachable peer still live")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package cluster implements the membership and placement layer that
+// turns a set of InterWeave servers into one sharded, replicated
+// service: a consistent-hash ring with virtual nodes maps segment
+// names to an owning server, a versioned Membership structure
+// (internal/protocol) is gossiped between peers, and a Node tracks the
+// local server's view — bumping the epoch on failover and migration so
+// stale routing information is self-correcting.
+//
+// The package deliberately knows nothing about segments' contents:
+// internal/server consults a Node for routing decisions and drives
+// replication itself, and internal/core uses the same Ring to follow
+// redirects and re-route around dead primaries. Cudennec's S-DSM work
+// (PAPERS.md) argues data placement dominates distributed shared
+// memory behaviour at scale; the ring makes placement deterministic,
+// and virtual nodes keep the rebalance delta near the 1/N optimum when
+// membership changes.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"interweave/internal/protocol"
+)
+
+// DefaultVNodes is the virtual-node count per member when the
+// membership does not specify one. 64 points per node keeps the
+// placement spread within a few percent of uniform for small clusters
+// while the ring stays tiny (N×64 points).
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	addr string
+}
+
+// Ring is an immutable consistent-hash ring built from a Membership.
+// Dead members contribute no points, so excluding a failed node moves
+// exactly its arc to the successors; overrides pin individual segments
+// to a named owner regardless of hashing.
+type Ring struct {
+	points    []point
+	live      []string
+	overrides map[string]string
+}
+
+// hashString is 64-bit FNV-1a followed by a murmur3-style avalanche
+// finalizer — stable across processes and architectures, which the
+// golden placement test locks in. The finalizer matters: raw FNV of
+// strings that differ only in a short suffix ("…/seg/17" vs
+// "…/seg/18", "addr#3" vs "addr#4") leaves the high bits untouched,
+// which clumps every such name onto one arc of the ring.
+func hashString(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// BuildRing constructs the ring a membership view implies.
+func BuildRing(ms protocol.Membership) *Ring {
+	vnodes := int(ms.VNodes)
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{overrides: make(map[string]string, len(ms.Overrides))}
+	for _, m := range ms.Members {
+		if m.Dead {
+			continue
+		}
+		r.live = append(r.live, m.Addr)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{
+				hash: hashString(m.Addr + "#" + strconv.Itoa(i)),
+				addr: m.Addr,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.addr < b.addr
+	})
+	for _, o := range ms.Overrides {
+		r.overrides[o.Seg] = o.Addr
+	}
+	return r
+}
+
+// Live returns the live member addresses, in membership order.
+func (r *Ring) Live() []string { return r.live }
+
+// Owner returns the node owning the named segment: the override
+// target if one is pinned, otherwise the first virtual node clockwise
+// of the segment's hash. Empty when the ring has no live members.
+func (r *Ring) Owner(seg string) string {
+	if addr, ok := r.overrides[seg]; ok {
+		return addr
+	}
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(seg)].addr
+}
+
+// search returns the index of the first point clockwise of seg's hash.
+func (r *Ring) search(seg string) int {
+	h := hashString(seg)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Replicas returns up to n distinct live nodes that hold copies of the
+// segment besides its owner, in ring (successor) order. Migrated
+// segments replicate to their hash-placed successors too, so an
+// override never shrinks the replica set.
+func (r *Ring) Replicas(seg string, n int) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	owner := r.Owner(seg)
+	seen := map[string]bool{owner: true}
+	var out []string
+	start := r.search(seg)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.addr] {
+			continue
+		}
+		seen[p.addr] = true
+		out = append(out, p.addr)
+	}
+	return out
+}
+
+// Holders returns the owner followed by its replicas — every node
+// expected to hold a copy of the segment.
+func (r *Ring) Holders(seg string, replicas int) []string {
+	owner := r.Owner(seg)
+	if owner == "" {
+		return nil
+	}
+	return append([]string{owner}, r.Replicas(seg, replicas)...)
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"interweave/internal/protocol"
+)
+
+// members builds a membership over n synthetic addresses.
+func members(n int) protocol.Membership {
+	ms := protocol.Membership{Epoch: 1, Replicas: 1, VNodes: DefaultVNodes}
+	for i := 0; i < n; i++ {
+		ms.Members = append(ms.Members, protocol.Member{Addr: fmt.Sprintf("10.0.0.%d:7000", i+1)})
+	}
+	return ms
+}
+
+// TestRingGoldenPlacement pins the FNV-1a placement of known segment
+// names so a silent hash or sort change (which would strand every
+// deployed segment on the wrong owner) fails loudly.
+func TestRingGoldenPlacement(t *testing.T) {
+	r := BuildRing(members(3))
+	golden := map[string]string{
+		"10.0.0.1:7000/config":    "10.0.0.1:7000",
+		"10.0.0.1:7000/sensor/1":  "10.0.0.1:7000",
+		"10.0.0.2:7000/matrix":    "10.0.0.3:7000",
+		"10.0.0.3:7000/telemetry": "10.0.0.1:7000",
+		"10.0.0.1:7000/a":         "10.0.0.2:7000",
+		"10.0.0.1:7000/b":         "10.0.0.3:7000",
+	}
+	for seg, want := range golden {
+		if got := r.Owner(seg); got != want {
+			t.Errorf("Owner(%q) = %q, want %q", seg, got, want)
+		}
+	}
+}
+
+// TestRingDeterminism requires two rings built from equal memberships
+// to agree everywhere — the property the whole redirect scheme rests
+// on.
+func TestRingDeterminism(t *testing.T) {
+	a, b := BuildRing(members(5)), BuildRing(members(5))
+	for i := 0; i < 500; i++ {
+		seg := fmt.Sprintf("10.0.0.1:7000/s%d", i)
+		if a.Owner(seg) != b.Owner(seg) {
+			t.Fatalf("rings disagree on %q: %q vs %q", seg, a.Owner(seg), b.Owner(seg))
+		}
+		if !reflect.DeepEqual(a.Replicas(seg, 2), b.Replicas(seg, 2)) {
+			t.Fatalf("rings disagree on replicas of %q", seg)
+		}
+	}
+}
+
+// TestRingRebalanceDelta bounds segment movement when membership
+// changes: adding or removing one of N nodes must move at most ~2/N of
+// segments (the consistent-hashing guarantee; 2x slack covers vnode
+// variance at small N).
+func TestRingRebalanceDelta(t *testing.T) {
+	const segs = 2000
+	names := make([]string, segs)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.1:7000/seg/%d", i)
+	}
+	for _, n := range []int{4, 8} {
+		before := BuildRing(members(n))
+
+		grown := members(n + 1)
+		after := BuildRing(grown)
+		moved := 0
+		for _, s := range names {
+			if before.Owner(s) != after.Owner(s) {
+				moved++
+			}
+		}
+		bound := int(float64(segs) * 2 / float64(n+1))
+		if moved > bound {
+			t.Errorf("join at n=%d moved %d/%d segments, bound %d", n, moved, segs, bound)
+		}
+		if moved == 0 {
+			t.Errorf("join at n=%d moved nothing; ring ignoring new member", n)
+		}
+
+		// Killing a node must move exactly its arc: survivors keep
+		// every segment they already owned.
+		died := members(n)
+		died.Members[0].Dead = true
+		shrunk := BuildRing(died)
+		deadAddr := members(n).Members[0].Addr
+		for _, s := range names {
+			was, now := before.Owner(s), shrunk.Owner(s)
+			if was != deadAddr && was != now {
+				t.Fatalf("leave moved %q from surviving %q to %q", s, was, now)
+			}
+			if now == deadAddr {
+				t.Fatalf("%q still placed on dead node", s)
+			}
+		}
+	}
+}
+
+// TestRingOverridesAndReplicas covers migration pins and the replica
+// successor set.
+func TestRingOverridesAndReplicas(t *testing.T) {
+	ms := members(4)
+	seg := "10.0.0.1:7000/pinned"
+	hashOwner := BuildRing(ms).Owner(seg)
+	var target string
+	for _, m := range ms.Members {
+		if m.Addr != hashOwner {
+			target = m.Addr
+			break
+		}
+	}
+	ms.Overrides = []protocol.Override{{Seg: seg, Addr: target}}
+	r := BuildRing(ms)
+	if got := r.Owner(seg); got != target {
+		t.Errorf("override ignored: Owner = %q, want %q", got, target)
+	}
+
+	reps := r.Replicas(seg, 2)
+	if len(reps) != 2 {
+		t.Fatalf("Replicas returned %v, want 2 nodes", reps)
+	}
+	seen := map[string]bool{r.Owner(seg): true}
+	for _, a := range reps {
+		if seen[a] {
+			t.Errorf("replica set %v repeats %q (owner %q)", reps, a, r.Owner(seg))
+		}
+		seen[a] = true
+	}
+
+	if h := r.Holders(seg, 2); len(h) != 3 || h[0] != target {
+		t.Errorf("Holders = %v, want owner-first set of 3", h)
+	}
+
+	// Asking for more replicas than nodes exist saturates cleanly.
+	if reps := r.Replicas(seg, 10); len(reps) != 3 {
+		t.Errorf("Replicas(.., 10) over 4 nodes = %v, want the other 3", reps)
+	}
+}
+
+// TestRingEmpty covers the no-live-members edge.
+func TestRingEmpty(t *testing.T) {
+	ms := members(1)
+	ms.Members[0].Dead = true
+	r := BuildRing(ms)
+	if got := r.Owner("x:1/s"); got != "" {
+		t.Errorf("Owner on empty ring = %q", got)
+	}
+	if reps := r.Replicas("x:1/s", 2); reps != nil {
+		t.Errorf("Replicas on empty ring = %v", reps)
+	}
+	if h := r.Holders("x:1/s", 2); h != nil {
+		t.Errorf("Holders on empty ring = %v", h)
+	}
+}

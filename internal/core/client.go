@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"interweave/internal/arch"
+	"interweave/internal/cluster"
 	"interweave/internal/coherence"
 	"interweave/internal/mem"
 	"interweave/internal/obs"
@@ -98,6 +99,14 @@ type Client struct {
 	layouts types.Cache
 	closed  bool
 
+	// Cluster routing state (route.go): per-segment owner routes
+	// learned from redirects, and the newest membership seen, with the
+	// ring built from it. Nil ms/ring means the client has never
+	// talked to a clustered server.
+	routes map[string]string
+	ms     *protocol.Membership
+	ring   *cluster.Ring
+
 	// writerID identifies this client instance in WriteUnlock
 	// requests; together with a per-release sequence number it lets
 	// the server deduplicate retried releases (at-most-once).
@@ -167,6 +176,7 @@ func NewClient(opts Options) (*Client, error) {
 		opts:     opts,
 		conns:    make(map[string]*serverConn),
 		segs:     make(map[string]*segment),
+		routes:   make(map[string]string),
 		writerID: fmt.Sprintf("%s/%d/%d", opts.Name, os.Getpid(), clientSeq.Add(1)),
 		traceFn:  opts.Trace,
 		tracer:   opts.Tracer,
@@ -225,13 +235,22 @@ func serverAddrOf(segName string) (string, error) {
 }
 
 // connFor returns (dialing if necessary) the multiplexed connection
-// to the server managing segName. Callers must hold c.mu; the dial
-// happens with the lock released.
+// to the server managing segName — the redirect-learned owner when
+// one is cached, the URL's home server otherwise. Callers must hold
+// c.mu; the dial happens with the lock released.
 func (c *Client) connFor(segName string) (*serverConn, error) {
-	addr, err := serverAddrOf(segName)
+	addr, err := c.addrFor(segName)
 	if err != nil {
 		return nil, err
 	}
+	return c.connTo(addr)
+}
+
+// connTo returns (dialing if necessary) the multiplexed connection to
+// one server address. Callers must hold c.mu; the dial happens with
+// the lock released. Dial failures carry ErrUnavailable so callers
+// can surface a typed error once retries are spent.
+func (c *Client) connTo(addr string) (*serverConn, error) {
 	if sc, ok := c.conns[addr]; ok && !sc.isClosed() {
 		return sc, nil
 	}
@@ -239,7 +258,7 @@ func (c *Client) connFor(segName string) (*serverConn, error) {
 	conn, err := c.opts.Dial(addr)
 	c.mu.Lock()
 	if err != nil {
-		return nil, fmt.Errorf("core: connecting to %s: %w", addr, err)
+		return nil, fmt.Errorf("core: connecting to %s: %w (%v)", addr, ErrUnavailable, err)
 	}
 	if c.closed {
 		_ = conn.Close()
@@ -273,19 +292,27 @@ func (c *Client) connFor(segName string) (*serverConn, error) {
 // segment's subscription is dropped on reconnect; its cached data
 // remains valid and is re-validated by version number on the next
 // lock. Non-retryable RPCs (WriteUnlock, TxCommit) get at most one
-// send per call — their recovery runs at a higher level (Resume).
-// Caller holds c.mu.
+// send per call — their recovery runs at a higher level (Resume) —
+// but dial failures are retried for every RPC kind: a request that
+// never reached a server cannot have been applied, so rerouting and
+// redialing is always safe. Caller holds c.mu.
 // The span, when non-nil, parents one child span per RPC attempt
 // whose context rides the wire.
 func (c *Client) callSeg(s *segment, m protocol.Message, sp *obs.Span) (protocol.Message, error) {
 	var lastErr error
+	hops := 0
 	for attempt := 0; ; attempt++ {
 		if s.conn == nil || s.conn.isClosed() {
 			sc, derr := c.connFor(s.name)
 			if derr != nil {
 				lastErr = fmt.Errorf("core: reconnecting to server of %q: %w", s.name, derr)
-				if retryable(m) && attempt < c.opts.MaxRetries && c.retryPause(m, attempt, lastErr) {
-					continue
+				// Nothing was sent, so even WriteUnlock/TxCommit can
+				// safely reroute and redial.
+				if attempt < c.opts.MaxRetries {
+					c.rerouteSeg(s.name)
+					if c.retryPause(m, attempt, lastErr) {
+						continue
+					}
 				}
 				return nil, lastErr
 			}
@@ -294,11 +321,29 @@ func (c *Client) callSeg(s *segment, m protocol.Message, sp *obs.Span) (protocol
 			s.state.Invalidated = false
 		}
 		reply, err := c.callObserved(s.conn, m, sp, attempt)
-		if err == nil || !isTransport(err) {
+		if err == nil {
+			if red, ok := reply.(*protocol.Redirect); ok {
+				// Not a failure: the server we asked does not own the
+				// segment (any RPC kind, WriteUnlock included, was
+				// refused un-applied). Follow to the owner.
+				if rerr := c.followRedirect(s.name, red, &hops); rerr != nil {
+					return nil, rerr
+				}
+				s.conn = nil // repoint to the new route next spin
+				attempt--    // a redirect is not a failure; keep the retry budget
+				continue
+			}
+			return reply, nil
+		}
+		if !isTransport(err) {
 			return reply, err
 		}
 		lastErr = err
-		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.retryPause(m, attempt, err) {
+		if !retryable(m) || attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		c.rerouteSeg(s.name)
+		if !c.retryPause(m, attempt, err) {
 			return nil, lastErr
 		}
 	}
@@ -309,18 +354,36 @@ func (c *Client) callSeg(s *segment, m protocol.Message, sp *obs.Span) (protocol
 // backoff-retry behaviour as callSeg. Caller holds c.mu.
 func (c *Client) callRetry(segName string, m protocol.Message, sp *obs.Span) (protocol.Message, error) {
 	var lastErr error
+	hops := 0
 	for attempt := 0; ; attempt++ {
 		sc, err := c.connFor(segName)
-		if err != nil {
+		dialFailed := err != nil
+		if dialFailed {
 			lastErr = err
 		} else {
 			reply, err := c.callObserved(sc, m, sp, attempt)
-			if err == nil || !isTransport(err) {
+			if err == nil {
+				if red, ok := reply.(*protocol.Redirect); ok {
+					if rerr := c.followRedirect(segName, red, &hops); rerr != nil {
+						return nil, rerr
+					}
+					attempt-- // a redirect is not a failure; keep the retry budget
+					continue
+				}
+				return reply, nil
+			}
+			if !isTransport(err) {
 				return reply, err
 			}
 			lastErr = err
 		}
-		if !retryable(m) || attempt >= c.opts.MaxRetries || !c.retryPause(m, attempt, lastErr) {
+		// Dial failures retry for every RPC kind (nothing was sent);
+		// transport failures after a send only for retryable ones.
+		if (!dialFailed && !retryable(m)) || attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		c.rerouteSeg(segName)
+		if !c.retryPause(m, attempt, lastErr) {
 			return nil, lastErr
 		}
 	}

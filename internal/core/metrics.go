@@ -30,6 +30,8 @@ const (
 	mDials          = "iw_client_dials_total"
 	mNoDiffReleases = "iw_client_nodiff_releases_total"
 	mVersionChecks  = "iw_client_version_checks_total"
+	mRedirects      = "iw_client_redirects_total"
+	mReroutes       = "iw_client_reroutes_total"
 )
 
 // clientInstruments holds every metric handle a Client updates. It is
@@ -63,6 +65,8 @@ type clientInstruments struct {
 	noDiffReleases *obs.Counter
 	versionFresh   *obs.Counter
 	versionUpdate  *obs.Counter
+	redirects      *obs.Counter
+	reroutes       *obs.Counter
 }
 
 func newClientInstruments(reg *obs.Registry) *clientInstruments {
@@ -108,6 +112,10 @@ func newClientInstruments(reg *obs.Registry) *clientInstruments {
 		versionUpdate: reg.Counter(mVersionChecks,
 			"Read-lock freshness checks against the server, by outcome.",
 			obs.L("result", "update")),
+		redirects: reg.Counter(mRedirects,
+			"Redirect replies followed to a segment's ring owner."),
+		reroutes: reg.Counter(mReroutes,
+			"Segment routes repointed at a new owner after failing to reach the old one."),
 	}
 }
 

@@ -509,7 +509,8 @@ func (c *Client) adapt(s *segment, updated, wasInvalidated bool) {
 		return
 	}
 	if s.adaptive.RecordPoll(updated) {
-		if _, err := s.conn.call(&protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: s.policy}); err == nil {
+		reply, err := s.conn.call(&protocol.Subscribe{Seg: s.name, HaveVersion: s.version, Policy: s.policy})
+		if _, redirected := reply.(*protocol.Redirect); err == nil && !redirected {
 			s.state.Subscribed = true
 			s.state.Invalidated = false
 		}

@@ -569,6 +569,9 @@ func newMessage(t MsgType) (Message, error) {
 	case TypeError:
 		return &ErrorReply{}, nil
 	default:
+		if m := newClusterMessage(t); m != nil {
+			return m, nil
+		}
 		return nil, fmt.Errorf("protocol: unknown message type %d", t)
 	}
 }

@@ -1,0 +1,545 @@
+package server
+
+import (
+	"interweave/internal/cluster"
+	"interweave/internal/obs"
+	"interweave/internal/protocol"
+	"interweave/internal/wire"
+)
+
+// Cluster-mode serving (DESIGN.md §7). With Options.Cluster set, this
+// server is one node of a sharded, replicated cluster:
+//
+//   - segment RPCs for segments the ring places elsewhere are answered
+//     with a Redirect carrying the full membership (clusterRedirect);
+//   - every committed write streams to the segment's replicas before
+//     the client sees the acknowledgement, with the at-most-once table
+//     mirrored alongside the diff (runReplication);
+//   - an epoch bump that makes this node a segment's owner triggers
+//     Pull catch-up from the surviving holders (promotion);
+//   - Migrate moves a segment under the write-lock barrier and pins
+//     the new owner with a membership override.
+//
+// The invariant everything rests on: a write release is acknowledged
+// to the client only after the replicas hold both its diff and its
+// (WriterID, Seq, Version) record. A promoted replica therefore
+// answers Resume probes exactly as the dead primary would have, and
+// the client's existing recovery machinery works unchanged.
+
+// Cluster metric names, documented in OBSERVABILITY.md.
+const (
+	cmRedirects  = "iw_cluster_redirects_served_total"
+	cmReplicate  = "iw_cluster_replicate_total"
+	cmReplLag    = "iw_cluster_replication_lag_versions"
+	cmPromotions = "iw_cluster_promotions_total"
+	cmMigrations = "iw_cluster_migrations_total"
+	cmPulls      = "iw_cluster_pulls_total"
+)
+
+// clusterInstruments holds the server's cluster-mode metric handles;
+// nil disables them.
+type clusterInstruments struct {
+	redirects  *obs.Counter
+	replOK     *obs.Counter
+	replNack   *obs.Counter
+	replErr    *obs.Counter
+	replLag    *obs.Gauge
+	promotions *obs.Counter
+	migrations *obs.Counter
+	pulls      *obs.Counter
+}
+
+func newClusterInstruments(reg *obs.Registry) *clusterInstruments {
+	replHelp := "Replicate frames sent to replicas, by outcome (ok, nack = version mismatch answered with catch-up, error = transport failure)."
+	return &clusterInstruments{
+		redirects: reg.Counter(cmRedirects,
+			"Segment RPCs answered with a Redirect because the ring places the segment elsewhere."),
+		replOK:   reg.Counter(cmReplicate, replHelp, obs.L("result", "ok")),
+		replNack: reg.Counter(cmReplicate, replHelp, obs.L("result", "nack")),
+		replErr:  reg.Counter(cmReplicate, replHelp, obs.L("result", "error")),
+		replLag: reg.Gauge(cmReplLag,
+			"Versions the slowest responding replica trailed the primary by after the latest fan-out (0 = fully acked)."),
+		promotions: reg.Counter(cmPromotions,
+			"Locally held segments this node became the owner of through an epoch change."),
+		migrations: reg.Counter(cmMigrations,
+			"Segments this node migrated away to another owner."),
+		pulls: reg.Counter(cmPulls,
+			"Pull catch-up probes issued during promotions."),
+	}
+}
+
+// segOf names the segment a client-facing RPC addresses, or "" for
+// messages that are not subject to redirect routing.
+func segOf(msg protocol.Message) string {
+	switch m := msg.(type) {
+	case *protocol.OpenSegment:
+		return m.Name
+	case *protocol.ReadLock:
+		return m.Seg
+	case *protocol.WriteLock:
+		return m.Seg
+	case *protocol.WriteUnlock:
+		return m.Seg
+	case *protocol.Resume:
+		return m.Seg
+	case *protocol.Subscribe:
+		return m.Seg
+	case *protocol.Unsubscribe:
+		return m.Seg
+	case *protocol.Migrate:
+		return m.Seg
+	}
+	return ""
+}
+
+// redirectFor returns the Redirect reply for a segment this node does
+// not own, or nil when the node owns it (or is not clustered). An
+// empty ring (no live members — can only be a misconfiguration)
+// redirects nowhere and lets the request proceed locally.
+func (s *Server) redirectFor(seg string) protocol.Message {
+	if s.cluster == nil || seg == "" {
+		return nil
+	}
+	owner := s.cluster.Owner(seg)
+	if owner == "" || owner == s.cluster.Self() {
+		return nil
+	}
+	if s.cins != nil {
+		s.cins.redirects.Inc()
+	}
+	return &protocol.Redirect{Seg: seg, Owner: owner, Ms: s.cluster.Membership()}
+}
+
+// clusterRedirect applies redirect routing to one request. TxCommit
+// is special: it is redirected only when every part shares a single
+// remote owner; parts split across owners are refused, since the
+// single-server atomic commit cannot span nodes.
+func (sess *session) clusterRedirect(msg protocol.Message) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return nil
+	}
+	if tx, ok := msg.(*protocol.TxCommit); ok {
+		owner := ""
+		for i := range tx.Parts {
+			o := s.cluster.Owner(tx.Parts[i].Seg)
+			if o == "" {
+				return nil
+			}
+			if owner == "" {
+				owner = o
+			} else if o != owner {
+				return errReply(protocol.CodeNotOwner,
+					"transaction parts map to different owners (%s, %s); transactions cannot span cluster nodes", owner, o)
+			}
+		}
+		if owner == "" || owner == s.cluster.Self() {
+			return nil
+		}
+		if s.cins != nil {
+			s.cins.redirects.Inc()
+		}
+		return &protocol.Redirect{Seg: tx.Parts[0].Seg, Owner: owner, Ms: s.cluster.Membership()}
+	}
+	return s.redirectFor(segOf(msg))
+}
+
+func (sess *session) handleRingGet(*protocol.RingGet) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	return &protocol.RingReply{Ms: s.cluster.Membership()}
+}
+
+func (sess *session) handleRingPush(m *protocol.RingPush) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	s.cluster.AdoptMembership(m.Ms)
+	return &protocol.Ack{}
+}
+
+// appliedFromEntries rebuilds the at-most-once table from its wire
+// form.
+func appliedFromEntries(entries []protocol.AppliedEntry) map[string]appliedWrite {
+	out := make(map[string]appliedWrite, len(entries))
+	for _, e := range entries {
+		out[e.WriterID] = appliedWrite{seq: e.Seq, version: e.Version}
+	}
+	return out
+}
+
+// entriesFromApplied is the inverse of appliedFromEntries.
+func entriesFromApplied(applied map[string]appliedWrite) []protocol.AppliedEntry {
+	out := make([]protocol.AppliedEntry, 0, len(applied))
+	for id, ap := range applied {
+		out = append(out, protocol.AppliedEntry{WriterID: id, Seq: ap.seq, Version: ap.version})
+	}
+	return out
+}
+
+// handleReplicate applies one primary→replica stream message: an
+// incremental diff stamped at the primary's version, or a full
+// checkpoint-codec snapshot applied by replacement. A version mismatch
+// is answered with a non-acked reply carrying the replica's version,
+// which the primary follows with a catch-up diff.
+func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(m.Raw) > 0 {
+		seg, err := decodeSegment(m.Raw)
+		if err != nil {
+			return errReply(protocol.CodeBadRequest, "replicate snapshot: %v", err)
+		}
+		if seg.Name != m.Seg {
+			return errReply(protocol.CodeBadRequest, "snapshot is of %q, not %q", seg.Name, m.Seg)
+		}
+		st, err := s.getSeg(m.Seg, true)
+		if err != nil {
+			return errReply(protocol.CodeInternal, "%v", err)
+		}
+		if s.opts.DiffCacheCap != 0 {
+			n := s.opts.DiffCacheCap
+			if n < 0 {
+				n = 0
+			}
+			seg.SetDiffCacheCap(n)
+		}
+		st.seg = seg
+		st.applied = appliedFromEntries(m.Applied)
+		return &protocol.ReplicateReply{Acked: true, Version: seg.Version}
+	}
+	st, err := s.getSeg(m.Seg, true)
+	if err != nil {
+		return errReply(protocol.CodeInternal, "%v", err)
+	}
+	if st.seg.Version != m.PrevVersion {
+		return &protocol.ReplicateReply{Acked: false, Version: st.seg.Version}
+	}
+	if m.Diff != nil {
+		if _, err := st.seg.ApplyReplicatedDiff(m.Diff, m.Version); err != nil {
+			return errReply(protocol.CodeBadRequest, "replicate apply: %v", err)
+		}
+	}
+	st.applied = appliedFromEntries(m.Applied)
+	return &protocol.ReplicateReply{Acked: true, Version: st.seg.Version}
+}
+
+// handlePull answers a promotion catch-up probe with this node's
+// version of the segment and a diff covering everything past the
+// requester's version.
+func (sess *session) handlePull(m *protocol.Pull) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.segs[m.Seg]
+	if !ok {
+		return &protocol.PullReply{}
+	}
+	reply := &protocol.PullReply{Version: st.seg.Version, Applied: entriesFromApplied(st.applied)}
+	if st.seg.Version > m.HaveVersion {
+		d, err := st.seg.CollectDiff(m.HaveVersion)
+		if err != nil {
+			return errReply(protocol.CodeInternal, "pull collect: %v", err)
+		}
+		reply.Diff = d
+	}
+	return reply
+}
+
+// replicationJob captures everything a post-commit fan-out needs while
+// the server lock is still held.
+type replicationJob struct {
+	st      *segState
+	seg     string
+	prevVer uint32
+	version uint32
+	diff    *wire.SegmentDiff
+	applied []protocol.AppliedEntry
+	addrs   []string
+}
+
+// replicationJob returns the fan-out to perform for a committed write,
+// or nil when no replication is due (not clustered, no diff applied,
+// or the segment has no replicas). Called with s.mu held.
+func (s *Server) replicationJob(st *segState, seg string, prevVer, version uint32, d *wire.SegmentDiff) *replicationJob {
+	if s.cluster == nil || version == prevVer || d == nil {
+		return nil
+	}
+	addrs := s.cluster.ReplicasOf(seg)
+	if len(addrs) == 0 {
+		return nil
+	}
+	return &replicationJob{
+		st:      st,
+		seg:     seg,
+		prevVer: prevVer,
+		version: version,
+		diff:    d,
+		applied: entriesFromApplied(st.applied),
+		addrs:   addrs,
+	}
+}
+
+// runReplication streams one committed diff to every replica and
+// records the outcome. Called WITHOUT s.mu, but with the segment's
+// write lock still held by the committing session, which freezes the
+// version sequence for the duration. A replica that reports a version
+// mismatch gets one catch-up diff collected from its version; a
+// replica that cannot be reached is counted and skipped — failure
+// detection and re-sync belong to the heartbeat/promotion path, and a
+// wedged replica must not wedge the primary's writers.
+func (s *Server) runReplication(job *replicationJob) {
+	maxLag := int64(0)
+	for _, addr := range job.addrs {
+		acked, replicaVer, err := s.replicateTo(addr, &protocol.Replicate{
+			Seg:         job.seg,
+			PrevVersion: job.prevVer,
+			Version:     job.version,
+			Diff:        job.diff,
+			Applied:     job.applied,
+		})
+		if err != nil {
+			if s.cins != nil {
+				s.cins.replErr.Inc()
+			}
+			s.logf("replicate %s to %s: %v", job.seg, addr, err)
+			continue
+		}
+		if !acked {
+			// The replica is on a different version (it may be fresh,
+			// or have missed an earlier fan-out): send one catch-up
+			// diff from its version.
+			if s.cins != nil {
+				s.cins.replNack.Inc()
+			}
+			acked, replicaVer, err = s.catchUpReplica(addr, job, replicaVer)
+			if err != nil {
+				if s.cins != nil {
+					s.cins.replErr.Inc()
+				}
+				s.logf("replicate catch-up %s to %s: %v", job.seg, addr, err)
+				continue
+			}
+		}
+		if acked {
+			if s.cins != nil {
+				s.cins.replOK.Inc()
+			}
+		}
+		if lag := int64(job.version) - int64(replicaVer); lag > maxLag {
+			maxLag = lag
+		}
+	}
+	if s.cins != nil {
+		s.cins.replLag.Set(maxLag)
+	}
+}
+
+// replicateTo sends one Replicate frame to a replica.
+func (s *Server) replicateTo(addr string, m *protocol.Replicate) (acked bool, version uint32, err error) {
+	reply, err := s.cluster.Call(addr, m)
+	if err != nil {
+		return false, 0, err
+	}
+	rr, ok := reply.(*protocol.ReplicateReply)
+	if !ok {
+		return false, 0, errReply(protocol.CodeInternal, "replica answered Replicate with %T", reply)
+	}
+	return rr.Acked, rr.Version, nil
+}
+
+// catchUpReplica collects a diff spanning the replica's version to the
+// job's version and sends it. The committing session still holds the
+// write lock, so the collection is against a frozen version.
+func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uint32) (bool, uint32, error) {
+	if replicaVer >= job.version {
+		// The replica is already at (or beyond — possible after a
+		// partitioned promotion) our version; nothing to send.
+		return true, replicaVer, nil
+	}
+	s.mu.Lock()
+	d, err := job.st.seg.CollectDiff(replicaVer)
+	s.mu.Unlock()
+	if err != nil {
+		return false, replicaVer, err
+	}
+	return s.replicateTo(addr, &protocol.Replicate{
+		Seg:         job.seg,
+		PrevVersion: replicaVer,
+		Version:     job.version,
+		Diff:        d,
+		Applied:     job.applied,
+	})
+}
+
+// onEpochChange reacts to a membership change: for every locally held
+// segment whose owner the new ring says is this node but the previous
+// ring said was someone else, this node was just promoted — it pulls
+// catch-up state from every surviving holder so it resumes from the
+// highest acknowledged version in the cluster. Runs on the goroutine
+// that advanced the epoch (heartbeat, gossip handler, or MarkDead
+// caller), never holding s.mu across peer calls.
+func (s *Server) onEpochChange(ms protocol.Membership) {
+	newRing := s.cluster.Ring()
+	self := s.cluster.Self()
+
+	s.mu.Lock()
+	prevRing := s.lastRing
+	s.lastRing = newRing
+	var promoted []string
+	for name := range s.segs {
+		if newRing.Owner(name) != self {
+			continue
+		}
+		if prevRing != nil && prevRing.Owner(name) == self {
+			continue // owned it before; nothing to catch up
+		}
+		promoted = append(promoted, name)
+	}
+	s.mu.Unlock()
+
+	for _, seg := range promoted {
+		if s.cins != nil {
+			s.cins.promotions.Inc()
+		}
+		s.promoteSegment(seg, newRing, self)
+	}
+}
+
+// promoteSegment pulls seg's state from every other live node and
+// adopts the highest version seen, making this node's copy at least as
+// new as anything a client was acknowledged against.
+func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
+	for _, addr := range ring.Live() {
+		if addr == self {
+			continue
+		}
+		if s.cins != nil {
+			s.cins.pulls.Inc()
+		}
+		s.mu.Lock()
+		haveVer := uint32(0)
+		if st, ok := s.segs[seg]; ok {
+			haveVer = st.seg.Version
+		}
+		s.mu.Unlock()
+		reply, err := s.cluster.Call(addr, &protocol.Pull{Seg: seg, HaveVersion: haveVer})
+		if err != nil {
+			s.logf("promotion pull %s from %s: %v", seg, addr, err)
+			continue
+		}
+		pr, ok := reply.(*protocol.PullReply)
+		if !ok || pr.Version <= haveVer || pr.Diff == nil {
+			continue
+		}
+		s.mu.Lock()
+		st, err := s.getSeg(seg, true)
+		if err == nil && pr.Version > st.seg.Version {
+			if _, aerr := st.seg.ApplyReplicatedDiff(pr.Diff, pr.Version); aerr != nil {
+				s.logf("promotion apply %s from %s: %v", seg, addr, aerr)
+			} else {
+				st.applied = appliedFromEntries(pr.Applied)
+				s.logf("promoted %s to version %d (from %s)", seg, pr.Version, addr)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// handleMigrate moves a segment this node owns to the named target:
+// it takes the segment's write lock (the barrier — in-flight writers
+// drain first, queued ones re-check ownership after), ships a full
+// snapshot to the target, pins the new owner with a membership
+// override, and gossips the bumped epoch. The dispatch-level redirect
+// has already routed this request to the owner.
+func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
+	s := sess.srv
+	if s.cluster == nil {
+		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	if m.Target == s.cluster.Self() {
+		return &protocol.Ack{} // already here
+	}
+	live := false
+	for _, addr := range s.cluster.Ring().Live() {
+		if addr == m.Target {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return errReply(protocol.CodeBadRequest, "migration target %q is not a live member", m.Target)
+	}
+
+	s.mu.Lock()
+	st, err := s.getSeg(m.Seg, false)
+	if err != nil {
+		s.mu.Unlock()
+		return errReply(protocol.CodeNoSegment, "%v", err)
+	}
+	if st.writer == sess {
+		s.mu.Unlock()
+		return errReply(protocol.CodeLockState, "cannot migrate while holding the write lock")
+	}
+	// Write-lock barrier: queue like any writer, with direct handoff.
+	for st.writer != nil {
+		w := &waiter{sess: sess, ch: make(chan struct{})}
+		st.waiters = append(st.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-s.done:
+			return errReply(protocol.CodeInternal, "server shutting down")
+		}
+		s.mu.Lock()
+		if st.writer == sess {
+			break
+		}
+	}
+	st.writer = sess
+	raw := st.seg.encode()
+	applied := entriesFromApplied(st.applied)
+	version := st.seg.Version
+	s.mu.Unlock()
+
+	// Ship the snapshot while the barrier holds writers off.
+	acked, _, rerr := s.replicateTo(m.Target, &protocol.Replicate{
+		Seg:     m.Seg,
+		Version: version,
+		Raw:     raw,
+		Applied: applied,
+	})
+	if rerr != nil || !acked {
+		s.mu.Lock()
+		releaseWriter(st, sess)
+		s.mu.Unlock()
+		if rerr == nil {
+			rerr = errReply(protocol.CodeInternal, "target did not ack snapshot")
+		}
+		return errReply(protocol.CodeInternal, "migrating %q to %s: %v", m.Seg, m.Target, rerr)
+	}
+
+	// Commit: pin the new owner, bump the epoch, gossip. From here on,
+	// the dispatch redirect answers every client RPC for this segment,
+	// and the queued writers re-check ownership when the barrier lifts.
+	s.cluster.SetOverride(m.Seg, m.Target)
+	if s.cins != nil {
+		s.cins.migrations.Inc()
+	}
+	s.logf("migrated %s to %s at version %d", m.Seg, m.Target, version)
+
+	s.mu.Lock()
+	releaseWriter(st, sess)
+	s.mu.Unlock()
+	return &protocol.Ack{}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"interweave/internal/cluster"
 	"interweave/internal/coherence"
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
@@ -35,6 +36,13 @@ type Options struct {
 	// collect/apply, and notification fan-out. A nil tracer disables
 	// span tracing — no clock reads and no allocations.
 	Tracer *obs.Tracer
+	// Cluster, when non-nil, puts the server in cluster mode: segment
+	// RPCs for segments this node does not own are answered with a
+	// Redirect, committed diffs stream to the segment's replicas, and
+	// the membership RPCs (RingGet/RingPush/Replicate/Pull/Migrate)
+	// are served. The caller owns the node's lifecycle (Start/Close);
+	// see DESIGN.md §7.
+	Cluster *cluster.Node
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -53,6 +61,13 @@ type Server struct {
 
 	ins    *serverInstruments
 	tracer *obs.Tracer
+
+	cluster *cluster.Node
+	cins    *clusterInstruments
+	// lastRing is the placement before the latest epoch change, kept
+	// to detect which locally held segments this node was just
+	// promoted to own. Guarded by mu.
+	lastRing *cluster.Ring
 }
 
 // segState couples a segment with its lock and subscription state.
@@ -113,6 +128,14 @@ func New(opts Options) (*Server, error) {
 		if err := s.restore(); err != nil {
 			return nil, err
 		}
+	}
+	if opts.Cluster != nil {
+		s.cluster = opts.Cluster
+		s.lastRing = s.cluster.Ring()
+		if opts.Metrics != nil {
+			s.cins = newClusterInstruments(opts.Metrics)
+		}
+		s.cluster.OnEpochChange(s.onEpochChange)
 	}
 	return s, nil
 }
@@ -318,6 +341,21 @@ func (sess *session) handle(msg protocol.Message, tc protocol.TraceContext) prot
 
 // dispatch routes one request to its handler and returns the reply.
 func (sess *session) dispatch(msg protocol.Message, sp *obs.Span) protocol.Message {
+	if red := sess.clusterRedirect(msg); red != nil {
+		return red
+	}
+	switch m := msg.(type) {
+	case *protocol.RingGet:
+		return sess.handleRingGet(m)
+	case *protocol.RingPush:
+		return sess.handleRingPush(m)
+	case *protocol.Replicate:
+		return sess.handleReplicate(m)
+	case *protocol.Pull:
+		return sess.handlePull(m)
+	case *protocol.Migrate:
+		return sess.handleMigrate(m)
+	}
 	switch m := msg.(type) {
 	case *protocol.Hello:
 		sess.name, sess.profile = m.ClientName, m.Profile
@@ -491,6 +529,14 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 	if s.ins != nil {
 		s.ins.lockWait.ObserveSince(queuedAt)
 	}
+	// Ownership may have moved while we were queued (a migration runs
+	// under this same write-lock barrier): re-check before granting,
+	// or the client would commit against a stale owner.
+	if red := s.redirectFor(m.Seg); red != nil {
+		releaseWriter(st, sess)
+		s.mu.Unlock()
+		return red
+	}
 	// A writer always works against the current version.
 	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full(), sp)
 	if _, isErr := reply.(*protocol.ErrorReply); isErr {
@@ -541,7 +587,8 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 		s.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock not held")
 	}
-	version := st.seg.Version
+	prevVer := st.seg.Version
+	version := prevVer
 	var notifications []func()
 	if m.Diff != nil && !m.Diff.Empty() {
 		var start time.Time
@@ -573,8 +620,21 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 	if m.WriterID != "" {
 		st.applied[m.WriterID] = appliedWrite{seq: m.Seq, version: version}
 	}
-	releaseWriter(st, sess)
-	s.mu.Unlock()
+	if job := s.replicationJob(st, m.Seg, prevVer, version, m.Diff); job != nil {
+		// Replicate before releasing the write lock and before
+		// replying: the lock keeps the version sequence frozen during
+		// the fan-out, and replicate-before-reply means any release the
+		// client saw acknowledged survives a primary death (the replica
+		// already holds both the diff and the at-most-once record).
+		s.mu.Unlock()
+		s.runReplication(job)
+		s.mu.Lock()
+		releaseWriter(st, sess)
+		s.mu.Unlock()
+	} else {
+		releaseWriter(st, sess)
+		s.mu.Unlock()
+	}
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))
 	}

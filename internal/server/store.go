@@ -243,6 +243,25 @@ func (s *Segment) DescBytes(serial uint32) ([]byte, bool) {
 // and the conservative count of units modified (the paper's single
 // counter for diff-based coherence).
 func (s *Segment) ApplyDiff(d *wire.SegmentDiff) (uint32, int, error) {
+	return s.applyDiffAt(d, s.Version+1)
+}
+
+// ApplyReplicatedDiff applies a diff received from a segment's primary
+// at exactly the version the primary assigned, so replica and primary
+// version numbers stay identical and a promoted replica can keep
+// serving the primary's numbering. v must exceed the current version;
+// a catch-up diff may skip several versions, which only makes the
+// subblock stamps conservative (lagging clients receive supersets).
+func (s *Segment) ApplyReplicatedDiff(d *wire.SegmentDiff, v uint32) (int, error) {
+	if v <= s.Version {
+		return 0, fmt.Errorf("server: replicated version %d not beyond current %d", v, s.Version)
+	}
+	_, modified, err := s.applyDiffAt(d, v)
+	return modified, err
+}
+
+// applyDiffAt is ApplyDiff with the produced version as a parameter.
+func (s *Segment) applyDiffAt(d *wire.SegmentDiff, v uint32) (uint32, int, error) {
 	if d == nil {
 		return 0, 0, errors.New("server: nil diff")
 	}
@@ -258,7 +277,6 @@ func (s *Segment) ApplyDiff(d *wire.SegmentDiff) (uint32, int, error) {
 		d.Descs[i].Bytes = s.descs[global]
 	}
 
-	v := s.Version + 1
 	marker := &listElem{marker: v}
 
 	// Validate everything before mutating list/tree state so a bad

@@ -87,12 +87,17 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		stage[i] = staged{clone: clone, version: newVer, modified: modified}
 	}
 
-	// Commit: swap the clones in, release the locks, gather
-	// notifications.
+	// Commit: swap the clones in, replicate, release the locks, gather
+	// notifications. In cluster mode each advanced part streams to its
+	// replicas before the locks drop and before the client sees the
+	// commit, preserving the replicate-before-acknowledge invariant of
+	// the single-segment release path.
 	reply := &protocol.TxReply{Versions: make([]uint32, len(m.Parts))}
 	var notifications []func()
+	var jobs []*replicationJob
 	for i := range m.Parts {
 		st := states[i]
+		prevVer := st.seg.Version
 		if stage[i].clone != nil {
 			st.seg = stage[i].clone
 			notifications = append(notifications,
@@ -104,10 +109,29 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		if s.ins != nil && stage[i].clone != nil {
 			s.ins.applyUnits.Add(uint64(stage[i].modified))
 		}
-		releaseWriter(st, sess)
+		if stage[i].clone != nil {
+			if job := s.replicationJob(st, m.Parts[i].Seg, prevVer, stage[i].version, m.Parts[i].Diff); job != nil {
+				jobs = append(jobs, job)
+			}
+		}
 		reply.Versions[i] = stage[i].version
 	}
-	s.mu.Unlock()
+	if len(jobs) == 0 {
+		for _, st := range states {
+			releaseWriter(st, sess)
+		}
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+		for _, job := range jobs {
+			s.runReplication(job)
+		}
+		s.mu.Lock()
+		for _, st := range states {
+			releaseWriter(st, sess)
+		}
+		s.mu.Unlock()
+	}
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))
 	}

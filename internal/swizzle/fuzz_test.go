@@ -1,0 +1,61 @@
+package swizzle
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSegmentURL fuzzes the MIP/segment-URL parser with the
+// round-trip property: whatever Parse accepts must re-render with
+// String and re-parse to the identical MIP, and the parts must be
+// structurally sound (non-empty segment and block, non-negative
+// offset, no '#' leaking into the segment). Rejections must be
+// errors, never panics.
+func FuzzParseSegmentURL(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"host:7070/seg#blk",
+		"host:7070/seg#blk#12",
+		"host:7070/a/b/c#42",
+		"10.0.0.1:7000/matrix#row#4294967295",
+		"#blk",
+		"seg#",
+		"seg#blk#",
+		"seg#blk#-1",
+		"seg#blk#nan",
+		"seg##3",
+		"a#b#c#d",
+		"host/seg#blk#007",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if s == "" {
+			if !m.IsNil() {
+				t.Fatalf("Parse(%q) = %+v, want nil MIP", s, m)
+			}
+			return
+		}
+		if m.Segment == "" || m.Block == "" {
+			t.Fatalf("Parse(%q) accepted empty part: %+v", s, m)
+		}
+		if strings.ContainsRune(m.Segment, '#') {
+			t.Fatalf("Parse(%q) left %q in segment", s, m.Segment)
+		}
+		if m.Offset < 0 {
+			t.Fatalf("Parse(%q) accepted negative offset %d", s, m.Offset)
+		}
+		rendered := m.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, s, err)
+		}
+		if back != m {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, m, rendered, back)
+		}
+	})
+}
