@@ -67,6 +67,8 @@ type nodeMetrics struct {
 	live      *obs.Gauge
 	dead      *obs.Gauge
 	adoptions *obs.Counter
+	merges    *obs.Counter
+	revivals  *obs.Counter
 	gossipOK  *obs.Counter
 	gossipErr *obs.Counter
 }
@@ -80,6 +82,8 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		live:      reg.Gauge("iw_cluster_members_live", "Live members in the current view."),
 		dead:      reg.Gauge("iw_cluster_members_dead", "Members marked dead in the current view."),
 		adoptions: reg.Counter("iw_cluster_epoch_adoptions_total", "Higher-epoch membership views adopted from peers."),
+		merges:    reg.Counter("iw_cluster_view_merges_total", "Equal-epoch divergent views reconciled by deterministic merge."),
+		revivals:  reg.Counter("iw_cluster_revivals_total", "Dead-marked members brought back to live after a successful probe."),
 		gossipOK:  reg.Counter("iw_cluster_gossip_total", "Membership pushes delivered to peers.", obs.L("result", "ok")),
 		gossipErr: reg.Counter("iw_cluster_gossip_total", "Membership pushes delivered to peers.", obs.L("result", "error")),
 	}
@@ -201,12 +205,36 @@ func (n *Node) logf(format string, args ...any) {
 }
 
 // AdoptMembership installs ms if its epoch is higher than the current
-// view's, reporting whether it was adopted.
+// view's, reporting whether the local view changed. Equal-epoch views
+// with identical content are the common convergence case and change
+// nothing; equal-epoch views with *different* content mean two nodes
+// bumped concurrently (e.g. a migration committing while a survivor
+// marked a third node dead) — those are reconciled by a deterministic
+// merge at epoch+1, so every node that sees both halves installs the
+// same view and routing re-converges instead of ping-ponging.
 func (n *Node) AdoptMembership(ms protocol.Membership) bool {
 	n.mu.Lock()
-	if ms.Epoch <= n.ms.Epoch {
+	if ms.Epoch < n.ms.Epoch {
 		n.mu.Unlock()
 		return false
+	}
+	if ms.Epoch == n.ms.Epoch {
+		if viewsEqual(ms, n.ms) {
+			n.mu.Unlock()
+			return false
+		}
+		merged := mergeViews(n.ms, ms)
+		fn := n.installLocked(merged)
+		n.mu.Unlock()
+		if n.m != nil {
+			n.m.merges.Inc()
+		}
+		n.logf("cluster: merged divergent epoch-%d views into epoch %d", ms.Epoch, merged.Epoch)
+		if fn != nil {
+			fn(merged)
+		}
+		n.Gossip()
+		return true
 	}
 	cp := ms.Clone()
 	fn := n.installLocked(cp)
@@ -218,6 +246,84 @@ func (n *Node) AdoptMembership(ms protocol.Membership) bool {
 		fn(cp)
 	}
 	return true
+}
+
+// viewsEqual reports whether two same-epoch views describe the same
+// cluster: identical member sets with identical dead marks and the
+// same override mapping. Override order is irrelevant — it is a map in
+// spirit — so it is compared as one.
+func viewsEqual(a, b protocol.Membership) bool {
+	if a.Replicas != b.Replicas || a.VNodes != b.VNodes ||
+		len(a.Members) != len(b.Members) || len(a.Overrides) != len(b.Overrides) {
+		return false
+	}
+	dead := make(map[string]bool, len(a.Members))
+	for _, m := range a.Members {
+		dead[m.Addr] = m.Dead
+	}
+	for _, m := range b.Members {
+		d, ok := dead[m.Addr]
+		if !ok || d != m.Dead {
+			return false
+		}
+	}
+	ov := make(map[string]string, len(a.Overrides))
+	for _, o := range a.Overrides {
+		ov[o.Seg] = o.Addr
+	}
+	for _, o := range b.Overrides {
+		if ov[o.Seg] != o.Addr {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeViews reconciles two divergent same-epoch views into one
+// deterministic successor: the member union with dead marks OR'd, the
+// override union with same-segment conflicts broken by the lower
+// address, and the epoch bumped past both. Merging (a,b) and (b,a)
+// yield the same view, so concurrent mergers converge without another
+// round.
+func mergeViews(a, b protocol.Membership) protocol.Membership {
+	out := protocol.Membership{
+		Epoch:    a.Epoch + 1,
+		Replicas: a.Replicas,
+		VNodes:   a.VNodes,
+	}
+	dead := make(map[string]bool)
+	for _, m := range a.Members {
+		dead[m.Addr] = m.Dead
+	}
+	for _, m := range b.Members {
+		dead[m.Addr] = dead[m.Addr] || m.Dead
+	}
+	addrs := make([]string, 0, len(dead))
+	for addr := range dead {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		out.Members = append(out.Members, protocol.Member{Addr: addr, Dead: dead[addr]})
+	}
+	ov := make(map[string]string)
+	for _, o := range a.Overrides {
+		ov[o.Seg] = o.Addr
+	}
+	for _, o := range b.Overrides {
+		if prev, ok := ov[o.Seg]; !ok || o.Addr < prev {
+			ov[o.Seg] = o.Addr
+		}
+	}
+	segs := make([]string, 0, len(ov))
+	for seg := range ov {
+		segs = append(segs, seg)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		out.Overrides = append(out.Overrides, protocol.Override{Seg: seg, Addr: ov[seg]})
+	}
+	return out
 }
 
 // MarkDead excludes addr from placement: it marks the member dead,
@@ -239,9 +345,46 @@ func (n *Node) MarkDead(addr string) bool {
 	cp := n.ms.Clone()
 	cp.Members[idx].Dead = true
 	cp.Epoch++
+	delete(n.fails, addr)
 	fn := n.installLocked(cp)
 	n.mu.Unlock()
 	n.logf("cluster: marked %s dead at epoch %d", addr, cp.Epoch)
+	if fn != nil {
+		fn(cp)
+	}
+	n.Gossip()
+	return true
+}
+
+// Revive returns a dead-marked member to placement: it clears the Dead
+// flag, bumps the epoch, and gossips the new view. No-op if addr is
+// unknown or already live. Callers must first ensure the member has
+// adopted a view in which it is dead (see probePeers), so it has
+// demoted any stale segment state before placement hands ownership
+// back to it.
+func (n *Node) Revive(addr string) bool {
+	n.mu.Lock()
+	idx := -1
+	for i, m := range n.ms.Members {
+		if m.Addr == addr && m.Dead {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	cp := n.ms.Clone()
+	cp.Members[idx].Dead = false
+	cp.Epoch++
+	delete(n.fails, addr)
+	fn := n.installLocked(cp)
+	n.mu.Unlock()
+	if n.m != nil {
+		n.m.revivals.Inc()
+	}
+	n.logf("cluster: revived %s at epoch %d", addr, cp.Epoch)
 	if fn != nil {
 		fn(cp)
 	}
@@ -317,12 +460,29 @@ func (n *Node) Start() {
 	}()
 }
 
-// probePeers RingGets every live peer, adopting newer views and
-// marking peers dead after FailureThreshold consecutive failures.
+// probePeers RingGets every peer, live and dead: live peers feed the
+// failure detector (FailureThreshold consecutive failures marks them
+// dead) and may teach us a newer view; a dead-marked peer that answers
+// is a rejoin candidate. Rejoin is a two-step handshake — first push
+// it the current view, in which it is still dead, so it adopts that
+// view and demotes any stale segment state it holds; only then Revive
+// it, handing ownership back with a fresh epoch. A restarted node can
+// therefore never serve pre-failover state as authoritative.
 func (n *Node) probePeers() {
 	ms := n.Membership()
-	for _, addr := range ms.Live() {
+	for _, m := range ms.Members {
+		addr := m.Addr
 		if addr == n.opts.Self {
+			continue
+		}
+		if m.Dead {
+			if _, err := n.fetchRing(addr); err != nil {
+				continue
+			}
+			if err := n.pushRing(addr, n.Membership()); err != nil {
+				continue
+			}
+			n.Revive(addr)
 			continue
 		}
 		reply, err := n.fetchRing(addr)

@@ -211,6 +211,150 @@ func TestNodeRPCPlumbing(t *testing.T) {
 	<-done
 }
 
+// TestNodeEqualEpochMerge: two nodes that bump the epoch concurrently
+// (one marks a death, the other commits a migration) diverge at the
+// same epoch; adopting each other's half merges both changes into the
+// same deterministic epoch+1 view on each side.
+func TestNodeEqualEpochMerge(t *testing.T) {
+	a := newTestNode("h1:1", "h2:1", "h3:1")
+	b := newTestNode("h2:1", "h3:1", "h1:1")
+	defer a.Close()
+	defer b.Close()
+
+	a.MarkDead("h3:1")
+	b.SetOverride("h1:1/moved", "h2:1")
+	av, bv := a.Membership(), b.Membership()
+	if av.Epoch != 2 || bv.Epoch != 2 {
+		t.Fatalf("divergence setup: epochs %d, %d, want 2, 2", av.Epoch, bv.Epoch)
+	}
+
+	if !a.AdoptMembership(bv) {
+		t.Fatal("a did not merge b's divergent equal-epoch view")
+	}
+	if !b.AdoptMembership(av) {
+		t.Fatal("b did not merge a's divergent equal-epoch view")
+	}
+
+	am, bm := a.Membership(), b.Membership()
+	if am.Epoch != 3 || bm.Epoch != 3 {
+		t.Errorf("merged epochs %d, %d, want 3, 3", am.Epoch, bm.Epoch)
+	}
+	if !viewsEqual(am, bm) {
+		t.Fatalf("merged views differ:\n a: %+v\n b: %+v", am, bm)
+	}
+	if a.Owner("h1:1/moved") != "h2:1" || b.Owner("h1:1/moved") != "h2:1" {
+		t.Error("override lost in merge")
+	}
+	for _, addr := range a.Ring().Live() {
+		if addr == "h3:1" {
+			t.Error("dead mark lost in merge")
+		}
+	}
+	// Re-offering the already-merged content changes nothing more.
+	if a.AdoptMembership(bm) {
+		t.Error("adopted an equal-epoch identical view")
+	}
+}
+
+// TestNodeRevive: a dead member returns to placement with an epoch
+// bump; revives of live or unknown members are no-ops.
+func TestNodeRevive(t *testing.T) {
+	n := newTestNode("h1:1", "h2:1", "h3:1")
+	defer n.Close()
+	if n.Revive("h2:1") {
+		t.Error("Revive of a live member should be a no-op")
+	}
+	n.MarkDead("h2:1")
+	if !n.Revive("h2:1") {
+		t.Fatal("Revive(h2:1) = false")
+	}
+	if n.Revive("nope:1") {
+		t.Error("Revive of an unknown member should be a no-op")
+	}
+	if e := n.Epoch(); e != 3 {
+		t.Errorf("epoch after death+revival = %d, want 3", e)
+	}
+	found := false
+	for _, addr := range n.Ring().Live() {
+		if addr == "h2:1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("revived member not back on the ring")
+	}
+}
+
+// TestNodeRejoinHandshake: probePeers revives a reachable dead-marked
+// member, but only after pushing it the view in which it is still dead
+// so the rejoining node demotes before placement trusts it again.
+func TestNodeRejoinHandshake(t *testing.T) {
+	var mu sync.Mutex
+	var pushes []protocol.Membership
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_, msg, err := protocol.ReadFrame(conn)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			switch m := msg.(type) {
+			case *protocol.RingGet:
+				_ = protocol.WriteFrame(conn, 1, &protocol.RingReply{Ms: protocol.Membership{Epoch: 1}})
+			case *protocol.RingPush:
+				mu.Lock()
+				pushes = append(pushes, m.Ms)
+				mu.Unlock()
+				_ = protocol.WriteFrame(conn, 1, &protocol.Ack{})
+			}
+			conn.Close()
+		}
+	}()
+
+	peer := ln.Addr().String()
+	n := NewNode(Options{Self: "self:1", Peers: []string{peer}, DialTimeout: time.Second})
+	defer n.Close()
+	n.MarkDead(peer)
+	n.probePeers()
+
+	if e := n.Epoch(); e != 3 {
+		t.Errorf("epoch after rejoin = %d, want 3 (death + revival)", e)
+	}
+	live := false
+	for _, addr := range n.Ring().Live() {
+		if addr == peer {
+			live = true
+		}
+	}
+	if !live {
+		t.Fatal("reachable dead member was not revived")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pushes) == 0 {
+		t.Fatal("no membership pushed to the rejoining member")
+	}
+	first := pushes[0]
+	deadInFirst := false
+	for _, m := range first.Members {
+		if m.Addr == peer && m.Dead {
+			deadInFirst = true
+		}
+	}
+	if !deadInFirst {
+		t.Errorf("first push must carry the still-dead view; got %+v", first)
+	}
+}
+
 // TestNodeHeartbeatMarksDead: the probe loop declares an unreachable
 // peer dead after FailureThreshold consecutive failures.
 func TestNodeHeartbeatMarksDead(t *testing.T) {

@@ -269,7 +269,7 @@ func (c *Client) connTo(addr string) (*serverConn, error) {
 		_ = conn.Close()
 		return sc, nil
 	}
-	sc := newServerConn(conn, c.onNotify)
+	sc := newServerConn(conn, addr, c.onNotify)
 	c.conns[addr] = sc
 	if c.ins != nil {
 		c.ins.dials.Inc()
@@ -326,7 +326,7 @@ func (c *Client) callSeg(s *segment, m protocol.Message, sp *obs.Span) (protocol
 				// Not a failure: the server we asked does not own the
 				// segment (any RPC kind, WriteUnlock included, was
 				// refused un-applied). Follow to the owner.
-				if rerr := c.followRedirect(s.name, red, &hops); rerr != nil {
+				if rerr := c.followRedirect(s.name, s.conn.addr, red, &hops); rerr != nil {
 					return nil, rerr
 				}
 				s.conn = nil // repoint to the new route next spin
@@ -364,7 +364,7 @@ func (c *Client) callRetry(segName string, m protocol.Message, sp *obs.Span) (pr
 			reply, err := c.callObserved(sc, m, sp, attempt)
 			if err == nil {
 				if red, ok := reply.(*protocol.Redirect); ok {
-					if rerr := c.followRedirect(segName, red, &hops); rerr != nil {
+					if rerr := c.followRedirect(segName, sc.addr, red, &hops); rerr != nil {
 						return nil, rerr
 					}
 					attempt-- // a redirect is not a failure; keep the retry budget
@@ -477,6 +477,16 @@ func isTransport(err error) bool {
 	return !errors.As(err, &er)
 }
 
+// errCode extracts the server-reported error code, or 0 for transport
+// errors.
+func errCode(err error) uint16 {
+	var er *protocol.ErrorReply
+	if errors.As(err, &er) {
+		return er.Code
+	}
+	return 0
+}
+
 // timeoutFor bounds RPCs the server answers immediately. WriteLock
 // and TxCommit are exempt: they may queue behind another client's
 // writer for an unbounded, legitimate time. ReadLock is bounded —
@@ -519,7 +529,11 @@ func (c *Client) onNotify(segName string, version uint32) {
 // notifications over one TCP connection — the cached connection of
 // the paper's segment table.
 type serverConn struct {
-	conn   net.Conn
+	conn net.Conn
+	// addr is the server address this connection was dialed for —
+	// the pool key, which redirect handling uses to identify the
+	// server a reply actually came from.
+	addr   string
 	notify func(seg string, version uint32)
 
 	mu      sync.Mutex
@@ -529,9 +543,10 @@ type serverConn struct {
 	closed  bool
 }
 
-func newServerConn(conn net.Conn, notify func(string, uint32)) *serverConn {
+func newServerConn(conn net.Conn, addr string, notify func(string, uint32)) *serverConn {
 	sc := &serverConn{
 		conn:    conn,
+		addr:    addr,
 		notify:  notify,
 		nextID:  1,
 		pending: make(map[uint32]chan protocol.Message),

@@ -334,6 +334,250 @@ func TestClusterReplicationInvariant(t *testing.T) {
 	}
 }
 
+// TestClusterMigrationInvalidatesSubscribers: a reader that adapted
+// to the notification protocol holds locally-fresh state and takes
+// read locks without any RPC. When its segment migrates away, the old
+// owner must push an invalidation as it demotes — otherwise the
+// subscriber reads stale data forever, since the new owner has no
+// subscription to notify.
+func TestClusterMigrationInvalidatesSubscribers(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 1, 0)
+	seg := nodes[0].addr + "/sub"
+	owner := nodeAt(t, nodes, nodes[0].node.Owner(seg))
+	var target *chaosNode
+	for _, n := range nodes {
+		if n != owner {
+			target = n
+			break
+		}
+	}
+
+	w := newChaosClient(t, fastRetry("sub-writer"))
+	hw, err := w.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WLock(hw); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := w.Alloc(hw, types.Int32(), 1, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, w, hw, blk.Addr, 1)
+
+	// Poll with no updates until the adaptive protocol subscribes.
+	r := newChaosClient(t, fastRetry("sub-reader"))
+	hr, err := r.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.RLock(hr); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RUnlock(hr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	subscribed := hr.s.state.Subscribed
+	r.mu.Unlock()
+	if !subscribed {
+		t.Fatal("setup: reader did not subscribe after repeated fresh polls")
+	}
+
+	if err := w.Migrate(seg, target.addr); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+
+	// Demotion on the old owner must invalidate the subscriber; without
+	// it the reader stays locally fresh and never polls again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		inv := hr.s.state.Invalidated
+		r.mu.Unlock()
+		if inv {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("migration never invalidated the subscribed reader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := counterSum(owner.reg.Snapshot(), "iw_cluster_demotions_total"); got < 1 {
+		t.Errorf("demotions on old owner = %d, want >= 1", got)
+	}
+
+	// A post-migration write at the new owner must be visible to the
+	// reader's next read lock (redirected off the demoted node).
+	if err := w.WLock(hw); err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, w, hw, blk.Addr, 7)
+	if err := r.RLock(hr); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := hr.Mem().BlockByName("v")
+	if !ok {
+		t.Fatal("block v missing after refetch")
+	}
+	v, err := r.Heap().ReadI32(b.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Errorf("subscriber read %d after migration, want 7", v)
+	}
+	if err := r.RUnlock(hr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterFencedRelease: a primary with a stale membership view
+// accepts a write and fans it out; the replica — which has adopted a
+// newer epoch under which the sender no longer owns the segment —
+// must refuse the frame (fencing), depose the stale primary, and the
+// client's release must recover at the real owner. Without fencing
+// the deposed primary acks writes into a copy nobody routes to.
+func TestClusterFencedRelease(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 1, 0) // no heartbeat: staleness stays put
+	seg := nodes[0].addr + "/fence"
+	owner := nodeAt(t, nodes, nodes[0].node.Owner(seg))
+	reps := owner.node.ReplicasOf(seg)
+	if len(reps) == 0 {
+		t.Fatal("setup: segment has no replica")
+	}
+	replica := nodeAt(t, nodes, reps[0])
+
+	reg := obs.NewRegistry()
+	opts := fastRetry("fenced")
+	opts.Metrics = reg
+	c := newChaosClient(t, opts)
+	h, err := c.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 2, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 1, 2) // version 1, replicated
+
+	// Move ownership to the replica behind the primary's back: with the
+	// primary's inbound blackholed, the replica adopts an epoch-2 view
+	// pinning the segment to itself; the gossip push to the primary is
+	// lost, so the primary still believes it owns the segment.
+	owner.proxy.Schedule().Partition(faultnet.Up)
+	ms := replica.node.Membership()
+	ms.Epoch++
+	ms.Overrides = append(ms.Overrides, protocol.Override{Seg: seg, Addr: replica.addr})
+	if !replica.node.AdoptMembership(ms) {
+		t.Fatal("setup: replica refused the crafted view")
+	}
+	owner.proxy.Schedule().Heal()
+	if e := owner.node.Epoch(); e != 1 {
+		t.Fatalf("stale primary epoch = %d, want 1 (gossip leaked through the partition)", e)
+	}
+	if e := replica.node.Epoch(); e != 2 {
+		t.Fatalf("replica epoch = %d, want 2", e)
+	}
+
+	// The stale primary still grants the write lock and applies the
+	// release, but its replication fan-out must be fenced; the client's
+	// recovery then completes the same release at the new owner.
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 10, 20)
+	if got := h.Version(); got != 2 {
+		t.Errorf("version after fenced release = %d, want exactly 2", got)
+	}
+
+	if got := counterSum(owner.reg.Snapshot(), "iw_cluster_writes_fenced_total"); got < 1 {
+		t.Errorf("fenced writes on stale primary = %d, want >= 1", got)
+	}
+	if got := counterSum(owner.reg.Snapshot(), "iw_cluster_demotions_total"); got < 1 {
+		t.Errorf("demotions on stale primary = %d, want >= 1", got)
+	}
+	if e := owner.node.Epoch(); e != 2 {
+		t.Errorf("deposed primary epoch = %d, want 2 (adopted from the fence reply)", e)
+	}
+	snap := replica.srv.SegmentSnapshot(seg)
+	if snap == nil {
+		t.Fatal("new owner has no copy after recovered release")
+	}
+	if snap.Version != 2 {
+		t.Errorf("new owner at version %d, want 2", snap.Version)
+	}
+
+	// The committed data is reachable through the new view.
+	r := newChaosClient(t, fastRetry("fence-reader"))
+	if err := r.RefreshRing(replica.addr); err != nil {
+		t.Fatal(err)
+	}
+	readVals(t, r, seg, "v", 10, 20)
+}
+
+// TestClusterReleaseNotReplicated: every placed replica must hold a
+// release before it is acknowledged. With the sole replica dead (and
+// no failure detector running to shrink placement), the release must
+// fail typed as ErrNotReplicated rather than ack durability the
+// cluster does not have.
+func TestClusterReleaseNotReplicated(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 1, 0)
+	seg := nodes[0].addr + "/ack"
+	owner := nodeAt(t, nodes, nodes[0].node.Owner(seg))
+	reps := owner.node.ReplicasOf(seg)
+	if len(reps) == 0 {
+		t.Fatal("setup: segment has no replica")
+	}
+	replica := nodeAt(t, nodes, reps[0])
+
+	c := newChaosClient(t, fastRetry("noack"))
+	h, err := c.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 5) // version 1, replicated
+
+	replica.kill()
+
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heap().WriteI32(blk.Addr, 6); err != nil {
+		t.Fatal(err)
+	}
+	err = c.WUnlock(h)
+	if err == nil {
+		t.Fatal("release with a dead replica was acknowledged")
+	}
+	if !errors.Is(err, ErrNotReplicated) {
+		t.Errorf("release error %v is not ErrNotReplicated", err)
+	}
+
+	// The write stays applied at the primary (re-covered by the next
+	// successful fan-out's catch-up), but the replica never saw it.
+	if snap := owner.srv.SegmentSnapshot(seg); snap == nil || snap.Version != 2 {
+		t.Errorf("primary snapshot = %+v, want version 2", snap)
+	}
+	if snap := replica.srv.SegmentSnapshot(seg); snap == nil || snap.Version != 1 {
+		t.Errorf("dead replica snapshot = %+v, want version 1", snap)
+	}
+}
+
 // TestOpenOwnerDownTyped pins the typed error for an unreachable
 // owner at Open time: the caller can errors.Is for ErrUnavailable
 // instead of parsing a raw dial failure.

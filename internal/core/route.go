@@ -63,29 +63,31 @@ func (c *Client) adoptMembership(ms protocol.Membership) {
 
 // followRedirect processes one Redirect reply: validate the named
 // owner against the carried membership, guard against loops, adopt
-// the membership, and cache the new route. hops counts the chain
-// across the caller's whole retry loop. Caller holds c.mu.
-func (c *Client) followRedirect(segName string, red *protocol.Redirect, hops *int) error {
+// the membership, and cache the new route. from is the server the
+// redirect came from — which may differ from the cached route when
+// the cache moved under an open connection (e.g. a Migrate updated
+// it while the segment still talked to the old owner). hops counts
+// the chain across the caller's whole retry loop. Caller holds c.mu.
+func (c *Client) followRedirect(segName, from string, red *protocol.Redirect, hops *int) error {
 	*hops++
 	if c.ins != nil {
 		c.ins.redirects.Inc()
 	}
-	prev, _ := c.addrFor(segName)
-	c.trace(obs.Event{Name: "redirect", Seg: segName, RPC: prev + "->" + red.Owner})
+	c.trace(obs.Event{Name: "redirect", Seg: segName, RPC: from + "->" + red.Owner})
 	if *hops > maxRedirectHops {
 		return fmt.Errorf("%w: %q not owned after %d hops", ErrRedirectLoop, segName, maxRedirectHops)
 	}
 	if !memberAlive(red.Ms, red.Owner) {
 		return fmt.Errorf("%w: %q redirected to %q", ErrBadRedirect, segName, red.Owner)
 	}
-	if red.Owner == prev {
-		return fmt.Errorf("%w: %s redirected %q to itself", ErrRedirectLoop, prev, segName)
+	if red.Owner == from {
+		return fmt.Errorf("%w: %s redirected %q to itself", ErrRedirectLoop, from, segName)
 	}
 	if c.ms != nil && red.Ms.Epoch < c.ms.Epoch {
 		// The redirecting server's view is older than ours. Trust our
 		// own ring when it disagrees; the hop bound still terminates
 		// the pathological case of every view being wrong.
-		if own := c.ring.Owner(segName); own != "" && own != prev {
+		if own := c.ring.Owner(segName); own != "" && own != from {
 			c.routes[segName] = own
 			return nil
 		}

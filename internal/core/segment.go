@@ -28,6 +28,13 @@ var (
 	// mid-release. The local modifications are dropped and the cached
 	// copy is refetched in full on the next lock acquisition.
 	ErrWriteConflict = errors.New("core: write release lost a conflict during reconnect")
+	// ErrNotReplicated reports a write release the primary applied but
+	// could not replicate to every placed replica; under the cluster's
+	// replicate-before-acknowledge contract the release is reported
+	// failed rather than acknowledged with durability it does not
+	// have. The write is visible at the primary and re-syncs to the
+	// replicas with the next successful release.
+	ErrNotReplicated = errors.New("core: write release not replicated to all replicas")
 )
 
 // hotReleasesToNoDiff is how many consecutive mostly-modified write
@@ -631,8 +638,19 @@ func (c *Client) WUnlock(h *Segment) error {
 		// The connection died with the release in flight: the server
 		// may or may not have applied it. Resolve the ambiguity.
 		reply, err = c.recoverWUnlock(s, msg, sp)
+	} else if err != nil && errCode(err) == protocol.CodeNotOwner {
+		// The release raced an ownership change and the old owner
+		// fenced it without committing cluster-wide. The Resume probe
+		// inside the recovery loop is redirected to the new owner
+		// (the fenced server adopted the newer view before replying),
+		// which holds every acknowledged version — so the identical
+		// release is re-driven there.
+		reply, err = c.recoverWUnlock(s, msg, sp)
 	}
 	if err != nil {
+		if errCode(err) == protocol.CodeNotReplicated {
+			err = fmt.Errorf("%w: %w", ErrNotReplicated, err)
+		}
 		s.releaseWrite(c)
 		sp.Error(err)
 		return fmt.Errorf("core: write unlock on %q: %w", s.name, err)

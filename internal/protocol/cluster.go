@@ -42,8 +42,16 @@ const (
 
 // CodeNotOwner is the error code a cluster node reports when asked to
 // mutate cluster state it cannot (e.g. Migrate for a segment it does
-// not own and cannot route).
+// not own and cannot route), and the code a fenced primary reports
+// when a write release raced an ownership change: the write was not
+// committed cluster-wide and the client must re-route and re-drive it.
 const CodeNotOwner uint16 = 6
+
+// CodeNotReplicated is the error code a primary reports when a write
+// release could not be acknowledged by every placed replica. The write
+// is not durable under the replicate-before-acknowledge contract and
+// the client must treat the release as failed.
+const CodeNotReplicated uint16 = 7
 
 // Member is one cluster node in a Membership. Addr doubles as the
 // node's identity: it is the address clients dial and the string
@@ -150,10 +158,17 @@ type RingPush struct {
 // replica. Exactly one of Diff and Raw is set: Diff is the wire-format
 // diff producing Version on top of PrevVersion; Raw is a full
 // checkpoint-codec state snapshot (migration and bootstrap), applied
-// by replacement.
+// by replacement. Epoch and From fence the stream: a replica rejects
+// frames from a node its own (equally new or newer) membership view
+// does not place as the segment's owner, so a deposed primary cannot
+// keep committing writes after a failover it has not yet heard about.
 type Replicate struct {
 	// Seg is the segment URL.
 	Seg string
+	// Epoch is the sender's membership epoch when it sent the frame.
+	Epoch uint64
+	// From is the sender's node address (its ring identity).
+	From string
 	// PrevVersion is the version the diff applies on top of.
 	PrevVersion uint32
 	// Version is the version the diff (or snapshot) produces.
@@ -169,13 +184,21 @@ type Replicate struct {
 
 // ReplicateReply acknowledges a Replicate. Acked reports whether the
 // replica applied it; when false, Version is the replica's current
-// version so the primary can send a catch-up diff.
+// version so the primary can send a catch-up diff. Fenced means the
+// replica's membership view no longer places the sender as the
+// segment's owner: the frame was discarded and Ms carries the
+// replica's view so the deposed primary can adopt it and demote.
 type ReplicateReply struct {
 	// Acked reports a successful apply.
 	Acked bool
+	// Fenced reports that the sender is not the owner under the
+	// replica's view; Ms is that view.
+	Fenced bool
 	// Version is the replica's version after (or instead of) the
 	// apply.
 	Version uint32
+	// Ms is the replica's membership view, set when Fenced.
+	Ms Membership
 }
 
 // Migrate asks a segment's owner to move it to Target under a
@@ -333,6 +356,8 @@ func (m *RingPush) decode(r *wire.Reader) error {
 
 func (m *Replicate) encode(buf []byte) []byte {
 	buf = wire.AppendString(buf, m.Seg)
+	buf = wire.AppendU64(buf, m.Epoch)
+	buf = wire.AppendString(buf, m.From)
 	buf = wire.AppendU32(buf, m.PrevVersion)
 	buf = wire.AppendU32(buf, m.Version)
 	buf = appendDiff(buf, m.Diff)
@@ -342,6 +367,8 @@ func (m *Replicate) encode(buf []byte) []byte {
 
 func (m *Replicate) decode(r *wire.Reader) error {
 	m.Seg = r.Str()
+	m.Epoch = r.U64()
+	m.From = r.Str()
 	m.PrevVersion = r.U32()
 	m.Version = r.U32()
 	var err error
@@ -360,18 +387,26 @@ func (m *Replicate) decode(r *wire.Reader) error {
 }
 
 func (m *ReplicateReply) encode(buf []byte) []byte {
+	var flags uint8
 	if m.Acked {
-		buf = wire.AppendU8(buf, 1)
-	} else {
-		buf = wire.AppendU8(buf, 0)
+		flags |= 1
 	}
-	return wire.AppendU32(buf, m.Version)
+	if m.Fenced {
+		flags |= 2
+	}
+	buf = wire.AppendU8(buf, flags)
+	buf = wire.AppendU32(buf, m.Version)
+	return appendMembership(buf, m.Ms)
 }
 
 func (m *ReplicateReply) decode(r *wire.Reader) error {
-	m.Acked = r.U8() == 1
+	flags := r.U8()
+	m.Acked = flags&1 != 0
+	m.Fenced = flags&2 != 0
 	m.Version = r.U32()
-	return r.Err()
+	var err error
+	m.Ms, err = readMembership(r)
+	return err
 }
 
 func (m *Migrate) encode(buf []byte) []byte {

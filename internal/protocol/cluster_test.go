@@ -43,10 +43,11 @@ func TestClusterFramesRoundTrip(t *testing.T) {
 		&RingGet{HaveEpoch: 6},
 		&RingReply{Ms: testMembership()},
 		&RingPush{Ms: testMembership()},
-		&Replicate{Seg: "a:1/s", PrevVersion: 8, Version: 9, Diff: diff, Applied: applied},
+		&Replicate{Seg: "a:1/s", Epoch: 7, From: "127.0.0.1:7001", PrevVersion: 8, Version: 9, Diff: diff, Applied: applied},
 		&Replicate{Seg: "a:1/s", Version: 9, Raw: []byte{1, 2, 3, 4}, Applied: applied},
 		&ReplicateReply{Acked: true, Version: 9},
 		&ReplicateReply{Version: 4},
+		&ReplicateReply{Fenced: true, Version: 4, Ms: testMembership()},
 		&Migrate{Seg: "a:1/s", Target: "127.0.0.1:7002"},
 		&Pull{Seg: "a:1/s", HaveVersion: 4},
 		&PullReply{Version: 9, Diff: diff, Applied: applied},
@@ -85,7 +86,7 @@ func TestClusterFramesRoundTrip(t *testing.T) {
 func TestClusterFramesTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	msg := &Replicate{
-		Seg: "a:1/s", PrevVersion: 2, Version: 3,
+		Seg: "a:1/s", Epoch: 5, From: "127.0.0.1:7001", PrevVersion: 2, Version: 3,
 		Diff:    &wire.SegmentDiff{Version: 3, Freed: []uint32{7}},
 		Applied: []AppliedEntry{{WriterID: "w", Seq: 1, Version: 3}},
 	}

@@ -1,6 +1,9 @@
 package server
 
 import (
+	"errors"
+	"fmt"
+
 	"interweave/internal/cluster"
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
@@ -16,15 +19,29 @@ import (
 //     the client sees the acknowledgement, with the at-most-once table
 //     mirrored alongside the diff (runReplication);
 //   - an epoch bump that makes this node a segment's owner triggers
-//     Pull catch-up from the surviving holders (promotion);
+//     Pull catch-up from the surviving holders (promotion), and one
+//     that takes a segment away triggers demotion — subscribers are
+//     notified and the local copy reset, so no session keeps reading
+//     state the cluster no longer routes here (demoteSegLocked);
 //   - Migrate moves a segment under the write-lock barrier and pins
 //     the new owner with a membership override.
 //
 // The invariant everything rests on: a write release is acknowledged
-// to the client only after the replicas hold both its diff and its
-// (WriterID, Seq, Version) record. A promoted replica therefore
-// answers Resume probes exactly as the dead primary would have, and
-// the client's existing recovery machinery works unchanged.
+// to the client only after EVERY placed replica holds both its diff
+// and its (WriterID, Seq, Version) record; a release that cannot
+// reach that state is answered with CodeNotReplicated instead of an
+// acknowledgement. A promoted replica therefore answers Resume probes
+// exactly as the dead primary would have, and the client's existing
+// recovery machinery works unchanged.
+//
+// The replication stream is epoch-fenced: every Replicate frame
+// carries the sender's epoch and address, and a replica whose view is
+// at least as new rejects frames from a node it does not place as the
+// segment's owner, answering Fenced with its own membership. The
+// deposed primary adopts that view (demoting itself) and fails the
+// release with CodeNotOwner, which the client recovers by re-routing
+// and re-driving the write against the new owner. Two primaries can
+// therefore never both get writes acknowledged for the same segment.
 
 // Cluster metric names, documented in OBSERVABILITY.md.
 const (
@@ -32,6 +49,8 @@ const (
 	cmReplicate  = "iw_cluster_replicate_total"
 	cmReplLag    = "iw_cluster_replication_lag_versions"
 	cmPromotions = "iw_cluster_promotions_total"
+	cmDemotions  = "iw_cluster_demotions_total"
+	cmFenced     = "iw_cluster_writes_fenced_total"
 	cmMigrations = "iw_cluster_migrations_total"
 	cmPulls      = "iw_cluster_pulls_total"
 )
@@ -45,6 +64,8 @@ type clusterInstruments struct {
 	replErr    *obs.Counter
 	replLag    *obs.Gauge
 	promotions *obs.Counter
+	demotions  *obs.Counter
+	fenced     *obs.Counter
 	migrations *obs.Counter
 	pulls      *obs.Counter
 }
@@ -61,6 +82,10 @@ func newClusterInstruments(reg *obs.Registry) *clusterInstruments {
 			"Versions the slowest responding replica trailed the primary by after the latest fan-out (0 = fully acked)."),
 		promotions: reg.Counter(cmPromotions,
 			"Locally held segments this node became the owner of through an epoch change."),
+		demotions: reg.Counter(cmDemotions,
+			"Locally held segments this node lost ownership of: subscribers notified, local copy reset."),
+		fenced: reg.Counter(cmFenced,
+			"Write releases refused because a replica's newer view fenced this node off the segment."),
 		migrations: reg.Counter(cmMigrations,
 			"Segments this node migrated away to another owner."),
 		pulls: reg.Counter(cmPulls,
@@ -185,10 +210,21 @@ func entriesFromApplied(applied map[string]appliedWrite) []protocol.AppliedEntry
 // checkpoint-codec snapshot applied by replacement. A version mismatch
 // is answered with a non-acked reply carrying the replica's version,
 // which the primary follows with a catch-up diff.
+//
+// The stream is fenced first: a sender that this node's view — when
+// at least as new as the sender's — does not place as the segment's
+// owner is refused with Fenced and this node's membership, never
+// applied. Migration snapshots pass the fence because the source is
+// still the owner until the SetOverride commit. A sender with a
+// strictly newer epoch is trusted: it knows a view this node has not
+// seen yet, and the gossip riding on the reply path converges us.
 func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 	s := sess.srv
 	if s.cluster == nil {
 		return errReply(protocol.CodeBadRequest, "not in cluster mode")
+	}
+	if m.From != "" && m.Epoch <= s.cluster.Epoch() && s.cluster.Owner(m.Seg) != m.From {
+		return &protocol.ReplicateReply{Fenced: true, Ms: s.cluster.Membership()}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -290,18 +326,28 @@ func (s *Server) replicationJob(st *segState, seg string, prevVer, version uint3
 	}
 }
 
+// errWriteFenced marks a release refused because a replica's newer
+// membership view no longer places this node as the segment's owner.
+var errWriteFenced = errors.New("ownership moved during the release")
+
 // runReplication streams one committed diff to every replica and
-// records the outcome. Called WITHOUT s.mu, but with the segment's
-// write lock still held by the committing session, which freezes the
-// version sequence for the duration. A replica that reports a version
-// mismatch gets one catch-up diff collected from its version; a
-// replica that cannot be reached is counted and skipped — failure
-// detection and re-sync belong to the heartbeat/promotion path, and a
-// wedged replica must not wedge the primary's writers.
-func (s *Server) runReplication(job *replicationJob) {
+// returns nil only when every one of them acked it. Called WITHOUT
+// s.mu, but with the segment's write lock still held by the
+// committing session, which freezes the version sequence for the
+// duration. A replica that reports a version mismatch gets one
+// catch-up diff collected from its version; one that fences the
+// stream deposes this primary on the spot — its view is adopted
+// (demoting the segment) and errWriteFenced is returned; one that
+// cannot be reached or will not ack fails the release, because an
+// acknowledgement the client can trust requires every placed replica
+// to hold the diff (DESIGN.md §7.3). The failed diff is not rolled
+// back locally: the next successful fan-out's catch-up path re-covers
+// it, and the client was told the release failed.
+func (s *Server) runReplication(job *replicationJob) error {
 	maxLag := int64(0)
+	var firstErr error
 	for _, addr := range job.addrs {
-		acked, replicaVer, err := s.replicateTo(addr, &protocol.Replicate{
+		rr, err := s.replicateTo(addr, &protocol.Replicate{
 			Seg:         job.seg,
 			PrevVersion: job.prevVer,
 			Version:     job.version,
@@ -313,65 +359,96 @@ func (s *Server) runReplication(job *replicationJob) {
 				s.cins.replErr.Inc()
 			}
 			s.logf("replicate %s to %s: %v", job.seg, addr, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %s: %w", addr, err)
+			}
 			continue
 		}
-		if !acked {
+		if rr.Fenced {
+			if s.cins != nil {
+				s.cins.fenced.Inc()
+			}
+			s.logf("replicate %s to %s: fenced at epoch %d; adopting replica's view", job.seg, addr, rr.Ms.Epoch)
+			s.cluster.AdoptMembership(rr.Ms)
+			return errWriteFenced
+		}
+		if !rr.Acked {
 			// The replica is on a different version (it may be fresh,
 			// or have missed an earlier fan-out): send one catch-up
 			// diff from its version.
 			if s.cins != nil {
 				s.cins.replNack.Inc()
 			}
-			acked, replicaVer, err = s.catchUpReplica(addr, job, replicaVer)
+			rr, err = s.catchUpReplica(addr, job, rr.Version)
 			if err != nil {
 				if s.cins != nil {
 					s.cins.replErr.Inc()
 				}
 				s.logf("replicate catch-up %s to %s: %v", job.seg, addr, err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("replica %s: %w", addr, err)
+				}
 				continue
 			}
+			if rr.Fenced {
+				if s.cins != nil {
+					s.cins.fenced.Inc()
+				}
+				s.logf("replicate catch-up %s to %s: fenced at epoch %d; adopting replica's view", job.seg, addr, rr.Ms.Epoch)
+				s.cluster.AdoptMembership(rr.Ms)
+				return errWriteFenced
+			}
 		}
-		if acked {
+		if rr.Acked {
 			if s.cins != nil {
 				s.cins.replOK.Inc()
 			}
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("replica %s did not ack (at version %d, want %d)", addr, rr.Version, job.version)
 		}
-		if lag := int64(job.version) - int64(replicaVer); lag > maxLag {
+		if lag := int64(job.version) - int64(rr.Version); lag > maxLag {
 			maxLag = lag
 		}
 	}
 	if s.cins != nil {
 		s.cins.replLag.Set(maxLag)
 	}
+	return firstErr
 }
 
-// replicateTo sends one Replicate frame to a replica.
-func (s *Server) replicateTo(addr string, m *protocol.Replicate) (acked bool, version uint32, err error) {
+// replicateTo sends one Replicate frame to a replica, stamping it with
+// this node's identity and epoch so the replica can fence it.
+func (s *Server) replicateTo(addr string, m *protocol.Replicate) (*protocol.ReplicateReply, error) {
+	m.Epoch = s.cluster.Epoch()
+	m.From = s.cluster.Self()
 	reply, err := s.cluster.Call(addr, m)
 	if err != nil {
-		return false, 0, err
+		return nil, err
 	}
 	rr, ok := reply.(*protocol.ReplicateReply)
 	if !ok {
-		return false, 0, errReply(protocol.CodeInternal, "replica answered Replicate with %T", reply)
+		return nil, errReply(protocol.CodeInternal, "replica answered Replicate with %T", reply)
 	}
-	return rr.Acked, rr.Version, nil
+	return rr, nil
 }
 
 // catchUpReplica collects a diff spanning the replica's version to the
 // job's version and sends it. The committing session still holds the
-// write lock, so the collection is against a frozen version.
-func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uint32) (bool, uint32, error) {
+// write lock, so the collection is against a frozen version. A replica
+// already at or beyond the version being committed — without having
+// acked it — means some other node is assigning versions to this
+// segment; that is a failed release, never an ack, or the client
+// would be told a write is durable that the other primary's history
+// will overwrite.
+func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uint32) (*protocol.ReplicateReply, error) {
 	if replicaVer >= job.version {
-		// The replica is already at (or beyond — possible after a
-		// partitioned promotion) our version; nothing to send.
-		return true, replicaVer, nil
+		return nil, fmt.Errorf("replica at version %d >= committed %d without acking: divergent primaries", replicaVer, job.version)
 	}
 	s.mu.Lock()
 	d, err := job.st.seg.CollectDiff(replicaVer)
 	s.mu.Unlock()
 	if err != nil {
-		return false, replicaVer, err
+		return nil, err
 	}
 	return s.replicateTo(addr, &protocol.Replicate{
 		Seg:         job.seg,
@@ -382,13 +459,17 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 	})
 }
 
-// onEpochChange reacts to a membership change: for every locally held
+// onEpochChange reacts to a membership change. For every locally held
 // segment whose owner the new ring says is this node but the previous
 // ring said was someone else, this node was just promoted — it pulls
 // catch-up state from every surviving holder so it resumes from the
-// highest acknowledged version in the cluster. Runs on the goroutine
-// that advanced the epoch (heartbeat, gossip handler, or MarkDead
-// caller), never holding s.mu across peer calls.
+// highest acknowledged version in the cluster. The reverse transition
+// is a demotion: segments the previous ring placed here but the new
+// one places elsewhere are reset and their subscribers notified, so no
+// client keeps satisfying reads from a copy the cluster has routed
+// away (see demoteSegLocked). Runs on the goroutine that advanced the
+// epoch (heartbeat, gossip handler, or MarkDead caller), never holding
+// s.mu across peer calls.
 func (s *Server) onEpochChange(ms protocol.Membership) {
 	newRing := s.cluster.Ring()
 	self := s.cluster.Self()
@@ -397,23 +478,69 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 	prevRing := s.lastRing
 	s.lastRing = newRing
 	var promoted []string
-	for name := range s.segs {
-		if newRing.Owner(name) != self {
-			continue
+	var notifications []func()
+	for name, st := range s.segs {
+		wasOwner := prevRing != nil && prevRing.Owner(name) == self
+		isOwner := newRing.Owner(name) == self
+		switch {
+		case isOwner && !wasOwner:
+			promoted = append(promoted, name)
+		case wasOwner && !isOwner:
+			notifications = append(notifications, s.demoteSegLocked(st)...)
+			if s.cins != nil {
+				s.cins.demotions.Inc()
+			}
 		}
-		if prevRing != nil && prevRing.Owner(name) == self {
-			continue // owned it before; nothing to catch up
-		}
-		promoted = append(promoted, name)
 	}
 	s.mu.Unlock()
 
+	for _, n := range notifications {
+		n()
+	}
 	for _, seg := range promoted {
 		if s.cins != nil {
 			s.cins.promotions.Inc()
 		}
 		s.promoteSegment(seg, newRing, self)
 	}
+}
+
+// demoteSegLocked strips a segment this node no longer owns: every
+// subscriber gets an unconditional Notify — their next access
+// round-trips, receives the Redirect, and re-validates at the new
+// owner — and the local copy, subscription table, and at-most-once
+// table are reset. The reset is what makes a deposed primary safe: a
+// locally applied but fenced (never replicated) write is discarded
+// rather than left to collide with the new owner's version sequence,
+// and every *acknowledged* version is recoverable because all placed
+// replicas hold it. The lock queue is left alone — queued writers
+// drain through the barrier, re-check ownership, and are redirected.
+// Called with s.mu held; returns the notification sends to perform
+// once it is released.
+func (s *Server) demoteSegLocked(st *segState) []func() {
+	var out []func()
+	name, ver := st.seg.Name, st.seg.Version
+	for cl := range st.subs {
+		target := cl
+		out = append(out, func() {
+			if err := target.send(0, &protocol.Notify{Seg: name, Version: ver}); err != nil {
+				target.srv.logf("demote notify %s: %v", target.conn.RemoteAddr(), err)
+			}
+		})
+	}
+	st.subs = make(map[*session]*subState)
+	seg := NewSegment(name)
+	if s.opts.DiffCacheCap != 0 {
+		n := s.opts.DiffCacheCap
+		if n < 0 {
+			n = 0
+		}
+		seg.SetDiffCacheCap(n)
+	}
+	st.seg = seg
+	st.applied = make(map[string]appliedWrite)
+	s.logf("demoted %s at version %d (ownership moved)", name, ver)
+	return out
 }
 
 // promoteSegment pulls seg's state from every other live node and
@@ -513,13 +640,22 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 	s.mu.Unlock()
 
 	// Ship the snapshot while the barrier holds writers off.
-	acked, _, rerr := s.replicateTo(m.Target, &protocol.Replicate{
+	rr, rerr := s.replicateTo(m.Target, &protocol.Replicate{
 		Seg:     m.Seg,
 		Version: version,
 		Raw:     raw,
 		Applied: applied,
 	})
-	if rerr != nil || !acked {
+	if rerr == nil && rr.Fenced {
+		// The target's newer view says this node no longer owns the
+		// segment; adopt it (demoting locally) and fail the migration.
+		if s.cins != nil {
+			s.cins.fenced.Inc()
+		}
+		s.cluster.AdoptMembership(rr.Ms)
+		rerr = errWriteFenced
+	}
+	if rerr != nil || !rr.Acked {
 		s.mu.Lock()
 		releaseWriter(st, sess)
 		s.mu.Unlock()

@@ -620,21 +620,21 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 	if m.WriterID != "" {
 		st.applied[m.WriterID] = appliedWrite{seq: m.Seq, version: version}
 	}
+	var replErr error
 	if job := s.replicationJob(st, m.Seg, prevVer, version, m.Diff); job != nil {
 		// Replicate before releasing the write lock and before
 		// replying: the lock keeps the version sequence frozen during
 		// the fan-out, and replicate-before-reply means any release the
-		// client saw acknowledged survives a primary death (the replica
-		// already holds both the diff and the at-most-once record).
+		// client saw acknowledged survives a primary death (every
+		// placed replica already holds both the diff and the
+		// at-most-once record). A fan-out that cannot reach that state
+		// fails the release instead of acknowledging it.
 		s.mu.Unlock()
-		s.runReplication(job)
+		replErr = s.runReplication(job)
 		s.mu.Lock()
-		releaseWriter(st, sess)
-		s.mu.Unlock()
-	} else {
-		releaseWriter(st, sess)
-		s.mu.Unlock()
 	}
+	releaseWriter(st, sess)
+	s.mu.Unlock()
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))
 	}
@@ -647,6 +647,12 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 			n()
 		}
 		nsp.End()
+	}
+	if replErr != nil {
+		if errors.Is(replErr, errWriteFenced) {
+			return errReply(protocol.CodeNotOwner, "release of %q fenced: %v", m.Seg, replErr)
+		}
+		return errReply(protocol.CodeNotReplicated, "release of %q not replicated: %v", m.Seg, replErr)
 	}
 	return &protocol.VersionReply{Version: version}
 }

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"errors"
+
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
@@ -116,6 +118,8 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		}
 		reply.Versions[i] = stage[i].version
 	}
+	var replErr error
+	var fencedSeg string
 	if len(jobs) == 0 {
 		for _, st := range states {
 			releaseWriter(st, sess)
@@ -124,7 +128,10 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 	} else {
 		s.mu.Unlock()
 		for _, job := range jobs {
-			s.runReplication(job)
+			if err := s.runReplication(job); err != nil && replErr == nil {
+				replErr = err
+				fencedSeg = job.seg
+			}
 		}
 		s.mu.Lock()
 		for _, st := range states {
@@ -137,6 +144,16 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 	}
 	for _, n := range notifications {
 		n()
+	}
+	if replErr != nil {
+		// The parts committed locally but at least one could not meet
+		// the replicate-before-acknowledge contract: report the commit
+		// failed rather than acknowledge durability the cluster does
+		// not have.
+		if errors.Is(replErr, errWriteFenced) {
+			return errReply(protocol.CodeNotOwner, "transaction part %q fenced: %v", fencedSeg, replErr)
+		}
+		return errReply(protocol.CodeNotReplicated, "transaction part %q not replicated: %v", fencedSeg, replErr)
 	}
 	return reply
 }
