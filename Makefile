@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json bench-regress figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -31,6 +31,16 @@ bench:
 # the fast CI schema check.
 bench-json:
 	$(GO) run ./tools/benchjson $(BENCHJSON_FLAGS)
+
+# Benchmark-regression smoke (also run in CI): re-measures the
+# multi-segment server throughput benchmark at full benchtime and
+# fails if any case slowed down more than 20% against the newest
+# committed BENCH_*.json snapshot. New/renamed benchmarks only warn.
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-regress:
+	$(GO) run ./tools/benchjson -pattern MultiSegmentThroughput \
+		-compare $(BENCH_BASELINE) -compare-pattern MultiSegmentThroughput \
+		-out bench-regress.json
 
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.
@@ -66,4 +76,4 @@ linkcheck:
 	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json

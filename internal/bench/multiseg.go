@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/core"
+	"interweave/internal/mem"
+	"interweave/internal/server"
+	"interweave/internal/types"
+)
+
+// MultiSegmentThroughput drives one writer pipeline per segment
+// against a live TCP server and measures aggregate release
+// throughput. Each worker owns its segment outright, so there is no
+// lock-protocol contention: the only serialization left is inside the
+// server. Under the per-segment locking model (DESIGN.md §8) the
+// pipelines are independent and aggregate throughput scales with the
+// segment count up to the machine's core count; under a global server
+// lock the segs=N case collapses to segs=1 throughput. ns/op is per
+// release across all pipelines, so scaling shows up directly as
+// segs=N ns/op approaching 1/N of the segs=1 figure.
+func MultiSegmentThroughput(b *testing.B, segs int) {
+	b.Helper()
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	addr := ln.Addr().String()
+
+	const words = 64
+	clients := make([]*core.Client, segs)
+	handles := make([]*core.Segment, segs)
+	blocks := make([]*mem.Block, segs)
+	for i := range clients {
+		c, err := core.NewClient(core.Options{Profile: arch.AMD64(), Name: fmt.Sprintf("ms%d", i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = c.Close() }()
+		h, err := c.Open(fmt.Sprintf("%s/ms%d", addr, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WLock(h); err != nil {
+			b.Fatal(err)
+		}
+		blk, err := c.Alloc(h, types.Int32(), words, "a")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Heap().WriteI32(blk.Addr, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.WUnlock(h); err != nil {
+			b.Fatal(err)
+		}
+		clients[i], handles[i], blocks[i] = c, h, blk
+	}
+
+	errs := make(chan error, segs)
+	var next int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < segs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, h, blk := clients[i], handles[i], blocks[i]
+			for {
+				n := atomic.AddInt64(&next, 1)
+				if n > int64(b.N) {
+					return
+				}
+				if err := c.WLock(h); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Heap().WriteI32(blk.Addr+mem.Addr(4*(n%words)), int32(n)); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.WUnlock(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(segs), "segments")
+}

@@ -397,5 +397,5 @@ func AblationDiffCache(b *testing.B, cacheCap int) {
 			b.Fatal("no diff")
 		}
 	}
-	b.ReportMetric(float64(svr.CacheHits), "cachehits")
+	b.ReportMetric(float64(svr.CacheHits()), "cachehits")
 }

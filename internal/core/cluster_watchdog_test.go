@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"interweave/internal/types"
+)
+
+// TestClusterLockOrderingWatchdog is a deadlock watchdog for the
+// per-segment locking hierarchy (DESIGN.md §8): it runs, concurrently
+// and repeatedly,
+//
+//   - two transaction clients committing over overlapping segment
+//     sets ({t0,t1} and {t2,t1}, deliberately presented in opposite
+//     orders) — each TxCommit holds several segment locks at once,
+//     acquired in ascending-name order;
+//   - a migration client ping-ponging a fourth segment between nodes
+//     — each Migrate holds that segment's write-lock barrier while
+//     shipping a snapshot, and each success bumps the cluster epoch,
+//     so every node's epoch sweep walks the whole segment registry
+//     taking each segment lock in turn;
+//   - a plain writer on the migrating segment, draining through the
+//     barrier and rerouting after every move.
+//
+// Any lock-ordering violation between those three paths deadlocks
+// some worker forever; the watchdog converts that hang into a test
+// failure instead of a suite timeout. The bound is generous for a
+// slow 1-CPU -race runner — the workload itself finishes in seconds.
+func TestClusterLockOrderingWatchdog(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 1, 0) // epochs move only via Migrate
+	const (
+		txIters   = 6
+		migRounds = 6
+	)
+
+	// Three tx segments with a common owner (TxCommit requires one
+	// server), found by probing the hash ring.
+	byOwner := make(map[string][]string)
+	var txSegs []string
+	for i := 0; len(txSegs) < 3; i++ {
+		if i > 1000 {
+			t.Fatal("setup: no owner accumulated 3 segments in 1000 probes")
+		}
+		name := fmt.Sprintf("%s/wd-tx%d", nodes[0].addr, i)
+		o := nodes[0].node.Owner(name)
+		byOwner[o] = append(byOwner[o], name)
+		if len(byOwner[o]) == 3 {
+			txSegs = byOwner[o]
+		}
+	}
+
+	setup := newChaosClient(t, fastRetry("wd-setup"))
+	handles := make([]*Segment, 3)
+	for i, name := range txSegs {
+		h, err := setup.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	if err := setup.TxLock(handles...); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range handles {
+		if _, err := setup.Alloc(h, types.Int32(), 1, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.TxCommit(handles...); err != nil {
+		t.Fatal(err)
+	}
+
+	// The migrating segment, seeded with one int block.
+	migSeg := nodes[0].addr + "/wd-mig"
+	migOwner := nodeAt(t, nodes, nodes[0].node.Owner(migSeg))
+	var targets []*chaosNode
+	for _, n := range nodes {
+		if n != migOwner {
+			targets = append(targets, n)
+		}
+	}
+	mh, err := setup.Open(migSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup.WLock(mh); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := setup.Alloc(mh, types.Int32(), 1, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, setup, mh, blk.Addr, 0)
+
+	// txWorker increments block x of both segments in one transaction,
+	// txIters times. Overlap on the shared segment plus the flipped
+	// argument order makes TxLock's canonical sort the only thing
+	// standing between the two workers and a client-level deadlock.
+	txWorker := func(name, segA, segB string) error {
+		c, err := NewClient(fastRetry(name))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = c.Close() }()
+		ha, err := c.Open(segA)
+		if err != nil {
+			return err
+		}
+		hb, err := c.Open(segB)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < txIters; i++ {
+			if err := appRetry(func() error {
+				if err := c.TxLock(ha, hb); err != nil {
+					return err
+				}
+				for _, h := range []*Segment{ha, hb} {
+					blk, ok := h.Mem().BlockByName("x")
+					if !ok {
+						_ = c.WUnlock(ha)
+						_ = c.WUnlock(hb)
+						return fmt.Errorf("%s: block x missing", name)
+					}
+					v, err := c.Heap().ReadI32(blk.Addr)
+					if err == nil {
+						err = c.Heap().WriteI32(blk.Addr, v+1)
+					}
+					if err != nil {
+						_ = c.WUnlock(ha)
+						_ = c.WUnlock(hb)
+						return err
+					}
+				}
+				return c.TxCommit(ha, hb)
+			}); err != nil {
+				return fmt.Errorf("%s iteration %d: %w", name, i, err)
+			}
+		}
+		return nil
+	}
+
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); errs <- txWorker("wd-tx-ab", txSegs[0], txSegs[1]) }()
+	go func() { defer wg.Done(); errs <- txWorker("wd-tx-cb", txSegs[2], txSegs[1]) }()
+	go func() { // migrator: every successful move bumps the epoch
+		defer wg.Done()
+		c, err := NewClient(fastRetry("wd-mig"))
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer func() { _ = c.Close() }()
+		for i := 0; i < migRounds; i++ {
+			target := targets[i%2].addr
+			if err := appRetry(func() error { return c.Migrate(migSeg, target) }); err != nil {
+				errs <- fmt.Errorf("migration %d to %s: %w", i, target, err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() { // writer chasing the migrating segment through the barrier
+		defer wg.Done()
+		c, err := NewClient(fastRetry("wd-writer"))
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer func() { _ = c.Close() }()
+		h, err := c.Open(migSeg)
+		if err != nil {
+			errs <- err
+			return
+		}
+		for i := 1; i <= migRounds; i++ {
+			v := int32(i)
+			if err := appRetry(func() error {
+				if err := c.WLock(h); err != nil {
+					return err
+				}
+				blk, ok := h.Mem().BlockByName("v")
+				if !ok {
+					_ = c.WUnlock(h)
+					return fmt.Errorf("writer: block v missing")
+				}
+				if err := c.Heap().WriteI32(blk.Addr, v); err != nil {
+					_ = c.WUnlock(h)
+					return err
+				}
+				return c.WUnlock(h)
+			}); err != nil {
+				errs <- fmt.Errorf("writer round %d: %w", i, err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(60 * time.Second):
+		t.Fatal("watchdog: Migrate/epoch-sweep/TxCommit workload wedged for 60s — lock-ordering deadlock")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Exactly txIters increments from each worker landed on its pair:
+	// the shared segment saw both.
+	want := []int32{txIters, 2 * txIters, txIters}
+	for i, h := range handles {
+		if err := appRetry(func() error { return setup.RLock(h) }); err != nil {
+			t.Fatal(err)
+		}
+		blk, ok := h.Mem().BlockByName("x")
+		if !ok {
+			t.Fatalf("%s: block x missing after workload", txSegs[i])
+		}
+		v, err := setup.Heap().ReadI32(blk.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := setup.RUnlock(h); err != nil {
+			t.Fatal(err)
+		}
+		if v != want[i] {
+			t.Errorf("%s: counter = %d, want %d", txSegs[i], v, want[i])
+		}
+	}
+
+	// The migrations really moved ownership and advanced the epoch.
+	last := targets[(migRounds-1)%2]
+	if got := last.node.Owner(migSeg); got != last.addr {
+		t.Errorf("final owner of %q = %s, want %s", migSeg, got, last.addr)
+	}
+	if e := last.node.Epoch(); e <= 1 {
+		t.Errorf("final epoch = %d, want > 1 (migrations must bump it)", e)
+	}
+	var migrated uint64
+	for _, n := range nodes {
+		migrated += counterSum(n.reg.Snapshot(), "iw_cluster_migrations_total")
+	}
+	if migrated < migRounds {
+		t.Errorf("cluster-wide migrations = %d, want >= %d", migrated, migRounds)
+	}
+
+	// The writer's last value survived the final move.
+	r := newChaosClient(t, fastRetry("wd-reader"))
+	if err := r.RefreshRing(last.addr); err != nil {
+		t.Fatal(err)
+	}
+	readVals(t, r, migSeg, "v", int32(migRounds))
+}

@@ -1,0 +1,136 @@
+package diff
+
+// Property test for run splicing: on random clustered modification
+// patterns, for every SpliceWords setting the collected diff must
+// (1) keep each block's runs sorted and non-overlapping, (2) leave
+// gaps strictly wider than the splice threshold between consecutive
+// runs (a narrower gap should have been absorbed), (3) cover at
+// least every unit an unspliced collection covers, and (4) — the
+// ground truth — reproduce the source bit-exactly on a lagging copy,
+// across heterogeneous destination profiles.
+
+import (
+	"math/rand"
+	"testing"
+
+	"interweave/internal/arch"
+	"interweave/internal/mem"
+	"interweave/internal/types"
+	"interweave/internal/wire"
+)
+
+// unitSet returns the set of units each block's runs cover.
+func unitSet(d *wire.SegmentDiff) map[uint32]map[uint32]bool {
+	out := make(map[uint32]map[uint32]bool)
+	for _, bd := range d.Blocks {
+		us := out[bd.Serial]
+		if us == nil {
+			us = make(map[uint32]bool)
+			out[bd.Serial] = us
+		}
+		for _, r := range bd.Runs {
+			for u := r.Start; u < r.Start+r.Count; u++ {
+				us[u] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkRunStructure asserts sortedness, non-overlap, and — when
+// splicing is active — that no gap at or under the threshold
+// survived. The int32 blocks these tests use map one unit to one
+// 32-bit word, so unit gaps and splice-word gaps coincide.
+func checkRunStructure(t *testing.T, d *wire.SegmentDiff, spliceWords int) {
+	t.Helper()
+	eff := spliceWords
+	if eff == 0 {
+		eff = DefaultSpliceWords
+	}
+	for _, bd := range d.Blocks {
+		prevEnd := -1
+		for _, r := range bd.Runs {
+			if int(r.Start) < prevEnd {
+				t.Errorf("block %d: run at %d overlaps previous run ending at %d", bd.Serial, r.Start, prevEnd)
+			}
+			if prevEnd >= 0 && eff > 0 && int(r.Start)-prevEnd <= eff {
+				t.Errorf("block %d: gap of %d units between runs not spliced (threshold %d)",
+					bd.Serial, int(r.Start)-prevEnd, eff)
+			}
+			prevEnd = int(r.Start) + int(r.Count)
+		}
+	}
+}
+
+func TestSplicingPropertyRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	profiles := arch.Profiles()
+	settings := []int{-1, 0, 1, 2, 3, 4, 8, 16}
+	const n = 1024
+	for trial := 0; trial < len(settings); trial++ {
+		sw := settings[trial]
+		src := newClient(t, arch.AMD64(), "h/s")
+		dst := newClient(t, profiles[rng.Intn(len(profiles))], "h/s")
+		b := src.alloc(t, types.Int32(), 1, n, "a")
+		for i := 0; i < n; i++ {
+			mustOK(t, src.heap.WriteI32(b.Addr+mem.Addr(4*i), rng.Int31()))
+		}
+		transfer(t, src, dst, CollectOptions{Version: 1})
+
+		for round := 0; round < 4; round++ {
+			version := uint32(round + 2)
+			src.seg.WriteProtect()
+			// Clustered writes with random gaps, so cluster spacing
+			// straddles the splice threshold both ways.
+			clusters := 1 + rng.Intn(8)
+			for c := 0; c < clusters; c++ {
+				start := rng.Intn(n)
+				length := 1 + rng.Intn(24)
+				for i := start; i < start+length && i < n; i++ {
+					mustOK(t, src.heap.WriteI32(b.Addr+mem.Addr(4*i), rng.Int31()))
+				}
+			}
+			// Unspliced reference collection of the same twin state.
+			ref, err := CollectSegment(src.seg, CollectOptions{Version: version, SpliceWords: -1, Swizzle: src.swizzler()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _ := transfer(t, src, dst, CollectOptions{Version: version, SpliceWords: sw})
+			src.seg.DropTwins()
+			src.seg.Unprotect()
+
+			checkRunStructure(t, d, sw)
+			checkRunStructure(t, ref, -1)
+
+			// Splicing may only widen coverage, never lose a change.
+			refUnits := unitSet(ref)
+			gotUnits := unitSet(d)
+			for serial, us := range refUnits {
+				for u := range us {
+					if !gotUnits[serial][u] {
+						t.Errorf("trial %d round %d (splice=%d): modified unit %d/%d dropped",
+							trial, round, sw, serial, u)
+					}
+				}
+			}
+			if sw >= 0 && countRuns(d) > countRuns(ref) {
+				t.Errorf("trial %d round %d: spliced collection has more runs (%d) than unspliced (%d)",
+					trial, round, countRuns(d), countRuns(ref))
+			}
+
+			// Ground truth: the destination equals the source exactly.
+			db, ok := dst.seg.BlockByName("a")
+			if !ok {
+				t.Fatal("block a missing on dst")
+			}
+			for i := 0; i < n; i++ {
+				want, _ := src.heap.ReadI32(b.Addr + mem.Addr(4*i))
+				got, _ := dst.heap.ReadI32(db.Addr + mem.Addr(4*i))
+				if got != want {
+					t.Fatalf("trial %d round %d (splice=%d): int %d = %d, want %d",
+						trial, round, sw, i, got, want)
+				}
+			}
+		}
+	}
+}

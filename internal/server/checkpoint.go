@@ -51,16 +51,19 @@ func (s *Server) checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: checkpoint dir: %w", err)
 	}
-	s.mu.Lock()
-	encoded := make(map[string][]byte, len(s.segs))
-	for name, st := range s.segs {
+	// One segment at a time: encode under that segment's lock, write
+	// the file with no lock held (snapshot-then-send, DESIGN.md §8).
+	// Each file is internally consistent — sealed with its applied
+	// table at one version — but the pass is not a global atomic
+	// snapshot across segments; per-segment consistency is all restore
+	// relies on, since files decode independently.
+	for _, st := range s.reg.snapshot() {
+		s.lockSeg(st)
 		buf := st.seg.encode()
 		buf = appendApplied(buf, st.applied)
-		encoded[name] = sealCheckpoint(buf)
-	}
-	s.mu.Unlock()
-	for name, data := range encoded {
-		file := filepath.Join(dir, hex.EncodeToString([]byte(name))+ckptSuffix)
+		st.mu.Unlock()
+		data := sealCheckpoint(buf)
+		file := filepath.Join(dir, hex.EncodeToString([]byte(st.name))+ckptSuffix)
 		tmp := file + ".tmp"
 		if err := os.WriteFile(tmp, data, 0o644); err != nil {
 			return fmt.Errorf("server: writing checkpoint %s: %w", tmp, err)
@@ -105,7 +108,13 @@ func (s *Server) restore() error {
 			}
 			seg.SetDiffCacheCap(n)
 		}
-		s.segs[seg.Name] = &segState{seg: seg, subs: make(map[*session]*subState), applied: applied}
+		st := &segState{
+			name:    seg.Name,
+			seg:     seg,
+			subs:    make(map[*session]*subState),
+			applied: applied,
+		}
+		s.reg.getOrCreate(seg.Name, func(string) *segState { return st })
 	}
 	return nil
 }

@@ -226,19 +226,17 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 	if m.From != "" && m.Epoch <= s.cluster.Epoch() && s.cluster.Owner(m.Seg) != m.From {
 		return &protocol.ReplicateReply{Fenced: true, Ms: s.cluster.Membership()}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(m.Raw) > 0 {
+		// Decode the snapshot before taking the segment lock: the
+		// codec work is proportional to segment size and must not
+		// stall the segment's other traffic (DESIGN.md §8). Only the
+		// pointer swap happens under the lock.
 		seg, err := decodeSegment(m.Raw)
 		if err != nil {
 			return errReply(protocol.CodeBadRequest, "replicate snapshot: %v", err)
 		}
 		if seg.Name != m.Seg {
 			return errReply(protocol.CodeBadRequest, "snapshot is of %q, not %q", seg.Name, m.Seg)
-		}
-		st, err := s.getSeg(m.Seg, true)
-		if err != nil {
-			return errReply(protocol.CodeInternal, "%v", err)
 		}
 		if s.opts.DiffCacheCap != 0 {
 			n := s.opts.DiffCacheCap
@@ -247,14 +245,22 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 			}
 			seg.SetDiffCacheCap(n)
 		}
+		st, err := s.getSeg(m.Seg, true)
+		if err != nil {
+			return errReply(protocol.CodeInternal, "%v", err)
+		}
+		s.lockSeg(st)
 		st.seg = seg
 		st.applied = appliedFromEntries(m.Applied)
+		st.mu.Unlock()
 		return &protocol.ReplicateReply{Acked: true, Version: seg.Version}
 	}
 	st, err := s.getSeg(m.Seg, true)
 	if err != nil {
 		return errReply(protocol.CodeInternal, "%v", err)
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	if st.seg.Version != m.PrevVersion {
 		return &protocol.ReplicateReply{Acked: false, Version: st.seg.Version}
 	}
@@ -275,12 +281,12 @@ func (sess *session) handlePull(m *protocol.Pull) protocol.Message {
 	if s.cluster == nil {
 		return errReply(protocol.CodeBadRequest, "not in cluster mode")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.segs[m.Seg]
+	st, ok := s.reg.get(m.Seg)
 	if !ok {
 		return &protocol.PullReply{}
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	reply := &protocol.PullReply{Version: st.seg.Version, Applied: entriesFromApplied(st.applied)}
 	if st.seg.Version > m.HaveVersion {
 		d, err := st.seg.CollectDiff(m.HaveVersion)
@@ -306,7 +312,8 @@ type replicationJob struct {
 
 // replicationJob returns the fan-out to perform for a committed write,
 // or nil when no replication is due (not clustered, no diff applied,
-// or the segment has no replicas). Called with s.mu held.
+// or the segment has no replicas). Called with the segment's lock
+// held.
 func (s *Server) replicationJob(st *segState, seg string, prevVer, version uint32, d *wire.SegmentDiff) *replicationJob {
 	if s.cluster == nil || version == prevVer || d == nil {
 		return nil
@@ -332,9 +339,9 @@ var errWriteFenced = errors.New("ownership moved during the release")
 
 // runReplication streams one committed diff to every replica and
 // returns nil only when every one of them acked it. Called WITHOUT
-// s.mu, but with the segment's write lock still held by the
-// committing session, which freezes the version sequence for the
-// duration. A replica that reports a version mismatch gets one
+// the segment's mutex, but with the segment's write lock still held
+// by the committing session, which freezes the version sequence for
+// the duration. A replica that reports a version mismatch gets one
 // catch-up diff collected from its version; one that fences the
 // stream deposes this primary on the spot — its view is adopted
 // (demoting the segment) and errWriteFenced is returned; one that
@@ -444,9 +451,9 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 	if replicaVer >= job.version {
 		return nil, fmt.Errorf("replica at version %d >= committed %d without acking: divergent primaries", replicaVer, job.version)
 	}
-	s.mu.Lock()
+	s.lockSeg(job.st)
 	d, err := job.st.seg.CollectDiff(replicaVer)
-	s.mu.Unlock()
+	job.st.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -469,7 +476,9 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 // client keeps satisfying reads from a copy the cluster has routed
 // away (see demoteSegLocked). Runs on the goroutine that advanced the
 // epoch (heartbeat, gossip handler, or MarkDead caller), never holding
-// s.mu across peer calls.
+// any lock across peer calls. The demotion sweep walks the registry
+// snapshot in ascending segment-name order — the global ordering rule
+// (DESIGN.md §8) — taking one segment lock at a time.
 func (s *Server) onEpochChange(ms protocol.Membership) {
 	newRing := s.cluster.Ring()
 	self := s.cluster.Self()
@@ -477,22 +486,25 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 	s.mu.Lock()
 	prevRing := s.lastRing
 	s.lastRing = newRing
+	s.mu.Unlock()
+
 	var promoted []string
 	var notifications []func()
-	for name, st := range s.segs {
-		wasOwner := prevRing != nil && prevRing.Owner(name) == self
-		isOwner := newRing.Owner(name) == self
+	for _, st := range s.reg.snapshot() {
+		wasOwner := prevRing != nil && prevRing.Owner(st.name) == self
+		isOwner := newRing.Owner(st.name) == self
 		switch {
 		case isOwner && !wasOwner:
-			promoted = append(promoted, name)
+			promoted = append(promoted, st.name)
 		case wasOwner && !isOwner:
+			s.lockSeg(st)
 			notifications = append(notifications, s.demoteSegLocked(st)...)
+			st.mu.Unlock()
 			if s.cins != nil {
 				s.cins.demotions.Inc()
 			}
 		}
 	}
-	s.mu.Unlock()
 
 	for _, n := range notifications {
 		n()
@@ -515,8 +527,8 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 // and every *acknowledged* version is recoverable because all placed
 // replicas hold it. The lock queue is left alone — queued writers
 // drain through the barrier, re-check ownership, and are redirected.
-// Called with s.mu held; returns the notification sends to perform
-// once it is released.
+// Called with the segment's lock held; returns the notification sends
+// to perform once it is released.
 func (s *Server) demoteSegLocked(st *segState) []func() {
 	var out []func()
 	name, ver := st.seg.Name, st.seg.Version
@@ -554,12 +566,12 @@ func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
 		if s.cins != nil {
 			s.cins.pulls.Inc()
 		}
-		s.mu.Lock()
 		haveVer := uint32(0)
-		if st, ok := s.segs[seg]; ok {
+		if st, ok := s.reg.get(seg); ok {
+			s.lockSeg(st)
 			haveVer = st.seg.Version
+			st.mu.Unlock()
 		}
-		s.mu.Unlock()
 		reply, err := s.cluster.Call(addr, &protocol.Pull{Seg: seg, HaveVersion: haveVer})
 		if err != nil {
 			s.logf("promotion pull %s from %s: %v", seg, addr, err)
@@ -569,17 +581,18 @@ func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
 		if !ok || pr.Version <= haveVer || pr.Diff == nil {
 			continue
 		}
-		s.mu.Lock()
-		st, err := s.getSeg(seg, true)
-		if err == nil && pr.Version > st.seg.Version {
-			if _, aerr := st.seg.ApplyReplicatedDiff(pr.Diff, pr.Version); aerr != nil {
-				s.logf("promotion apply %s from %s: %v", seg, addr, aerr)
-			} else {
-				st.applied = appliedFromEntries(pr.Applied)
-				s.logf("promoted %s to version %d (from %s)", seg, pr.Version, addr)
+		if st, err := s.getSeg(seg, true); err == nil {
+			s.lockSeg(st)
+			if pr.Version > st.seg.Version {
+				if _, aerr := st.seg.ApplyReplicatedDiff(pr.Diff, pr.Version); aerr != nil {
+					s.logf("promotion apply %s from %s: %v", seg, addr, aerr)
+				} else {
+					st.applied = appliedFromEntries(pr.Applied)
+					s.logf("promoted %s to version %d (from %s)", seg, pr.Version, addr)
+				}
 			}
+			st.mu.Unlock()
 		}
-		s.mu.Unlock()
 	}
 }
 
@@ -608,27 +621,26 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 		return errReply(protocol.CodeBadRequest, "migration target %q is not a live member", m.Target)
 	}
 
-	s.mu.Lock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
-		s.mu.Unlock()
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
 	if st.writer == sess {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return errReply(protocol.CodeLockState, "cannot migrate while holding the write lock")
 	}
 	// Write-lock barrier: queue like any writer, with direct handoff.
 	for st.writer != nil {
 		w := &waiter{sess: sess, ch: make(chan struct{})}
 		st.waiters = append(st.waiters, w)
-		s.mu.Unlock()
+		st.mu.Unlock()
 		select {
 		case <-w.ch:
 		case <-s.done:
 			return errReply(protocol.CodeInternal, "server shutting down")
 		}
-		s.mu.Lock()
+		s.lockSeg(st)
 		if st.writer == sess {
 			break
 		}
@@ -637,7 +649,7 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 	raw := st.seg.encode()
 	applied := entriesFromApplied(st.applied)
 	version := st.seg.Version
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	// Ship the snapshot while the barrier holds writers off.
 	rr, rerr := s.replicateTo(m.Target, &protocol.Replicate{
@@ -656,9 +668,9 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 		rerr = errWriteFenced
 	}
 	if rerr != nil || !rr.Acked {
-		s.mu.Lock()
+		s.lockSeg(st)
 		releaseWriter(st, sess)
-		s.mu.Unlock()
+		st.mu.Unlock()
 		if rerr == nil {
 			rerr = errReply(protocol.CodeInternal, "target did not ack snapshot")
 		}
@@ -674,8 +686,8 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 	}
 	s.logf("migrated %s to %s at version %d", m.Seg, m.Target, version)
 
-	s.mu.Lock()
+	s.lockSeg(st)
 	releaseWriter(st, sess)
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return &protocol.Ack{}
 }

@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"interweave/internal/obs"
@@ -15,6 +14,7 @@ const (
 	smRPCSeconds        = "iw_server_rpc_seconds"
 	smRPCErrors         = "iw_server_rpc_errors_total"
 	smLockWait          = "iw_server_lock_wait_seconds"
+	smSegLockContention = "iw_server_seg_lock_contention_total"
 	smVersionChecks     = "iw_server_version_checks_total"
 	smCollectSeconds    = "iw_server_diff_collect_seconds"
 	smApplySeconds      = "iw_server_diff_apply_seconds"
@@ -32,6 +32,7 @@ const (
 	smSegUnits          = "iw_server_segment_units"
 	smSegSubscribers    = "iw_server_segment_subscribers"
 	smSegWaiters        = "iw_server_segment_waiters"
+	smSegCacheHits      = "iw_server_segment_cache_hits"
 )
 
 // serverInstruments holds the server's metric handles. nil disables
@@ -39,8 +40,9 @@ const (
 type serverInstruments struct {
 	reg *obs.Registry
 
-	lockWait      *obs.Histogram
-	versionFresh  *obs.Counter
+	lockWait          *obs.Histogram
+	segLockContention *obs.Counter
+	versionFresh      *obs.Counter
 	versionDiff   *obs.Counter
 	collectSec    *obs.Histogram
 	applySec      *obs.Histogram
@@ -61,6 +63,8 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 		lockWait: reg.Histogram(smLockWait,
 			"Time a writer spent queued for a segment's write lock before the grant.",
 			obs.DurationBuckets),
+		segLockContention: reg.Counter(smSegLockContention,
+			"Segment-mutex acquisitions that found the mutex held and had to block (DESIGN.md §8); a high rate against one segment means its handlers contend, not the server."),
 		versionFresh: reg.Counter(smVersionChecks,
 			"Lock-acquisition freshness checks, by outcome: the client was current (fresh) or needed a diff.",
 			obs.L("result", "fresh")),
@@ -119,17 +123,19 @@ func reqName(m protocol.Message) string {
 }
 
 // collectSegmentGauges emits the per-segment gauges at scrape time,
-// so no continuous bookkeeping is needed.
+// so no continuous bookkeeping is needed. It takes one segment lock
+// at a time, in registry order.
 func (s *Server) collectSegmentGauges(emit obs.GaugeEmit) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for name, st := range s.segs {
-		l := obs.L("seg", name)
+	for _, st := range s.reg.snapshot() {
+		s.lockSeg(st)
+		l := obs.L("seg", st.name)
 		emit(smSegVersion, "Current version of each segment.", float64(st.seg.Version), l)
 		emit(smSegBlocks, "Blocks in each segment.", float64(st.seg.NumBlocks()), l)
 		emit(smSegUnits, "Primitive units in each segment.", float64(st.seg.TotalUnits()), l)
 		emit(smSegSubscribers, "Clients subscribed to each segment's notifications.", float64(len(st.subs)), l)
 		emit(smSegWaiters, "Writers queued for each segment's write lock.", float64(len(st.waiters)), l)
+		emit(smSegCacheHits, "Diff-cache hits served from each segment's cached diff window.", float64(st.seg.CacheHits()), l)
+		st.mu.Unlock()
 	}
 }
 
@@ -150,12 +156,12 @@ type SegmentDebug struct {
 // DebugSegments snapshots per-segment state for the /debug/segments
 // endpoint and for tests, sorted by segment name.
 func (s *Server) DebugSegments() []SegmentDebug {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]SegmentDebug, 0, len(s.segs))
-	for name, st := range s.segs {
+	sts := s.reg.snapshot()
+	out := make([]SegmentDebug, 0, len(sts))
+	for _, st := range sts {
+		s.lockSeg(st)
 		out = append(out, SegmentDebug{
-			Name:           name,
+			Name:           st.name,
 			Version:        st.seg.Version,
 			Blocks:         st.seg.NumBlocks(),
 			Units:          st.seg.TotalUnits(),
@@ -165,7 +171,7 @@ func (s *Server) DebugSegments() []SegmentDebug {
 			Waiters:        len(st.waiters),
 			AppliedWriters: len(st.applied),
 		})
+		st.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -317,4 +317,21 @@ func TestMetricsEndpointScrape(t *testing.T) {
 	if gauge > float64(sd.Version) {
 		t.Errorf("segment version gauge %g ahead of snapshot %d", gauge, sd.Version)
 	}
+
+	// The atomic diff-cache hit counter must surface per segment: the
+	// read rounds trail the writer by one version, the textbook cached
+	// case, so by the second scrape the gauge is non-zero and the live
+	// (lock-free) accessor is at least as new as the scrape.
+	hits := second.get(t, fmt.Sprintf("iw_server_segment_cache_hits{seg=%q}", segName))
+	if hits < 1 {
+		t.Errorf("segment cache-hits gauge = %g, want >= 1", hits)
+	}
+	if live := srv.SegmentSnapshot(segName).CacheHits(); float64(live) < hits {
+		t.Errorf("live CacheHits() = %d below scraped gauge %g", live, hits)
+	}
+	// The segment-lock contention counter is registered up front, so
+	// it must be present (any value) in every scrape.
+	if v := second.get(t, "iw_server_seg_lock_contention_total"); v < 0 {
+		t.Errorf("contention counter = %g", v)
+	}
 }

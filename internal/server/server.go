@@ -47,14 +47,24 @@ type Options struct {
 
 // Server is an InterWeave server managing an arbitrary number of
 // segments.
+//
+// Concurrency model (DESIGN.md §8): segments live in a sharded
+// registry and each carries its own mutex, so RPCs against different
+// segments never contend. mu guards only server lifecycle state —
+// the session set, the listener, the closed flag, and the cluster
+// ring bookkeeping — and is ordered BEFORE any registry shard or
+// segment lock (never acquire mu while holding either).
 type Server struct {
 	opts Options
 
-	mu       sync.Mutex
-	segs     map[string]*segState
+	mu       sync.Mutex // lifecycle: sessions, ln, closed, lastRing
 	sessions map[*session]struct{}
 	ln       net.Listener
 	closed   bool
+
+	// reg is the sharded segment registry; each segState carries its
+	// own mutex (see segState).
+	reg segRegistry
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -71,7 +81,23 @@ type Server struct {
 }
 
 // segState couples a segment with its lock and subscription state.
+//
+// mu owns everything below it: the segment's data and version state
+// (seg — note the pointer itself is swapped by demotion, migration
+// snapshots, and transaction commits), the write-lock queue (writer,
+// waiters), the subscription table (subs), and the at-most-once
+// applied-writer table (applied). The short-critical-section
+// discipline: diff decode, clone staging, wire frame encode, socket
+// writes (replies and notify fan-out), replication streaming, and
+// checkpoint file I/O all happen OUTSIDE mu — only reads and
+// mutations of the state above happen under it. Multi-segment
+// operations acquire segState locks one at a time or in ascending
+// segment-name order (DESIGN.md §8).
 type segState struct {
+	mu sync.Mutex
+	// name is the segment's name, immutable after creation, so
+	// lock-ordering code can sort segStates without taking mu.
+	name    string
 	seg     *Segment
 	writer  *session
 	waiters []*waiter
@@ -115,11 +141,11 @@ type session struct {
 func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:     opts,
-		segs:     make(map[string]*segState),
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
 		tracer:   opts.Tracer,
 	}
+	s.reg.init()
 	if opts.Metrics != nil {
 		s.ins = newServerInstruments(opts.Metrics)
 		opts.Metrics.RegisterCollector(s.collectSegmentGauges)
@@ -143,6 +169,46 @@ func New(opts Options) (*Server, error) {
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
 		s.opts.Logf(format, args...)
+	}
+}
+
+// lockSeg acquires a segment's lock, counting acquisitions that had
+// to block (iw_server_seg_lock_contention_total). The uncontended
+// fast path is a single TryLock.
+func (s *Server) lockSeg(st *segState) {
+	if st.mu.TryLock() {
+		return
+	}
+	if s.ins != nil {
+		s.ins.segLockContention.Inc()
+	}
+	st.mu.Lock()
+}
+
+// lockSegsOrdered acquires every given segment lock in ascending
+// segment-name order — the deterministic ordering rule that keeps
+// concurrent multi-segment operations (transaction commits, epoch
+// sweeps) deadlock-free (DESIGN.md §8). The input slice is not
+// modified; duplicates are not allowed.
+func (s *Server) lockSegsOrdered(sts []*segState) []*segState {
+	ordered := make([]*segState, len(sts))
+	copy(ordered, sts)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].name < ordered[j-1].name; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	for _, st := range ordered {
+		s.lockSeg(st)
+	}
+	return ordered
+}
+
+// unlockSegs releases locks taken by lockSegsOrdered, in reverse
+// order.
+func unlockSegs(ordered []*segState) {
+	for i := len(ordered) - 1; i >= 0; i-- {
+		ordered[i].mu.Unlock()
 	}
 }
 
@@ -255,16 +321,15 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// getSeg returns the named segment state, creating it if requested.
-func (s *Server) getSeg(name string, create bool) (*segState, error) {
-	st, ok := s.segs[name]
-	if ok {
-		return st, nil
+// newSegState builds a fresh segment state with the server's diff
+// cache policy applied.
+func (s *Server) newSegState(name string) *segState {
+	st := &segState{
+		name:    name,
+		seg:     NewSegment(name),
+		subs:    make(map[*session]*subState),
+		applied: make(map[string]appliedWrite),
 	}
-	if !create {
-		return nil, fmt.Errorf("no segment %q", name)
-	}
-	st = &segState{seg: NewSegment(name), subs: make(map[*session]*subState), applied: make(map[string]appliedWrite)}
 	if s.opts.DiffCacheCap != 0 {
 		n := s.opts.DiffCacheCap
 		if n < 0 {
@@ -272,7 +337,19 @@ func (s *Server) getSeg(name string, create bool) (*segState, error) {
 		}
 		st.seg.SetDiffCacheCap(n)
 	}
-	s.segs[name] = st
+	return st
+}
+
+// getSeg returns the named segment state, creating it if requested.
+// It takes only a registry shard lock, never a segment lock.
+func (s *Server) getSeg(name string, create bool) (*segState, error) {
+	if st, ok := s.reg.get(name); ok {
+		return st, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("no segment %q", name)
+	}
+	st, _ := s.reg.getOrCreate(name, s.newSegState)
 	return st, nil
 }
 
@@ -385,24 +462,31 @@ func (sess *session) dispatch(msg protocol.Message, sp *obs.Span) protocol.Messa
 
 func (sess *session) handleOpen(m *protocol.OpenSegment) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	existed := s.segs[m.Name] != nil
-	st, err := s.getSeg(m.Name, m.Create)
-	if err != nil {
-		return errReply(protocol.CodeNoSegment, "%v", err)
+	var st *segState
+	created := false
+	if m.Create {
+		st, created = s.reg.getOrCreate(m.Name, s.newSegState)
+	} else {
+		var ok bool
+		st, ok = s.reg.get(m.Name)
+		if !ok {
+			return errReply(protocol.CodeNoSegment, "no segment %q", m.Name)
+		}
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	return &protocol.OpenReply{
-		Created: !existed,
+		Created: created,
 		Version: st.seg.Version,
 		Dir:     st.seg.Directory(),
 	}
 }
 
 // freshnessReply decides whether the client needs an update and
-// builds the LockReply. The span, when non-nil, parents a
-// "server.freshness" child (result attr: fresh/diff/error) and, when
-// a diff is served, a "server.diff_collect" child.
+// builds the LockReply. Called with st.mu held. The span, when
+// non-nil, parents a "server.freshness" child (result attr:
+// fresh/diff/error) and, when a diff is served, a
+// "server.diff_collect" child.
 func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherence.Policy, sp *obs.Span) protocol.Message {
 	fsp := sp.Child("server.freshness")
 	seg := st.seg
@@ -471,12 +555,12 @@ func freshnessReply(st *segState, sess *session, haveVer uint32, policy coherenc
 
 func (sess *session) handleReadLock(m *protocol.ReadLock, sp *obs.Span) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	reply := freshnessReply(st, sess, m.HaveVersion, m.Policy, sp)
 	if lr, ok := reply.(*protocol.LockReply); ok && lr.Fresh {
 		if sub, subbed := st.subs[sess]; subbed {
@@ -488,14 +572,13 @@ func (sess *session) handleReadLock(m *protocol.ReadLock, sp *obs.Span) protocol
 
 func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
-		s.mu.Unlock()
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
 	if st.writer == sess {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock already held")
 	}
 	var queuedAt time.Time
@@ -511,14 +594,14 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 	for st.writer != nil {
 		w := &waiter{sess: sess, ch: make(chan struct{})}
 		st.waiters = append(st.waiters, w)
-		s.mu.Unlock()
+		st.mu.Unlock()
 		select {
 		case <-w.ch:
 		case <-s.done:
 			qsp.End()
 			return errReply(protocol.CodeInternal, "server shutting down")
 		}
-		s.mu.Lock()
+		s.lockSeg(st)
 		if st.writer == sess {
 			break // the releaser handed the lock directly to us
 		}
@@ -534,7 +617,7 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 	// or the client would commit against a stale owner.
 	if red := s.redirectFor(m.Seg); red != nil {
 		releaseWriter(st, sess)
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return red
 	}
 	// A writer always works against the current version.
@@ -542,14 +625,14 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 	if _, isErr := reply.(*protocol.ErrorReply); isErr {
 		releaseWriter(st, sess)
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return reply
 }
 
 // releaseWriter releases sess's write lock, handing it directly to
 // the first queued waiter. The direct handoff makes the queue truly
 // FIFO: the lock never appears free while waiters exist, so a late
-// arrival cannot barge in front of them.
+// arrival cannot barge in front of them. Called with st.mu held.
 func releaseWriter(st *segState, sess *session) {
 	if st.writer != sess {
 		return
@@ -566,12 +649,11 @@ func releaseWriter(st *segState, sess *session) {
 
 func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
-		s.mu.Unlock()
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
 	if m.WriterID != "" {
 		if ap, ok := st.applied[m.WriterID]; ok && ap.seq == m.Seq {
 			// A retry of a release whose reply was lost: the diff is
@@ -579,12 +661,12 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 			// the segment. The retry arrives on a fresh session, which
 			// may meanwhile have reacquired the lock — release it.
 			releaseWriter(st, sess)
-			s.mu.Unlock()
+			st.mu.Unlock()
 			return &protocol.VersionReply{Version: ap.version}
 		}
 	}
 	if st.writer != sess {
-		s.mu.Unlock()
+		st.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock not held")
 	}
 	prevVer := st.seg.Version
@@ -603,7 +685,7 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 				asp.End()
 			}
 			releaseWriter(st, sess)
-			s.mu.Unlock()
+			st.mu.Unlock()
 			return errReply(protocol.CodeBadRequest, "applying diff: %v", err)
 		}
 		if asp != nil {
@@ -623,18 +705,19 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 	var replErr error
 	if job := s.replicationJob(st, m.Seg, prevVer, version, m.Diff); job != nil {
 		// Replicate before releasing the write lock and before
-		// replying: the lock keeps the version sequence frozen during
-		// the fan-out, and replicate-before-reply means any release the
-		// client saw acknowledged survives a primary death (every
-		// placed replica already holds both the diff and the
-		// at-most-once record). A fan-out that cannot reach that state
-		// fails the release instead of acknowledging it.
-		s.mu.Unlock()
+		// replying: the logical write lock keeps the version sequence
+		// frozen during the fan-out (the segment mutex is dropped — the
+		// fan-out does network I/O), and replicate-before-reply means
+		// any release the client saw acknowledged survives a primary
+		// death (every placed replica already holds both the diff and
+		// the at-most-once record). A fan-out that cannot reach that
+		// state fails the release instead of acknowledging it.
+		st.mu.Unlock()
 		replErr = s.runReplication(job)
-		s.mu.Lock()
+		s.lockSeg(st)
 	}
 	releaseWriter(st, sess)
-	s.mu.Unlock()
+	st.mu.Unlock()
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))
 	}
@@ -662,12 +745,12 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 // applied, at which version, and where the segment stands now.
 func (sess *session) handleResume(m *protocol.Resume) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	rr := &protocol.ResumeReply{CurrentVersion: st.seg.Version}
 	if ap, ok := st.applied[m.WriterID]; ok && ap.seq == m.Seq {
 		rr.Applied = true
@@ -678,7 +761,7 @@ func (sess *session) handleResume(m *protocol.Resume) protocol.Message {
 
 // updateSubscribers advances subscription counters after a new
 // version and returns the notification sends to perform once the
-// server lock is released.
+// segment lock is released. Called with st.mu held.
 func updateSubscribers(st *segState, writer *session, newVer uint32, modified int) []func() {
 	var out []func()
 	seg := st.seg
@@ -696,7 +779,7 @@ func updateSubscribers(st *segState, writer *session, newVer uint32, modified in
 		}
 		if sub.policy.ShouldUpdate(sub.haveVersion, newVer, sub.unitsSince, seg.TotalUnits()) {
 			sub.notified = true
-			target, name := cl, st.seg.Name
+			target, name := cl, st.name
 			out = append(out, func() {
 				if err := target.send(0, &protocol.Notify{Seg: name, Version: newVer}); err != nil {
 					target.srv.logf("notify %s: %v", target.conn.RemoteAddr(), err)
@@ -709,8 +792,6 @@ func updateSubscribers(st *segState, writer *session, newVer uint32, modified in
 
 func (sess *session) handleSubscribe(m *protocol.Subscribe) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
@@ -718,33 +799,38 @@ func (sess *session) handleSubscribe(m *protocol.Subscribe) protocol.Message {
 	if err := m.Policy.Validate(); err != nil {
 		return errReply(protocol.CodeBadRequest, "%v", err)
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	st.subs[sess] = &subState{policy: m.Policy, haveVersion: m.HaveVersion}
 	return &protocol.Ack{}
 }
 
 func (sess *session) handleUnsubscribe(m *protocol.Unsubscribe) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, err := s.getSeg(m.Seg, false)
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	s.lockSeg(st)
+	defer st.mu.Unlock()
 	delete(st.subs, sess)
 	return &protocol.Ack{}
 }
 
-// cleanup releases everything a departing session holds.
+// cleanup releases everything a departing session holds: its entry in
+// the session set, then — segment by segment, in registry order — its
+// subscription, queued waiters, and any held write lock.
 func (sess *session) cleanup() {
 	s := sess.srv
 	_ = sess.conn.Close()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.sessions, sess)
 	if s.ins != nil {
 		s.ins.sessions.Set(int64(len(s.sessions)))
 	}
-	for _, st := range s.segs {
+	s.mu.Unlock()
+	for _, st := range s.reg.snapshot() {
+		s.lockSeg(st)
 		delete(st.subs, sess)
 		// Drop queued waiters belonging to this session.
 		kept := st.waiters[:0]
@@ -757,6 +843,7 @@ func (sess *session) cleanup() {
 		}
 		st.waiters = kept
 		releaseWriter(st, sess)
+		st.mu.Unlock()
 	}
 }
 
@@ -790,38 +877,31 @@ func (s *Segment) UnitsModifiedSince(ver uint32) int {
 }
 
 // SegmentSnapshot exposes a segment for tools and tests. It returns
-// nil when the segment does not exist.
+// nil when the segment does not exist. Taking the segment lock
+// establishes a happens-before edge with every mutation that
+// completed before the call; the caller must not race the returned
+// segment against concurrent writers.
 func (s *Server) SegmentSnapshot(name string) *Segment {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.segs[name]
+	st, ok := s.reg.get(name)
 	if !ok {
 		return nil
 	}
-	return st.seg
+	st.mu.Lock()
+	seg := st.seg
+	st.mu.Unlock()
+	return seg
 }
 
 // CreateSegment pre-creates a segment (tools, tests, restore).
 func (s *Server) CreateSegment(name string) (*Segment, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.segs[name]; ok {
+	st, created := s.reg.getOrCreate(name, s.newSegState)
+	if !created {
 		return nil, fmt.Errorf("server: segment %q exists", name)
-	}
-	st, err := s.getSeg(name, true)
-	if err != nil {
-		return nil, err
 	}
 	return st.seg, nil
 }
 
 // SegmentNames lists the segments the server manages.
 func (s *Server) SegmentNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.segs))
-	for n := range s.segs {
-		out = append(out, n)
-	}
-	return out
+	return s.reg.names()
 }

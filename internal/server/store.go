@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"interweave/internal/rbtree"
 	"interweave/internal/types"
@@ -132,8 +133,17 @@ type Segment struct {
 	diffCache map[uint32][]byte
 	cacheKeys []uint32 // FIFO eviction
 	cacheCap  int
-	// CacheHits counts diff-cache hits, for the ablation bench.
-	CacheHits uint64
+	// cacheHits counts diff-cache hits (see CacheHits). Atomic: reads
+	// (metrics scrapes, benches) are not serialized with the segment
+	// lock collectors increment under.
+	cacheHits atomic.Uint64
+}
+
+// CacheHits reports how many diff collections were served from the
+// diff cache, for the ablation bench and the per-segment scrape gauge.
+// Safe to call without holding the segment's lock.
+func (s *Segment) CacheHits() uint64 {
+	return s.cacheHits.Load()
 }
 
 // NewSegment returns an empty segment at version zero.
@@ -608,8 +618,19 @@ func (s *Segment) CollectDiff(sinceVer uint32) (*wire.SegmentDiff, error) {
 	// exactly one version behind receiving another client's diff
 	// verbatim.
 	if d, ok := s.mergeCachedDiffs(sinceVer); ok {
-		s.CacheHits++
+		s.cacheHits.Add(1)
 		return d, nil
+	}
+	return s.collectFull(sinceVer)
+}
+
+// collectFull builds a diff from the live marker tree and subblock
+// versions, never consulting the diff cache. It is the ground truth
+// the merged-cached-forward path must be equivalent to; the property
+// tests compare the two on random histories.
+func (s *Segment) collectFull(sinceVer uint32) (*wire.SegmentDiff, error) {
+	if sinceVer >= s.Version {
+		return nil, nil
 	}
 	d := &wire.SegmentDiff{Version: s.Version}
 	for _, fe := range s.freedLog {

@@ -304,13 +304,13 @@ func TestDiffCache(t *testing.T) {
 	if _, _, err := s.ApplyDiff(runDiff(1, 0, 1, 2, 3)); err != nil {
 		t.Fatal(err)
 	}
-	before := s.CacheHits
+	before := s.CacheHits()
 	d, err := s.CollectDiff(1) // exactly one behind: cached
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.CacheHits != before+1 {
-		t.Errorf("cache hits = %d, want %d", s.CacheHits, before+1)
+	if s.CacheHits() != before+1 {
+		t.Errorf("cache hits = %d, want %d", s.CacheHits(), before+1)
 	}
 	if d.Version != 2 || len(d.Blocks) != 1 {
 		t.Errorf("cached diff = %+v", d)
@@ -320,7 +320,7 @@ func TestDiffCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.CacheHits != before+2 {
+	if s.CacheHits() != before+2 {
 		t.Error("multi-version collect did not use the cache")
 	}
 	if len(d0.News) != 1 || d0.Version != 2 {
@@ -334,7 +334,7 @@ func TestDiffCache(t *testing.T) {
 	if _, err := s.CollectDiff(2); err != nil {
 		t.Fatal(err)
 	}
-	if s.CacheHits != before+2 {
+	if s.CacheHits() != before+2 {
 		t.Error("disabled cache hit")
 	}
 }

@@ -19,25 +19,18 @@ import (
 // clone cost is proportional to segment size, which is acceptable for
 // an operation whose purpose is crossing a consistency boundary, and
 // keeps the commit path trivially correct.
+//
+// Locking: the handler takes every part's segment lock in ascending
+// name order (the global ordering rule, DESIGN.md §8), snapshots the
+// wire images under the locks, then drops them for the expensive
+// decode+apply staging — the session's write locks keep the version
+// sequence frozen meanwhile. The locks are retaken (same order) to
+// swap the clones in.
 
 func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol.Message {
 	s := sess.srv
-	s.mu.Lock()
-
-	// A failed transaction is an abort: the session's write locks on
-	// the named segments are released, mirroring the client library,
-	// which releases its local locks when a commit fails.
-	var resolved []*segState
-	abort := func(reply *protocol.ErrorReply) protocol.Message {
-		for _, st := range resolved {
-			releaseWriter(st, sess)
-		}
-		s.mu.Unlock()
-		return reply
-	}
 
 	if len(m.Parts) == 0 {
-		s.mu.Unlock()
 		return errReply(protocol.CodeBadRequest, "empty transaction")
 	}
 	seen := make(map[string]bool, len(m.Parts))
@@ -45,21 +38,52 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 	for i := range m.Parts {
 		name := m.Parts[i].Seg
 		if seen[name] {
-			return abort(errReply(protocol.CodeBadRequest, "segment %q appears twice in transaction", name))
+			return errReply(protocol.CodeBadRequest, "segment %q appears twice in transaction", name)
 		}
 		seen[name] = true
 		st, err := s.getSeg(name, false)
 		if err != nil {
-			return abort(errReply(protocol.CodeNoSegment, "%v", err))
-		}
-		resolved = append(resolved, st)
-		if st.writer != sess {
-			return abort(errReply(protocol.CodeLockState, "write lock on %q not held", name))
+			return errReply(protocol.CodeNoSegment, "%v", err)
 		}
 		states[i] = st
 	}
 
-	// Stage: apply every diff to a clone.
+	// A failed transaction is an abort: the session's write locks on
+	// the named segments are released, mirroring the client library,
+	// which releases its local locks when a commit fails.
+	// releaseWriter is a no-op on segments this session does not hold.
+	ordered := s.lockSegsOrdered(states)
+	abortLocked := func(reply *protocol.ErrorReply) protocol.Message {
+		for _, st := range states {
+			releaseWriter(st, sess)
+		}
+		unlockSegs(ordered)
+		return reply
+	}
+
+	// Snapshot phase (locks held): verify lock ownership and capture
+	// each part's wire image for out-of-lock staging.
+	type partSnap struct {
+		img      []byte   // encoded segment, nil when the part's diff is empty
+		base     *Segment // the segment the image was taken from
+		prevVer  uint32
+		cacheCap int
+	}
+	snaps := make([]partSnap, len(m.Parts))
+	for i, st := range states {
+		if st.writer != sess {
+			return abortLocked(errReply(protocol.CodeLockState, "write lock on %q not held", m.Parts[i].Seg))
+		}
+		snaps[i] = partSnap{base: st.seg, prevVer: st.seg.Version, cacheCap: st.seg.cacheCap}
+		if m.Parts[i].Diff != nil && !m.Parts[i].Diff.Empty() {
+			snaps[i].img = st.seg.encode()
+		}
+	}
+	unlockSegs(ordered)
+
+	// Stage (no segment locks): apply every diff to a clone decoded
+	// from the snapshot image. The write locks this session holds
+	// guarantee no other writer advances the segments meanwhile.
 	type staged struct {
 		clone    *Segment
 		version  uint32
@@ -70,36 +94,50 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		asp.AttrInt("parts", int64(len(m.Parts)))
 		defer asp.End()
 	}
+	relockAbort := func(reply *protocol.ErrorReply) protocol.Message {
+		s.lockSegsOrdered(states)
+		return abortLocked(reply)
+	}
 	stage := make([]staged, len(m.Parts))
 	for i := range m.Parts {
-		seg := states[i].seg
-		if m.Parts[i].Diff == nil || m.Parts[i].Diff.Empty() {
-			stage[i] = staged{clone: nil, version: seg.Version}
+		if snaps[i].img == nil {
+			stage[i] = staged{clone: nil, version: snaps[i].prevVer}
 			continue
 		}
-		clone, err := decodeSegment(seg.encode())
+		clone, err := decodeSegment(snaps[i].img)
 		if err != nil {
-			return abort(errReply(protocol.CodeInternal, "staging %q: %v", seg.Name, err))
+			return relockAbort(errReply(protocol.CodeInternal, "staging %q: %v", m.Parts[i].Seg, err))
 		}
-		clone.SetDiffCacheCap(seg.cacheCap)
+		clone.SetDiffCacheCap(snaps[i].cacheCap)
 		newVer, modified, err := clone.ApplyDiff(m.Parts[i].Diff)
 		if err != nil {
-			return abort(errReply(protocol.CodeBadRequest, "transaction part %q: %v", seg.Name, err))
+			return relockAbort(errReply(protocol.CodeBadRequest, "transaction part %q: %v", m.Parts[i].Seg, err))
 		}
 		stage[i] = staged{clone: clone, version: newVer, modified: modified}
 	}
 
-	// Commit: swap the clones in, replicate, release the locks, gather
-	// notifications. In cluster mode each advanced part streams to its
-	// replicas before the locks drop and before the client sees the
-	// commit, preserving the replicate-before-acknowledge invariant of
-	// the single-segment release path.
+	// Commit: retake the locks (same order), swap the clones in,
+	// replicate, release the write locks, gather notifications. In
+	// cluster mode each advanced part streams to its replicas before
+	// the locks drop and before the client sees the commit, preserving
+	// the replicate-before-acknowledge invariant of the single-segment
+	// release path.
+	s.lockSegsOrdered(states)
+	for i, st := range states {
+		// The write lock froze the version sequence, but an epoch
+		// change may have demoted the segment (resetting its state and
+		// lock queue) while the locks were down. Committing a clone of
+		// pre-demotion state would clobber it — fence instead.
+		if st.seg != snaps[i].base || st.writer != sess {
+			return abortLocked(errReply(protocol.CodeNotOwner,
+				"transaction part %q fenced: segment reassigned during commit", m.Parts[i].Seg))
+		}
+	}
 	reply := &protocol.TxReply{Versions: make([]uint32, len(m.Parts))}
 	var notifications []func()
 	var jobs []*replicationJob
 	for i := range m.Parts {
 		st := states[i]
-		prevVer := st.seg.Version
 		if stage[i].clone != nil {
 			st.seg = stage[i].clone
 			notifications = append(notifications,
@@ -112,7 +150,7 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 			s.ins.applyUnits.Add(uint64(stage[i].modified))
 		}
 		if stage[i].clone != nil {
-			if job := s.replicationJob(st, m.Parts[i].Seg, prevVer, stage[i].version, m.Parts[i].Diff); job != nil {
+			if job := s.replicationJob(st, m.Parts[i].Seg, snaps[i].prevVer, stage[i].version, m.Parts[i].Diff); job != nil {
 				jobs = append(jobs, job)
 			}
 		}
@@ -124,20 +162,20 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		for _, st := range states {
 			releaseWriter(st, sess)
 		}
-		s.mu.Unlock()
+		unlockSegs(ordered)
 	} else {
-		s.mu.Unlock()
+		unlockSegs(ordered)
 		for _, job := range jobs {
 			if err := s.runReplication(job); err != nil && replErr == nil {
 				replErr = err
 				fencedSeg = job.seg
 			}
 		}
-		s.mu.Lock()
+		s.lockSegsOrdered(states)
 		for _, st := range states {
 			releaseWriter(st, sess)
 		}
-		s.mu.Unlock()
+		unlockSegs(ordered)
 	}
 	if s.ins != nil && len(notifications) > 0 {
 		s.ins.notifications.Add(uint64(len(notifications)))

@@ -16,6 +16,14 @@
 // custom b.ReportMetric units, into the "benchmarks" array. The
 // document's "schema" field names the format; additions stay
 // backward-compatible within a major schema version.
+//
+// With -compare <baseline.json> the run additionally checks the fresh
+// results against a committed snapshot: every benchmark matched by
+// -compare-pattern whose ns/op worsened by more than
+// -compare-threshold (a fraction, default 0.20) is a regression and
+// the tool exits non-zero. Benchmarks present on only one side are
+// reported as warnings, never failures, so adding or renaming a
+// benchmark does not require regenerating the baseline first.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -79,6 +88,9 @@ func run(args []string) error {
 	pattern := fs.String("pattern", ".", "benchmark regexp passed to -bench")
 	smoke := fs.Bool("smoke", false, "run each benchmark once (-benchtime 1x) for a fast schema check")
 	benchtime := fs.String("benchtime", "", "override -benchtime (e.g. 100ms, 10x)")
+	compare := fs.String("compare", "", "baseline BENCH_*.json to check for ns/op regressions")
+	comparePattern := fs.String("compare-pattern", ".", "regexp selecting benchmark names to compare")
+	compareThreshold := fs.Float64("compare-threshold", 0.20, "allowed fractional ns/op slowdown before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +141,76 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("benchjson: %d benchmarks -> %s (%s mode)\n", len(doc.Benchmarks), path, mode)
+	if *compare != "" {
+		return compareBaseline(doc, *compare, *comparePattern, *compareThreshold)
+	}
+	return nil
+}
+
+// compareBaseline checks the fresh document's ns/op figures against a
+// committed baseline snapshot and returns an error if any selected
+// benchmark slowed down by more than the threshold fraction. Entries
+// missing from either side only warn: a new benchmark has no history,
+// and a retired one has no current figure.
+func compareBaseline(doc document, baselinePath, pattern string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if !strings.HasPrefix(base.Schema, "interweave-bench/") {
+		return fmt.Errorf("baseline %s has schema %q, want interweave-bench/*", baselinePath, base.Schema)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("compare-pattern: %w", err)
+	}
+	key := func(r result) string { return r.Package + " " + r.Name }
+	baseline := make(map[string]result)
+	for _, r := range base.Benchmarks {
+		if re.MatchString(r.Name) {
+			baseline[key(r)] = r
+		}
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range doc.Benchmarks {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		b, ok := baseline[key(r)]
+		if !ok {
+			fmt.Printf("benchjson: compare: %s has no baseline entry in %s (skipped)\n", key(r), baselinePath)
+			continue
+		}
+		delete(baseline, key(r))
+		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		slowdown := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("benchjson: compare: %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			key(r), b.NsPerOp, r.NsPerOp, 100*slowdown)
+		if slowdown > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.1f%% > %.0f%% threshold)",
+					key(r), b.NsPerOp, r.NsPerOp, 100*slowdown, 100*threshold))
+		}
+	}
+	for k := range baseline {
+		fmt.Printf("benchjson: compare: baseline entry %s missing from this run (skipped)\n", k)
+	}
+	if compared == 0 {
+		return fmt.Errorf("compare: no benchmark matched %q on both sides", pattern)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: %d regression(s) vs %s:\n  %s",
+			len(regressions), baselinePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchjson: compare: %d benchmark(s) within %.0f%% of %s\n", compared, 100*threshold, baselinePath)
 	return nil
 }
 
