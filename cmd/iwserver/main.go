@@ -10,6 +10,16 @@
 // notifications, and periodically checkpoints segments to the
 // checkpoint directory (from which it also restores at startup).
 //
+// Log-structured persistence (DESIGN.md §9) replaces checkpointing
+// with a per-segment append-only journal of committed diffs:
+//
+//	iwserver -addr :7777 -journal-dir /var/lib/interweave
+//
+// Every acknowledged release is on disk before the client sees the
+// acknowledgement; restart recovery replays the journal tail on top
+// of the last compacted base, and -journal-compact-bytes bounds each
+// segment's log between compactions.
+//
 // For resilience testing the listener can be wrapped in a seeded
 // fault schedule (internal/faultnet):
 //
@@ -78,6 +88,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":7777", "listen address")
 	ckptDir := fs.String("checkpoint", "", "checkpoint directory (restore at startup, save periodically)")
 	every := fs.Duration("every", 30*time.Second, "checkpoint interval")
+	journalDir := fs.String("journal-dir", "", "log-structured journal directory: releases append before ack, recovery is base+replay (mutually exclusive with -checkpoint)")
+	journalCompact := fs.Int64("journal-compact-bytes", server.DefaultJournalCompactBytes, "per-segment log size that triggers compaction into a fresh base (negative = only periodic/Close compaction)")
 	quiet := fs.Bool("quiet", false, "suppress diagnostics")
 	chaosSeed := fs.Int64("chaos-seed", 0, "inject seeded faults into the listener (0 = off)")
 	chaosConns := fs.Int("chaos-conns", 16, "connections the chaos schedule spreads resets over")
@@ -98,8 +110,10 @@ func run(args []string) error {
 		return err
 	}
 	opts := server.Options{
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *every,
+		CheckpointDir:       *ckptDir,
+		CheckpointEvery:     *every,
+		JournalDir:          *journalDir,
+		JournalCompactBytes: *journalCompact,
 	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "iwserver: ", log.LstdFlags)

@@ -67,7 +67,15 @@ func startChaosCluster(t *testing.T, n, r int, heartbeat time.Duration) []*chaos
 			Metrics:          nodes[i].reg,
 			Logf:             t.Logf,
 		})
-		srv, err := server.New(server.Options{Cluster: node, Metrics: nodes[i].reg, Logf: t.Logf})
+		// Every chaos node runs with the journal on: the whole suite's
+		// replication invariants must hold unchanged under journal-mode
+		// durability (DESIGN.md §9).
+		srv, err := server.New(server.Options{
+			Cluster:    node,
+			Metrics:    nodes[i].reg,
+			Logf:       t.Logf,
+			JournalDir: t.TempDir(),
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

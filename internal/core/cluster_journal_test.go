@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"interweave/internal/faultnet"
+	"interweave/internal/protocol"
+	"interweave/internal/types"
+)
+
+// TestClusterJournalWindowCatchUp: a replica that misses several
+// fan-outs (marked dead, then revived) is caught up from the
+// primary's journal window — the original persisted Replicate frames
+// replayed in order — rather than a collected diff or a full Pull,
+// while the replicate-before-acknowledge invariant of the PR 4 chaos
+// suite holds: when the release that triggered the catch-up returns
+// to the client, the rejoined replica already has every version and
+// the at-most-once record.
+func TestClusterJournalWindowCatchUp(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 1, 0) // no heartbeat: epochs driven by hand
+	seg := nodes[0].addr + "/jw"
+	owner := nodeAt(t, nodes, nodes[0].node.Owner(seg))
+	replica := nodeAt(t, nodes, owner.node.ReplicasOf(seg)[0])
+
+	c := newChaosClient(t, fastRetry("journal-window"))
+	h, err := c.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 2, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 1, 1) // version 1, replicated while the replica is live
+
+	// The replica "dies": its proxy drops traffic and the owner marks
+	// it dead (epoch 2), re-placing the segment's replication on the
+	// surviving node. The primary advances several versions the dead
+	// replica never sees.
+	replica.proxy.Schedule().Partition(faultnet.Up)
+	if !owner.node.MarkDead(replica.addr) {
+		t.Fatal("MarkDead refused")
+	}
+	for i := int32(2); i <= 4; i++ {
+		if err := c.WLock(h); err != nil {
+			t.Fatal(err)
+		}
+		writeVals(t, c, h, blk.Addr, i, i)
+	}
+	if got := h.Version(); got != 4 {
+		t.Fatalf("version after missed fan-outs = %d, want 4", got)
+	}
+
+	// Rejoin handshake, by hand (the heartbeat pipeline's teach-then-
+	// revive): heal the partition, teach the replica the view in which
+	// it is dead, then revive it (epoch 3), returning it to placement
+	// with its stale version-1 copy intact.
+	replica.proxy.Schedule().Heal()
+	if _, err := owner.node.Call(replica.addr, &protocol.RingPush{Ms: owner.node.Membership()}); err != nil {
+		t.Fatalf("teaching the rejoining replica: %v", err)
+	}
+	if !owner.node.Revive(replica.addr) {
+		t.Fatal("Revive refused")
+	}
+	if snap := replica.srv.SegmentSnapshot(seg); snap == nil || snap.Version != 1 {
+		t.Fatalf("rejoined replica should still hold its stale version-1 copy, has %+v", snap)
+	}
+
+	// The next release fans out to the rejoined replica, which NACKs
+	// at version 1; the primary serves the gap from its journal window
+	// (versions 2..5 as the original frames), never a Pull.
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 5, 5)
+
+	snap := replica.srv.SegmentSnapshot(seg)
+	if snap == nil || snap.Version != 5 {
+		t.Fatalf("rejoined replica at %+v, want version 5", snap)
+	}
+	if got := counterSum(owner.reg.Snapshot(), "iw_cluster_replicate_total{result=\"nack\"}"); got < 1 {
+		t.Errorf("replica NACKs on the primary = %d, want >= 1", got)
+	}
+	if got := counterSum(owner.reg.Snapshot(), "iw_server_journal_replayed_total"); got < 4 {
+		t.Errorf("journal records replayed for catch-up = %d, want >= 4 (versions 2..5)", got)
+	}
+	for _, n := range nodes {
+		if got := counterSum(n.reg.Snapshot(), "iw_cluster_pulls_total"); got != 0 {
+			t.Errorf("node %s issued %d Pulls; catch-up must come from the journal window", n.addr, got)
+		}
+	}
+	// Replication invariant: the rejoined replica holds the
+	// at-most-once record alongside the data, so it could answer a
+	// Resume probe for the acked release exactly as the primary would.
+	for _, d := range replica.srv.DebugSegments() {
+		if d.Name == seg && d.AppliedWriters == 0 {
+			t.Errorf("rejoined replica holds no applied-writer record for %q", seg)
+		}
+	}
+	readVals(t, c, seg, "v", 5, 5)
+}

@@ -576,6 +576,38 @@ func newMessage(t MsgType) (Message, error) {
 	}
 }
 
+// MarshalMessage appends a self-describing encoding of m — its type
+// byte followed by its payload encoding — to buf. It is the stream-
+// free counterpart of WriteFrame for callers that persist messages
+// (the segment journal stores committed Replicate frames this way);
+// UnmarshalMessage inverts it.
+func MarshalMessage(buf []byte, m Message) []byte {
+	buf = wire.AppendU8(buf, uint8(m.Type()))
+	return m.encode(buf)
+}
+
+// UnmarshalMessage decodes one message produced by MarshalMessage.
+// Trailing bytes after the payload are an error, so a corrupted
+// length upstream cannot silently hide data.
+func UnmarshalMessage(data []byte) (Message, error) {
+	r := wire.NewReader(data)
+	t := r.U8()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal: %w", err)
+	}
+	m, err := newMessage(MsgType(t))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.decode(r); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal %T: %w", m, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("protocol: unmarshal %T: %d trailing bytes", m, r.Remaining())
+	}
+	return m, nil
+}
+
 // WriteFrame writes one framed message without trace context.
 func WriteFrame(w io.Writer, id uint32, m Message) error {
 	return WriteFrameCtx(w, id, m, TraceContext{})

@@ -28,8 +28,12 @@ const ckptMagic = 0x4957434B // "IWCK"
 const ckptSuffix = ".iwseg"
 
 // Checkpoint writes every segment to opts.CheckpointDir atomically
-// (write to a temp file, then rename).
+// (write to a temp file, then rename). In journal mode it instead
+// compacts every segment's journal into a fresh checkpoint base.
 func (s *Server) Checkpoint() error {
+	if s.journal != nil {
+		return s.CompactJournal()
+	}
 	dir := s.opts.CheckpointDir
 	if dir == "" {
 		return nil

@@ -253,6 +253,15 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 		st.seg = seg
 		st.applied = appliedFromEntries(m.Applied)
 		st.mu.Unlock()
+		// A snapshot supersedes everything journaled so far: install
+		// it as the new checkpoint base and truncate the log, so a
+		// restart recovers the adopted state rather than replaying a
+		// history the snapshot replaced.
+		if s.journal != nil {
+			if err := s.journalAdoptSnapshot(st, m.Raw, m.Applied, seg.Version); err != nil {
+				return errReply(protocol.CodeInternal, "replicate snapshot journal: %v", err)
+			}
+		}
 		return &protocol.ReplicateReply{Acked: true, Version: seg.Version}
 	}
 	st, err := s.getSeg(m.Seg, true)
@@ -260,17 +269,52 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 		return errReply(protocol.CodeInternal, "%v", err)
 	}
 	s.lockSeg(st)
-	defer st.mu.Unlock()
 	if st.seg.Version != m.PrevVersion {
-		return &protocol.ReplicateReply{Acked: false, Version: st.seg.Version}
+		ver := st.seg.Version
+		st.mu.Unlock()
+		return &protocol.ReplicateReply{Acked: false, Version: ver}
 	}
 	if m.Diff != nil {
 		if _, err := st.seg.ApplyReplicatedDiff(m.Diff, m.Version); err != nil {
+			st.mu.Unlock()
 			return errReply(protocol.CodeBadRequest, "replicate apply: %v", err)
 		}
 	}
 	st.applied = appliedFromEntries(m.Applied)
-	return &protocol.ReplicateReply{Acked: true, Version: st.seg.Version}
+	ver := st.seg.Version
+	// Journal the applied frame before acking — the replica-side half
+	// of the durability contract. The append stays under the segment
+	// mutex: unlike the release paths there is no logical write lock
+	// here, and the mutex is the only thing serializing record order
+	// with apply order.
+	if m.Diff != nil && m.Version != m.PrevVersion {
+		if err := s.journalAppend(st, m); err != nil {
+			st.mu.Unlock()
+			return errReply(protocol.CodeInternal, "replicate journal: %v", err)
+		}
+	}
+	st.mu.Unlock()
+	s.maybeCompactJournal(st)
+	return &protocol.ReplicateReply{Acked: true, Version: ver}
+}
+
+// journalAdoptSnapshot installs a received full snapshot (raw
+// checkpoint-codec bytes plus applied table) as a segment's journal
+// base, truncating its log. Called without the segment mutex.
+func (s *Server) journalAdoptSnapshot(st *segState, raw []byte, applied []protocol.AppliedEntry, version uint32) error {
+	l, err := s.journal.Segment(st.name)
+	if err != nil {
+		return err
+	}
+	buf := append([]byte(nil), raw...)
+	buf = appendApplied(buf, appliedFromEntries(applied))
+	if err := l.Compact(version, sealCheckpoint(buf)); err != nil {
+		return err
+	}
+	if s.ins != nil {
+		s.ins.journalCompactions.Inc()
+	}
+	return nil
 }
 
 // handlePull answers a promotion catch-up probe with this node's
@@ -451,6 +495,9 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 	if replicaVer >= job.version {
 		return nil, fmt.Errorf("replica at version %d >= committed %d without acking: divergent primaries", replicaVer, job.version)
 	}
+	if rr, ok, err := s.catchUpFromJournal(addr, job, replicaVer); ok {
+		return rr, err
+	}
 	s.lockSeg(job.st)
 	d, err := job.st.seg.CollectDiff(replicaVer)
 	job.st.mu.Unlock()
@@ -464,6 +511,60 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 		Diff:        d,
 		Applied:     job.applied,
 	})
+}
+
+// catchUpFromJournal serves a replica's catch-up from the journal
+// window: when the journaled records chain contiguously from the
+// replica's version to the one being committed, they are re-sent in
+// order as the original persisted Replicate frames — no diff
+// collection, and the replica's own journal receives the exact same
+// record stream the primary holds. ok=false means the window does not
+// cover the gap (journal disabled, records compacted away, or the
+// replica mid-stream stopped acking) and the caller falls back to a
+// collected diff. An error or a fence is returned with ok=true: the
+// transport or ownership failure is real, not a coverage gap.
+func (s *Server) catchUpFromJournal(addr string, job *replicationJob, replicaVer uint32) (rr *protocol.ReplicateReply, ok bool, err error) {
+	if s.journal == nil {
+		return nil, false, nil
+	}
+	l, err := s.journal.Segment(job.seg)
+	if err != nil {
+		return nil, false, nil
+	}
+	cur := replicaVer
+	var chain []*protocol.Replicate
+	for _, rec := range l.Window(replicaVer) {
+		if rec.Version <= cur {
+			continue
+		}
+		if rec.PrevVersion != cur || rec.Diff == nil {
+			return nil, false, nil // gap: the base swallowed part of the range
+		}
+		chain = append(chain, rec)
+		cur = rec.Version
+		if cur >= job.version {
+			break
+		}
+	}
+	if cur < job.version {
+		return nil, false, nil
+	}
+	for _, rec := range chain {
+		rr, err = s.replicateTo(addr, rec)
+		if err != nil {
+			return nil, true, err
+		}
+		if rr.Fenced {
+			return rr, true, nil
+		}
+		if !rr.Acked {
+			return nil, false, nil
+		}
+		if s.ins != nil {
+			s.ins.journalReplayCatchup.Inc()
+		}
+	}
+	return rr, true, nil
 }
 
 // onEpochChange reacts to a membership change. For every locally held
@@ -551,6 +652,17 @@ func (s *Server) demoteSegLocked(st *segState) []func() {
 	}
 	st.seg = seg
 	st.applied = make(map[string]appliedWrite)
+	if s.journal != nil {
+		// The journal must not outlive the reset: a restart would
+		// otherwise resurrect state the cluster routed away. The file
+		// removal runs under the segment mutex — demotion is rare, and
+		// the on-disk reset must be atomic with the in-memory one.
+		if l, err := s.journal.Segment(name); err == nil {
+			if rerr := l.Reset(); rerr != nil {
+				s.logf("journal reset %s: %v", name, rerr)
+			}
+		}
+	}
 	s.logf("demoted %s at version %d (ownership moved)", name, ver)
 	return out
 }
@@ -584,10 +696,24 @@ func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
 		if st, err := s.getSeg(seg, true); err == nil {
 			s.lockSeg(st)
 			if pr.Version > st.seg.Version {
+				prevVer := st.seg.Version
 				if _, aerr := st.seg.ApplyReplicatedDiff(pr.Diff, pr.Version); aerr != nil {
 					s.logf("promotion apply %s from %s: %v", seg, addr, aerr)
 				} else {
 					st.applied = appliedFromEntries(pr.Applied)
+					// Journal the adopted catch-up so a restart
+					// recovers the promoted version. Under the segment
+					// mutex, like the replica apply path: the mutex is
+					// what orders this record against the stream.
+					if jerr := s.journalAppend(st, &protocol.Replicate{
+						Seg:         seg,
+						PrevVersion: prevVer,
+						Version:     pr.Version,
+						Diff:        pr.Diff,
+						Applied:     pr.Applied,
+					}); jerr != nil {
+						s.logf("journal promotion %s: %v", seg, jerr)
+					}
 					s.logf("promoted %s to version %d (from %s)", seg, pr.Version, addr)
 				}
 			}

@@ -27,6 +27,10 @@ const (
 	smCheckpointSeconds = "iw_server_checkpoint_seconds"
 	smCheckpointErrors  = "iw_server_checkpoint_errors_total"
 	smSessions          = "iw_server_sessions"
+	smJournalAppends    = "iw_server_journal_appends_total"
+	smJournalReplayed   = "iw_server_journal_replayed_total"
+	smJournalCompacts   = "iw_server_journal_compactions_total"
+	smJournalTruncated  = "iw_server_journal_truncated_tail_total"
 	smSegVersion        = "iw_server_segment_version"
 	smSegBlocks         = "iw_server_segment_blocks"
 	smSegUnits          = "iw_server_segment_units"
@@ -55,6 +59,12 @@ type serverInstruments struct {
 	ckptSec       *obs.Histogram
 	ckptErrors    *obs.Counter
 	sessions      *obs.Gauge
+
+	journalAppends       *obs.Counter
+	journalReplayStartup *obs.Counter
+	journalReplayCatchup *obs.Counter
+	journalCompactions   *obs.Counter
+	journalTruncatedTail *obs.Counter
 }
 
 func newServerInstruments(reg *obs.Registry) *serverInstruments {
@@ -97,8 +107,21 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 			"Checkpoint passes that failed."),
 		sessions: reg.Gauge(smSessions,
 			"Currently connected client sessions."),
+		journalAppends: reg.Counter(smJournalAppends,
+			"Replicate records appended to segment journals (one per committed write, before its acknowledgement)."),
+		journalReplayStartup: reg.Counter(smJournalReplayed,
+			journalReplayHelp, obs.L("source", "startup")),
+		journalReplayCatchup: reg.Counter(smJournalReplayed,
+			journalReplayHelp, obs.L("source", "catchup")),
+		journalCompactions: reg.Counter(smJournalCompacts,
+			"Segment journals folded into a fresh checkpoint base (log truncated)."),
+		journalTruncatedTail: reg.Counter(smJournalTruncated,
+			"Journal loads that found and dropped a torn or CRC-failing tail record."),
 	}
 }
+
+// journalReplayHelp documents both label values of the replay counter.
+const journalReplayHelp = "Journal records replayed, by consumer: segment recovery at startup, or replica catch-up served from the journal window."
 
 // rpcSeconds returns the handling-latency histogram for one RPC kind.
 // Registry get-or-create is internally locked, so sessions may race

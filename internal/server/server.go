@@ -10,6 +10,7 @@ import (
 
 	"interweave/internal/cluster"
 	"interweave/internal/coherence"
+	"interweave/internal/journal"
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
@@ -20,7 +21,20 @@ type Options struct {
 	// checkpointed; an existing checkpoint is restored at startup.
 	CheckpointDir string
 	// CheckpointEvery triggers periodic checkpoints when positive.
+	// In journal mode it instead triggers periodic compaction.
 	CheckpointEvery time.Duration
+	// JournalDir, when non-empty, puts the server in journal mode:
+	// every committed release is appended to a per-segment
+	// log-structured journal before the client sees the
+	// acknowledgement, and startup recovery is checkpoint base +
+	// log replay (see internal/journal and DESIGN.md §9). Mutually
+	// exclusive with CheckpointDir.
+	JournalDir string
+	// JournalCompactBytes is the per-segment log size that triggers
+	// compaction into a fresh checkpoint base. Zero means
+	// DefaultJournalCompactBytes; negative disables automatic
+	// compaction (Checkpoint/Close still compact).
+	JournalCompactBytes int64
 	// DiffCacheCap overrides the per-segment diff cache capacity
 	// when non-zero (negative disables caching).
 	DiffCacheCap int
@@ -71,6 +85,10 @@ type Server struct {
 
 	ins    *serverInstruments
 	tracer *obs.Tracer
+
+	// journal is the log-structured persistence store, nil unless
+	// Options.JournalDir is set (DESIGN.md §9).
+	journal *journal.Store
 
 	cluster *cluster.Node
 	cins    *clusterInstruments
@@ -150,8 +168,16 @@ func New(opts Options) (*Server, error) {
 		s.ins = newServerInstruments(opts.Metrics)
 		opts.Metrics.RegisterCollector(s.collectSegmentGauges)
 	}
+	if opts.CheckpointDir != "" && opts.JournalDir != "" {
+		return nil, errors.New("server: CheckpointDir and JournalDir are mutually exclusive")
+	}
 	if opts.CheckpointDir != "" {
 		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.JournalDir != "" {
+		if err := s.openJournal(); err != nil {
 			return nil, err
 		}
 	}
@@ -232,7 +258,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
-	if s.opts.CheckpointEvery > 0 && s.opts.CheckpointDir != "" {
+	if s.opts.CheckpointEvery > 0 && (s.opts.CheckpointDir != "" || s.journal != nil) {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
@@ -297,8 +323,13 @@ func (s *Server) Close() error {
 		_ = ln.Close()
 	}
 	s.wg.Wait()
-	if s.opts.CheckpointDir != "" {
+	if s.opts.CheckpointDir != "" || s.journal != nil {
 		if err := s.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
 			return err
 		}
 	}
@@ -702,8 +733,31 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 	if m.WriterID != "" {
 		st.applied[m.WriterID] = appliedWrite{seq: m.Seq, version: version}
 	}
+	// Journal the release before replication and before the reply
+	// (DESIGN.md §9): an acknowledged write must already be on disk.
+	// The segment mutex is dropped for the file append — the logical
+	// write lock keeps the version sequence frozen, so record order
+	// matches version order. A failed append fails the release (the
+	// diff stays applied, exactly like a failed fan-out: the client
+	// was told the release failed and retries are deduped).
+	var jerr error
+	if s.journal != nil && version != prevVer && m.Diff != nil {
+		rep := &protocol.Replicate{
+			Seg:         m.Seg,
+			PrevVersion: prevVer,
+			Version:     version,
+			Diff:        m.Diff,
+			Applied:     entriesFromApplied(st.applied),
+		}
+		st.mu.Unlock()
+		jerr = s.journalAppend(st, rep)
+		if jerr == nil {
+			s.maybeCompactJournal(st)
+		}
+		s.lockSeg(st)
+	}
 	var replErr error
-	if job := s.replicationJob(st, m.Seg, prevVer, version, m.Diff); job != nil {
+	if job := s.replicationJob(st, m.Seg, prevVer, version, m.Diff); jerr == nil && job != nil {
 		// Replicate before releasing the write lock and before
 		// replying: the logical write lock keeps the version sequence
 		// frozen during the fan-out (the segment mutex is dropped — the
@@ -730,6 +784,9 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 			n()
 		}
 		nsp.End()
+	}
+	if jerr != nil {
+		return errReply(protocol.CodeInternal, "release of %q not journaled: %v", m.Seg, jerr)
 	}
 	if replErr != nil {
 		if errors.Is(replErr, errWriteFenced) {

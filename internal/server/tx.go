@@ -134,8 +134,13 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		}
 	}
 	reply := &protocol.TxReply{Versions: make([]uint32, len(m.Parts))}
+	type journalPart struct {
+		st  *segState
+		rep *protocol.Replicate
+	}
 	var notifications []func()
 	var jobs []*replicationJob
+	var jparts []journalPart
 	for i := range m.Parts {
 		st := states[i]
 		if stage[i].clone != nil {
@@ -150,6 +155,15 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 			s.ins.applyUnits.Add(uint64(stage[i].modified))
 		}
 		if stage[i].clone != nil {
+			if s.journal != nil {
+				jparts = append(jparts, journalPart{st, &protocol.Replicate{
+					Seg:         m.Parts[i].Seg,
+					PrevVersion: snaps[i].prevVer,
+					Version:     stage[i].version,
+					Diff:        m.Parts[i].Diff,
+					Applied:     entriesFromApplied(st.applied),
+				}})
+			}
 			if job := s.replicationJob(st, m.Parts[i].Seg, snaps[i].prevVer, stage[i].version, m.Parts[i].Diff); job != nil {
 				jobs = append(jobs, job)
 			}
@@ -158,17 +172,35 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 	}
 	var replErr error
 	var fencedSeg string
-	if len(jobs) == 0 {
+	var jerr error
+	var jerrSeg string
+	if len(jobs) == 0 && len(jparts) == 0 {
 		for _, st := range states {
 			releaseWriter(st, sess)
 		}
 		unlockSegs(ordered)
 	} else {
 		unlockSegs(ordered)
-		for _, job := range jobs {
-			if err := s.runReplication(job); err != nil && replErr == nil {
-				replErr = err
-				fencedSeg = job.seg
+		// Journal every advanced part before the fan-out and before
+		// the reply, mirroring the single-segment release path. The
+		// appends are per-segment files, so — like checkpoints — they
+		// are not one atomic cross-segment unit; a crash between them
+		// recovers a commit the client was never acknowledged for,
+		// which its per-part Resume recovery already handles.
+		for _, jp := range jparts {
+			if err := s.journalAppend(jp.st, jp.rep); err != nil {
+				jerr = err
+				jerrSeg = jp.rep.Seg
+				break
+			}
+			s.maybeCompactJournal(jp.st)
+		}
+		if jerr == nil {
+			for _, job := range jobs {
+				if err := s.runReplication(job); err != nil && replErr == nil {
+					replErr = err
+					fencedSeg = job.seg
+				}
 			}
 		}
 		s.lockSegsOrdered(states)
@@ -182,6 +214,9 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 	}
 	for _, n := range notifications {
 		n()
+	}
+	if jerr != nil {
+		return errReply(protocol.CodeInternal, "transaction part %q not journaled: %v", jerrSeg, jerr)
 	}
 	if replErr != nil {
 		// The parts committed locally but at least one could not meet

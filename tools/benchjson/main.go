@@ -49,7 +49,7 @@ const schemaName = "interweave-bench/1"
 // benchPackages are the packages benchjson runs, relative to the repo
 // root: the paper figure reproductions plus the hot-path
 // microbenchmarks.
-var benchPackages = []string{".", "./internal/core", "./internal/rbtree"}
+var benchPackages = []string{".", "./internal/core", "./internal/rbtree", "./internal/journal", "./internal/server"}
 
 // result is one parsed benchmark line.
 type result struct {
