@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json bench-regress figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -42,6 +42,18 @@ bench-regress:
 		-compare $(BENCH_BASELINE) -compare-pattern MultiSegmentThroughput \
 		-out bench-regress.json
 
+# Session-scale SLO runs (CAPACITY.md, EXPERIMENTS.md "Loadgen"):
+# the headline 100k-session measurement, and the CI-sized smoke.
+# Both exit non-zero when the session count was not held.
+loadgen-slo:
+	$(GO) run ./tools/loadgen -sessions 100000 -conns 64 -rate 5000 \
+		-duration 15s -writers 4 -segments 32 -group-commit \
+		-json loadgen-slo.json
+
+loadgen-smoke:
+	$(GO) run ./tools/loadgen -sessions 1000 -conns 8 -rate 500 \
+		-duration 5s -subscribe 0.2 -group-commit -json loadgen-smoke.json
+
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.
 figures:
@@ -70,10 +82,10 @@ cover:
 # Documentation checks (also run in CI): godoc coverage and offline
 # markdown link validation.
 doccheck:
-	$(GO) run ./tools/doccheck ./internal/... ./cmd/... ./tools/...
+	$(GO) run ./tools/doccheck . ./internal/... ./cmd/... ./tools/... ./examples/...
 
 linkcheck:
-	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md
+	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md CAPACITY.md
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json
+	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json

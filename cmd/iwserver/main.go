@@ -42,6 +42,20 @@
 // client sees the acknowledgement, and -cluster-heartbeat drives
 // failure detection and replica promotion.
 //
+// Session scale (DESIGN.md §10, CAPACITY.md): clients may multiplex
+// many logical sessions onto each connection, and four knobs bound
+// the server's exposure to load and slow consumers:
+//
+//	iwserver -addr :7777 -max-sessions 120000 -group-commit
+//
+// -max-sessions refuses session creation over the cap
+// (CodeOverloaded), -session-queue and -conn-queue bound the
+// outbound queues whose overflow sheds (and evicts) slow
+// subscribers, -write-timeout evicts connections that stop draining
+// replies, and -group-commit (bounded by -group-commit-max)
+// coalesces a hot segment's journal, replication, and notification
+// work across batches of releases.
+//
 // Observability (see OBSERVABILITY.md) is opt-in:
 //
 //	iwserver -addr :7777 -metrics-addr :9090
@@ -91,6 +105,12 @@ func run(args []string) error {
 	journalDir := fs.String("journal-dir", "", "log-structured journal directory: releases append before ack, recovery is base+replay (mutually exclusive with -checkpoint)")
 	journalCompact := fs.Int64("journal-compact-bytes", server.DefaultJournalCompactBytes, "per-segment log size that triggers compaction into a fresh base (negative = only periodic/Close compaction)")
 	quiet := fs.Bool("quiet", false, "suppress diagnostics")
+	maxSessions := fs.Int("max-sessions", 0, "cap on concurrent logical sessions, refusals answer CodeOverloaded (0 = unlimited)")
+	sessionQueue := fs.Int("session-queue", 0, "outbound frames one session may queue before notifications shed it (0 = default)")
+	connQueue := fs.Int("conn-queue", 0, "per-connection writer queue shared by its sessions (0 = default)")
+	writeTimeout := fs.Duration("write-timeout", 0, "how long a reply may wait for queue space before the connection is evicted as stuck (0 = default)")
+	groupCommit := fs.Bool("group-commit", false, "coalesce queued releases per hot segment into one journal append + replication + notification batch")
+	groupCommitMax := fs.Int("group-commit-max", 0, "releases one group-commit flush may coalesce; excess releases wait (0 = default)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "inject seeded faults into the listener (0 = off)")
 	chaosConns := fs.Int("chaos-conns", 16, "connections the chaos schedule spreads resets over")
 	chaosResets := fs.Int("chaos-resets", 4, "connection resets in the chaos schedule")
@@ -114,6 +134,12 @@ func run(args []string) error {
 		CheckpointEvery:     *every,
 		JournalDir:          *journalDir,
 		JournalCompactBytes: *journalCompact,
+		MaxSessions:         *maxSessions,
+		SessionSendQueue:    *sessionQueue,
+		ConnSendQueue:       *connQueue,
+		WriteTimeout:        *writeTimeout,
+		GroupCommit:         *groupCommit,
+		GroupCommitMax:      *groupCommitMax,
 	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "iwserver: ", log.LstdFlags)

@@ -1,4 +1,4 @@
-// The astroflow example reproduces the paper's Section 4.5: a
+// Command astroflow reproduces the paper's Section 4.5: a
 // simulation engine (standing in for the Fortran stellar-dynamics
 // code) publishes its state into an InterWeave segment, and an
 // on-line visualization client renders it, controlling its own update

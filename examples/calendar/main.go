@@ -1,4 +1,4 @@
-// The calendar example is the CSCW scenario the paper's introduction
+// Command calendar is the CSCW scenario the paper's introduction
 // motivates: several users on different machines share a group
 // calendar — a pointer-rich structure of strings and integers — and
 // see each other's changes through ordinary reads and writes, with

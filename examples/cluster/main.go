@@ -1,4 +1,4 @@
-// The cluster example runs a three-node InterWeave cluster inside one
+// Command cluster runs a three-node InterWeave cluster inside one
 // process and walks the full DESIGN.md §7 story end to end:
 // consistent-hash placement, transparent redirect routing, replica
 // diff streaming, primary failover in the middle of a write, and live

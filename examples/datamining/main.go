@@ -1,4 +1,4 @@
-// The datamining example reproduces the application of the paper's
+// Command datamining reproduces the application of the paper's
 // Section 4.4: a database server performs incremental sequence mining
 // over a growing transaction database and shares the summary lattice
 // — a pointer-rich structure — through an InterWeave segment; a

@@ -1,4 +1,4 @@
-// The quickstart example reproduces the paper's Figure 1: a shared
+// Command quickstart reproduces the paper's Figure 1: a shared
 // linked list, built by a "writer" client and searched by a "reader"
 // client on a different (simulated) machine architecture, with the
 // reader bootstrapping through a machine-independent pointer.

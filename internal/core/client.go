@@ -409,7 +409,7 @@ func (c *Client) callObserved(sc *serverConn, m protocol.Message, sp *obs.Span, 
 	if c.ins == nil {
 		reply, err := sc.callT(m, c.timeoutFor(m), tc)
 		endRPCSpan(asp, err)
-		return reply, err
+		return reply, wrapShed(err)
 	}
 	rpc := rpcName(m)
 	start := time.Now()
@@ -420,7 +420,17 @@ func (c *Client) callObserved(sc *serverConn, m protocol.Message, sp *obs.Span, 
 		c.ins.latency(rpc).ObserveSince(start)
 	}
 	endRPCSpan(asp, err)
-	return reply, err
+	return reply, wrapShed(err)
+}
+
+// wrapShed marks server admission refusals with the typed
+// ErrOverloaded (the ErrorReply stays in the chain, so code
+// introspection and isTransport still work).
+func wrapShed(err error) error {
+	if err != nil && errCode(err) == protocol.CodeOverloaded {
+		return fmt.Errorf("%w: %w", ErrOverloaded, err)
+	}
+	return err
 }
 
 // endRPCSpan closes an attempt span, recording the error when the

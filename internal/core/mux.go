@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"interweave/internal/protocol"
+)
+
+// Session multiplexing, client side (DESIGN.md §10, PROTOCOL.md
+// "Multiplexed sessions"). A MuxConn is one TCP connection carrying
+// many logical sessions; each MuxSession behaves like an independent
+// client toward the server (own locks, own subscriptions, own
+// at-most-once identity) at the cost of a 4-byte session ID per
+// frame instead of a whole connection. This is the substrate for
+// driving very large session counts — tools/loadgen holds 100k
+// sessions on a handful of connections — while the full Client keeps
+// the classic one-connection-per-server shape (its frames are
+// session 0, byte-identical to the pre-mux format).
+
+// Typed errors of the session-mux path. Callers match with
+// errors.Is.
+var (
+	// ErrOverloaded: the server refused admission (session cap) or
+	// shed this session as a slow consumer. Back off or spread load
+	// to another server; immediate retry will meet the same answer.
+	ErrOverloaded = errors.New("core: server overloaded")
+	// ErrSessionLost: the logical session is gone on the server
+	// (evicted, or never created). The session object is dead; open
+	// a fresh session and re-validate cached state by version,
+	// exactly as after a reconnect.
+	ErrSessionLost = errors.New("core: session lost")
+)
+
+// MuxOptions configures DialMux.
+type MuxOptions struct {
+	// Dial overrides TCP dialing (tests, faultnet).
+	Dial func(addr string) (net.Conn, error)
+	// DialTimeout bounds the TCP dial when Dial is nil (default 10s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds each Call round trip. Unlike the full
+	// client's serial stream, mux replies are matched by request ID,
+	// so a timeout fails only the one call — a late reply is
+	// discarded harmlessly. Zero disables the timeout.
+	RPCTimeout time.Duration
+	// OnNotify, when non-nil, receives server-pushed invalidations,
+	// asynchronously, with the session they are addressed to.
+	OnNotify func(s *MuxSession, seg string, version uint32)
+	// OnEvict, when non-nil, is told (asynchronously) when the server
+	// sheds one of the connection's sessions.
+	OnEvict func(s *MuxSession, reason string)
+}
+
+// MuxConn is one TCP connection multiplexing many logical sessions.
+type MuxConn struct {
+	conn net.Conn
+	opts MuxOptions
+
+	mu       sync.Mutex
+	nextID   uint32
+	nextSID  uint32
+	pending  map[uint32]chan protocol.Message
+	sessions map[uint32]*MuxSession
+	err      error
+	closed   bool
+}
+
+// MuxSession is one logical session on a MuxConn. Its methods are
+// safe for concurrent use; requests from different sessions (and even
+// concurrent requests of one session) are serviced concurrently by
+// the server.
+type MuxSession struct {
+	mc  *MuxConn
+	sid uint32
+
+	mu      sync.Mutex
+	lost    bool
+	lostWhy error
+}
+
+// DialMux connects to a server for session-multiplexed use.
+func DialMux(addr string, opts MuxOptions) (*MuxConn, error) {
+	dial := opts.Dial
+	if dial == nil {
+		dt := opts.DialTimeout
+		if dt <= 0 {
+			dt = 10 * time.Second
+		}
+		dial = func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, dt)
+		}
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting to %s: %w (%v)", addr, ErrUnavailable, err)
+	}
+	mc := &MuxConn{
+		conn:     conn,
+		opts:     opts,
+		nextID:   1,
+		nextSID:  1,
+		pending:  make(map[uint32]chan protocol.Message),
+		sessions: make(map[uint32]*MuxSession),
+	}
+	go mc.readLoop()
+	return mc, nil
+}
+
+func (mc *MuxConn) readLoop() {
+	for {
+		id, msg, _, sid, err := protocol.ReadFrameMux(mc.conn)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		if id == 0 {
+			mc.handlePush(sid, msg)
+			continue
+		}
+		mc.mu.Lock()
+		ch, ok := mc.pending[id]
+		delete(mc.pending, id)
+		mc.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// handlePush routes server-initiated frames: invalidation Notifies,
+// and unsolicited ErrorReplies announcing a session eviction.
+func (mc *MuxConn) handlePush(sid uint32, msg protocol.Message) {
+	mc.mu.Lock()
+	s := mc.sessions[sid]
+	mc.mu.Unlock()
+	if s == nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *protocol.Notify:
+		if mc.opts.OnNotify != nil {
+			// Asynchronously: the callback may call back into the
+			// session while the read loop must keep draining.
+			go mc.opts.OnNotify(s, m.Seg, m.Version)
+		}
+	case *protocol.ErrorReply:
+		s.markLost(fmt.Errorf("%w: evicted: %s", ErrOverloaded, m.Text))
+		if mc.opts.OnEvict != nil {
+			go mc.opts.OnEvict(s, m.Text)
+		}
+	}
+}
+
+func (mc *MuxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		if errors.Is(err, io.EOF) {
+			err = errors.New("core: server connection closed")
+		}
+		mc.err = err
+	}
+	mc.closed = true
+	pending := mc.pending
+	mc.pending = make(map[uint32]chan protocol.Message)
+	mc.mu.Unlock()
+	_ = mc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close tears the connection down; the server implicitly closes every
+// session it carried.
+func (mc *MuxConn) Close() error {
+	mc.fail(errors.New("core: connection closed by client"))
+	return nil
+}
+
+// NewSession opens a logical session: it allocates a session ID and
+// introduces it to the server with a Hello (the frame that creates a
+// multiplexed session server-side). An ErrOverloaded failure means
+// admission control refused the session.
+func (mc *MuxConn) NewSession(name, profile string) (*MuxSession, error) {
+	mc.mu.Lock()
+	if mc.closed {
+		err := mc.err
+		mc.mu.Unlock()
+		if err == nil {
+			err = errors.New("core: connection closed")
+		}
+		return nil, err
+	}
+	sid := mc.nextSID
+	mc.nextSID++
+	s := &MuxSession{mc: mc, sid: sid}
+	mc.sessions[sid] = s
+	mc.mu.Unlock()
+	if _, err := s.Call(&protocol.Hello{ClientName: name, Profile: profile}); err != nil {
+		mc.dropSession(sid)
+		return nil, err
+	}
+	return s, nil
+}
+
+func (mc *MuxConn) dropSession(sid uint32) {
+	mc.mu.Lock()
+	delete(mc.sessions, sid)
+	mc.mu.Unlock()
+}
+
+// SID returns the session's wire ID (diagnostics).
+func (s *MuxSession) SID() uint32 { return s.sid }
+
+func (s *MuxSession) markLost(why error) {
+	s.mu.Lock()
+	if !s.lost {
+		s.lost = true
+		s.lostWhy = why
+	}
+	s.mu.Unlock()
+}
+
+// Lost reports whether the session is known dead on the server.
+func (s *MuxSession) Lost() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}
+
+// Call performs one RPC on the session. Server-reported ErrorReplies
+// come back as errors, with CodeOverloaded mapped to ErrOverloaded
+// and CodeNoSession to ErrSessionLost (both wrap the ErrorReply, so
+// errCode introspection still works).
+func (s *MuxSession) Call(m protocol.Message) (protocol.Message, error) {
+	s.mu.Lock()
+	if s.lost {
+		err := s.lostWhy
+		s.mu.Unlock()
+		if err == nil {
+			err = ErrSessionLost
+		}
+		return nil, err
+	}
+	s.mu.Unlock()
+	reply, err := s.mc.call(s.sid, m)
+	if err == nil {
+		return reply, nil
+	}
+	switch errCode(err) {
+	case protocol.CodeNoSession:
+		err = fmt.Errorf("%w: %w", ErrSessionLost, err)
+		s.markLost(err)
+	case protocol.CodeOverloaded:
+		err = fmt.Errorf("%w: %w", ErrOverloaded, err)
+	}
+	return nil, err
+}
+
+// Close ends the session on the server (best effort) and forgets it
+// locally.
+func (s *MuxSession) Close() error {
+	s.markLost(ErrSessionLost)
+	_, err := s.mc.call(s.sid, &protocol.SessionClose{})
+	s.mc.dropSession(s.sid)
+	return err
+}
+
+// call performs one request/reply round trip addressed to a session.
+func (mc *MuxConn) call(sid uint32, m protocol.Message) (protocol.Message, error) {
+	mc.mu.Lock()
+	if mc.closed {
+		err := mc.err
+		mc.mu.Unlock()
+		if err == nil {
+			err = errors.New("core: connection closed")
+		}
+		return nil, err
+	}
+	id := mc.nextID
+	mc.nextID++
+	if mc.nextID == 0 {
+		mc.nextID = 1
+	}
+	ch := make(chan protocol.Message, 1)
+	mc.pending[id] = ch
+	err := protocol.WriteFrameMux(mc.conn, id, m, protocol.TraceContext{}, sid)
+	mc.mu.Unlock()
+	if err != nil {
+		mc.fail(err)
+		return nil, err
+	}
+	var timeoutCh <-chan time.Time
+	if mc.opts.RPCTimeout > 0 {
+		timer := time.NewTimer(mc.opts.RPCTimeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	var reply protocol.Message
+	var ok bool
+	select {
+	case reply, ok = <-ch:
+	case <-timeoutCh:
+		// Replies are matched by ID, so only this call fails; a late
+		// reply finds no pending entry and is discarded.
+		mc.mu.Lock()
+		delete(mc.pending, id)
+		mc.mu.Unlock()
+		return nil, fmt.Errorf("core: %T RPC timed out after %v", m, mc.opts.RPCTimeout)
+	}
+	if !ok {
+		mc.mu.Lock()
+		err := mc.err
+		mc.mu.Unlock()
+		if err == nil {
+			err = errors.New("core: connection closed")
+		}
+		return nil, err
+	}
+	if e, isErr := reply.(*protocol.ErrorReply); isErr {
+		return nil, e
+	}
+	return reply, nil
+}

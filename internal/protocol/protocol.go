@@ -7,6 +7,15 @@
 // connection per server carries synchronous lock traffic and
 // asynchronous invalidations concurrently (the segment table's cached
 // TCP connection of Figure 2).
+//
+// The two high bits of the type byte are flags, both off in the
+// classic format: typeTraceFlag (0x80) prefixes the payload with a
+// 16-byte trace context, and typeSessFlag (0x40) prefixes it with a
+// 4-byte logical session ID so many client sessions can share one TCP
+// connection (session.go). Frames without flags are byte-identical to
+// the original format, which is the whole compatibility story: old
+// peers and new peers interoperate without negotiation, and a sender
+// only sets a flag on its own initiative.
 package protocol
 
 import (
@@ -572,6 +581,9 @@ func newMessage(t MsgType) (Message, error) {
 		if m := newClusterMessage(t); m != nil {
 			return m, nil
 		}
+		if m := newSessionMessage(t); m != nil {
+			return m, nil
+		}
 		return nil, fmt.Errorf("protocol: unknown message type %d", t)
 	}
 }
@@ -617,30 +629,17 @@ func WriteFrame(w io.Writer, id uint32, m Message) error {
 // context when it is valid. A zero context produces a frame
 // byte-identical to WriteFrame's.
 func WriteFrameCtx(w io.Writer, id uint32, m Message, tc TraceContext) error {
-	payload := m.encode(make([]byte, 0, 64))
-	if len(payload) > maxFrame {
-		return fmt.Errorf("protocol: frame of %d bytes exceeds limit", len(payload))
-	}
-	typ := byte(m.Type())
-	extra := 0
-	if tc.Valid() {
-		typ |= typeTraceFlag
-		extra = traceCtxBytes
-	}
-	hdr := make([]byte, 0, 9+extra+len(payload))
-	hdr = wire.AppendU32(hdr, uint32(len(payload)+extra))
-	hdr = wire.AppendU32(hdr, id)
-	hdr = wire.AppendU8(hdr, typ)
-	if tc.Valid() {
-		hdr = wire.AppendU64(hdr, tc.TraceID)
-		hdr = wire.AppendU64(hdr, tc.SpanID)
-	}
-	hdr = append(hdr, payload...)
-	_, err := w.Write(hdr)
-	if err != nil {
-		return fmt.Errorf("protocol: writing frame: %w", err)
-	}
-	return nil
+	return WriteFrameMux(w, id, m, tc, 0)
+}
+
+// errFrameTooBig reports a payload exceeding the frame limit.
+func errFrameTooBig(n int) error {
+	return fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+}
+
+// errWritingFrame wraps a socket write failure.
+func errWritingFrame(err error) error {
+	return fmt.Errorf("protocol: writing frame: %w", err)
 }
 
 // ReadFrame reads one framed message, discarding any trace context.
@@ -651,32 +650,61 @@ func ReadFrame(r io.Reader) (uint32, Message, error) {
 
 // ReadFrameCtx reads one framed message plus the trace context it
 // carried, if any (zero TraceContext otherwise). Frames written
-// before trace contexts existed decode unchanged.
+// before trace contexts existed decode unchanged. Multiplexed frames
+// (session flag set) are decoded but their session ID is discarded;
+// peers that route by session use ReadFrameMux.
 func ReadFrameCtx(r io.Reader) (uint32, Message, TraceContext, error) {
+	id, m, tc, _, err := ReadFrameMux(r)
+	return id, m, tc, err
+}
+
+// ReadFrameMux reads one framed message plus the trace context and
+// logical session ID it carried. Frames without the session flag —
+// every frame a pre-multiplexing peer emits — report session zero,
+// the connection's implicit session.
+func ReadFrameMux(r io.Reader) (uint32, Message, TraceContext, uint32, error) {
 	var tc TraceContext
+	var sess uint32
 	var hdr [9]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, tc, io.EOF
+			return 0, nil, tc, 0, io.EOF
 		}
-		return 0, nil, tc, fmt.Errorf("protocol: reading frame header: %w", err)
+		return 0, nil, tc, 0, fmt.Errorf("protocol: reading frame header: %w", err)
 	}
 	n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
 	id := uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7])
 	if n > maxFrame {
-		return 0, nil, tc, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+		return 0, nil, tc, 0, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
 	}
 	typ := hdr[8]
+	muxed := typ&typeSessFlag != 0
 	traced := typ&typeTraceFlag != 0
+	want := uint32(0)
+	if muxed {
+		want += sessIDBytes
+		typ &^= typeSessFlag
+	}
 	if traced {
-		if n < traceCtxBytes {
-			return 0, nil, tc, fmt.Errorf("protocol: traced frame of %d bytes lacks trace context", n)
-		}
+		want += traceCtxBytes
 		typ &^= typeTraceFlag
+	}
+	if n < want {
+		what := ""
+		if muxed {
+			what = "session id"
+		}
+		if traced {
+			if what != "" {
+				what += " and "
+			}
+			what += "trace context"
+		}
+		return 0, nil, tc, 0, fmt.Errorf("protocol: flagged frame of %d bytes lacks its %s", n, what)
 	}
 	m, err := newMessage(MsgType(typ))
 	if err != nil {
-		return 0, nil, tc, err
+		return 0, nil, tc, 0, err
 	}
 	// Read the payload in bounded chunks: a corrupt length field must
 	// fail after at most one chunk, not provoke a gigabyte
@@ -695,23 +723,29 @@ func ReadFrameCtx(r io.Reader) (uint32, Message, TraceContext, error) {
 		off := len(payload)
 		payload = append(payload, make([]byte, step)...)
 		if _, err := io.ReadFull(r, payload[off:]); err != nil {
-			return 0, nil, tc, fmt.Errorf("protocol: reading frame payload: %w", err)
+			return 0, nil, tc, 0, fmt.Errorf("protocol: reading frame payload: %w", err)
 		}
 		remaining -= step
 	}
 	wr := wire.NewReader(payload)
+	if muxed {
+		sess = wr.U32()
+		if err := wr.Err(); err != nil {
+			return 0, nil, tc, 0, fmt.Errorf("protocol: reading session id: %w", err)
+		}
+	}
 	if traced {
 		tc.TraceID = wr.U64()
 		tc.SpanID = wr.U64()
 		if err := wr.Err(); err != nil {
-			return 0, nil, tc, fmt.Errorf("protocol: reading trace context: %w", err)
+			return 0, nil, tc, sess, fmt.Errorf("protocol: reading trace context: %w", err)
 		}
 	}
 	if err := m.decode(wr); err != nil {
-		return 0, nil, tc, fmt.Errorf("protocol: decoding %T: %w", m, err)
+		return 0, nil, tc, sess, fmt.Errorf("protocol: decoding %T: %w", m, err)
 	}
 	if wr.Remaining() != 0 {
-		return 0, nil, tc, fmt.Errorf("protocol: %d trailing bytes in %T frame", wr.Remaining(), m)
+		return 0, nil, tc, sess, fmt.Errorf("protocol: %d trailing bytes in %T frame", wr.Remaining(), m)
 	}
-	return id, m, tc, nil
+	return id, m, tc, sess, nil
 }

@@ -1,0 +1,121 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMuxFrameRoundTrip drives every flag combination through one
+// frame: session only, trace only, both, neither.
+func TestMuxFrameRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xdead, SpanID: 0xbeef}
+	cases := []struct {
+		name string
+		tc   TraceContext
+		sess uint32
+	}{
+		{"plain", TraceContext{}, 0},
+		{"sess", TraceContext{}, 7},
+		{"trace", tc, 0},
+		{"sess+trace", tc, 0xfffe},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			msg := &ReadLock{Seg: "h:1/s", HaveVersion: 9}
+			if err := WriteFrameMux(&buf, 42, msg, c.tc, c.sess); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			id, m, gotTC, gotSess, err := ReadFrameMux(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if id != 42 {
+				t.Errorf("id = %d, want 42", id)
+			}
+			if gotSess != c.sess {
+				t.Errorf("sess = %d, want %d", gotSess, c.sess)
+			}
+			if gotTC != c.tc {
+				t.Errorf("tc = %+v, want %+v", gotTC, c.tc)
+			}
+			rl, ok := m.(*ReadLock)
+			if !ok || rl.Seg != "h:1/s" || rl.HaveVersion != 9 {
+				t.Errorf("decoded %#v", m)
+			}
+		})
+	}
+}
+
+// TestMuxSessionZeroByteIdentical pins the compatibility contract:
+// a frame for the implicit session (ID zero) must be byte-identical
+// to the classic WriteFrame encoding, so pre-mux peers interoperate
+// with mux-capable ones without negotiation.
+func TestMuxSessionZeroByteIdentical(t *testing.T) {
+	msg := &WriteUnlock{Seg: "h:1/s", WriterID: "w", Seq: 3}
+	var classic, muxed bytes.Buffer
+	if err := WriteFrame(&classic, 5, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameMux(&muxed, 5, msg, TraceContext{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(classic.Bytes(), muxed.Bytes()) {
+		t.Fatalf("session-0 mux frame differs from classic frame:\n%x\n%x",
+			classic.Bytes(), muxed.Bytes())
+	}
+	// And the classic reader must decode a session-0 mux frame.
+	id, m, err := ReadFrame(&muxed)
+	if err != nil || id != 5 {
+		t.Fatalf("classic read of session-0 frame: id=%d err=%v", id, err)
+	}
+	if wu, ok := m.(*WriteUnlock); !ok || wu.Seg != "h:1/s" {
+		t.Fatalf("decoded %#v", m)
+	}
+}
+
+// TestMuxFrameLegacyReaderDiscardsSession checks ReadFrameCtx (the
+// pre-mux entry point) still decodes a flagged frame, dropping the
+// session ID rather than corrupting the payload.
+func TestMuxFrameLegacyReaderDiscardsSession(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameMux(&buf, 8, &Notify{Seg: "h:1/s", Version: 4}, TraceContext{}, 99); err != nil {
+		t.Fatal(err)
+	}
+	id, m, tc, err := ReadFrameCtx(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if id != 8 || tc.Valid() {
+		t.Errorf("id=%d tc=%+v", id, tc)
+	}
+	if n, ok := m.(*Notify); !ok || n.Seg != "h:1/s" || n.Version != 4 {
+		t.Errorf("decoded %#v", m)
+	}
+}
+
+// TestMuxFrameTruncatedSessionID rejects a flagged frame whose
+// payload is too short to hold the session ID.
+func TestMuxFrameTruncatedSessionID(t *testing.T) {
+	// length=2, id=1, type=Ack|sessFlag, then 2 bytes: too short for
+	// the 4-byte session ID.
+	raw := []byte{0, 0, 0, 2, 0, 0, 0, 1, byte(TypeAck) | typeSessFlag, 0, 0}
+	if _, _, _, _, err := ReadFrameMux(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated session id accepted")
+	}
+}
+
+// TestSessionCloseRoundTrip round-trips the session-teardown message.
+func TestSessionCloseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameMux(&buf, 1, &SessionClose{}, TraceContext{}, 12); err != nil {
+		t.Fatal(err)
+	}
+	_, m, _, sess, err := ReadFrameMux(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*SessionClose); !ok || sess != 12 {
+		t.Fatalf("decoded %#v sess=%d", m, sess)
+	}
+}

@@ -636,9 +636,10 @@ func (s *Server) demoteSegLocked(st *segState) []func() {
 	for cl := range st.subs {
 		target := cl
 		out = append(out, func() {
-			if err := target.send(0, &protocol.Notify{Seg: name, Version: ver}); err != nil {
-				target.srv.logf("demote notify %s: %v", target.conn.RemoteAddr(), err)
-			}
+			// Shed-on-overload is safe here too: a shed subscriber is
+			// evicted and re-validates on reconnect, which is exactly
+			// what this Notify would have made it do.
+			target.sendNotify(&protocol.Notify{Seg: name, Version: ver})
 		})
 	}
 	st.subs = make(map[*session]*subState)

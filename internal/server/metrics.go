@@ -27,6 +27,13 @@ const (
 	smCheckpointSeconds = "iw_server_checkpoint_seconds"
 	smCheckpointErrors  = "iw_server_checkpoint_errors_total"
 	smSessions          = "iw_server_sessions"
+	smConns             = "iw_server_conns"
+	smSessionsOpened    = "iw_server_sessions_opened_total"
+	smSessionsEvicted   = "iw_server_sessions_evicted_total"
+	smSessionsRefused   = "iw_server_sessions_refused_total"
+	smShed              = "iw_server_shed_total"
+	smGroupCommits      = "iw_server_group_commits_total"
+	smGroupCommitted    = "iw_server_group_commit_releases_total"
 	smJournalAppends    = "iw_server_journal_appends_total"
 	smJournalReplayed   = "iw_server_journal_replayed_total"
 	smJournalCompacts   = "iw_server_journal_compactions_total"
@@ -47,18 +54,26 @@ type serverInstruments struct {
 	lockWait          *obs.Histogram
 	segLockContention *obs.Counter
 	versionFresh      *obs.Counter
-	versionDiff   *obs.Counter
-	collectSec    *obs.Histogram
-	applySec      *obs.Histogram
-	diffSize      *obs.Histogram
-	diffBytes     *obs.Counter
-	unitsSent     *obs.Counter
-	unitsFull     *obs.Counter
-	applyUnits    *obs.Counter
-	notifications *obs.Counter
-	ckptSec       *obs.Histogram
-	ckptErrors    *obs.Counter
-	sessions      *obs.Gauge
+	versionDiff       *obs.Counter
+	collectSec        *obs.Histogram
+	applySec          *obs.Histogram
+	diffSize          *obs.Histogram
+	diffBytes         *obs.Counter
+	unitsSent         *obs.Counter
+	unitsFull         *obs.Counter
+	applyUnits        *obs.Counter
+	notifications     *obs.Counter
+	ckptSec           *obs.Histogram
+	ckptErrors        *obs.Counter
+	sessions          *obs.Gauge
+	conns             *obs.Gauge
+
+	sessionsOpened  *obs.Counter
+	sessionsEvicted *obs.Counter
+	sessionsRefused *obs.Counter
+	shed            *obs.Counter
+	groupCommits    *obs.Counter
+	groupCommitted  *obs.Counter
 
 	journalAppends       *obs.Counter
 	journalReplayStartup *obs.Counter
@@ -106,7 +121,21 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 		ckptErrors: reg.Counter(smCheckpointErrors,
 			"Checkpoint passes that failed."),
 		sessions: reg.Gauge(smSessions,
-			"Currently connected client sessions."),
+			"Currently open logical client sessions (a multiplexed connection carries many)."),
+		conns: reg.Gauge(smConns,
+			"Currently accepted TCP connections; sessions/conns is the multiplexing ratio."),
+		sessionsOpened: reg.Counter(smSessionsOpened,
+			"Logical sessions admitted since start."),
+		sessionsEvicted: reg.Counter(smSessionsEvicted,
+			"Logical sessions evicted by the server (slow consumers shed, stuck connections)."),
+		sessionsRefused: reg.Counter(smSessionsRefused,
+			"Session creations refused by admission control (Options.MaxSessions reached, CodeOverloaded)."),
+		shed: reg.Counter(smShed,
+			"Notifications shed because the subscriber's session queue bound or the connection queue was full; every shed evicts the subscriber (DESIGN.md §10)."),
+		groupCommits: reg.Counter(smGroupCommits,
+			"Group-commit flushes: one merged journal append + Replicate + notification fan-out covering a batch of releases."),
+		groupCommitted: reg.Counter(smGroupCommitted,
+			"Releases committed through a group-commit batch; releases/flushes is the coalescing factor."),
 		journalAppends: reg.Counter(smJournalAppends,
 			"Replicate records appended to segment journals (one per committed write, before its acknowledgement)."),
 		journalReplayStartup: reg.Counter(smJournalReplayed,

@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -57,6 +56,32 @@ type Options struct {
 	// are served. The caller owns the node's lifecycle (Start/Close);
 	// see DESIGN.md §7.
 	Cluster *cluster.Node
+	// MaxSessions caps concurrent logical sessions server-wide;
+	// admission control refuses session creation past the cap with
+	// CodeOverloaded. Zero means unlimited (DESIGN.md §10).
+	MaxSessions int
+	// SessionSendQueue bounds outbound frames queued per logical
+	// session; a subscriber over the bound when a Notify arrives is
+	// shed (evicted), never buffered without limit. Zero means
+	// DefaultSessionSendQueue.
+	SessionSendQueue int
+	// ConnSendQueue bounds the per-connection writer queue shared by
+	// every session multiplexed on the connection. Zero means
+	// DefaultConnSendQueue.
+	ConnSendQueue int
+	// WriteTimeout bounds how long a reply may wait for space in the
+	// connection's writer queue before the connection is declared
+	// stuck and evicted. Zero means DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// GroupCommit enables release coalescing on hot segments: while
+	// one release's journal append / replication fan-out is in
+	// flight, releases queued behind it on the same segment are
+	// flushed together as one merged diff, one journal record, one
+	// Replicate frame, and one notification fan-out (DESIGN.md §10).
+	GroupCommit bool
+	// GroupCommitMax caps how many releases one flush may coalesce.
+	// Zero means DefaultGroupCommitMax.
+	GroupCommitMax int
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -71,10 +96,17 @@ type Options struct {
 type Server struct {
 	opts Options
 
-	mu       sync.Mutex // lifecycle: sessions, ln, closed, lastRing
+	mu       sync.Mutex // lifecycle: conns, sessions, ln, closed, lastRing
+	conns    map[*wireConn]struct{}
 	sessions map[*session]struct{}
 	ln       net.Listener
 	closed   bool
+
+	// Resolved transport bounds (Options with defaults applied).
+	sessionSendQueue int
+	connSendQueue    int
+	writeTimeout     time.Duration
+	groupCommitMax   int
 
 	// reg is the sharded segment registry; each segState carries its
 	// own mutex (see segState).
@@ -125,6 +157,14 @@ type segState struct {
 	// instead of applied twice (at-most-once). Persisted with the
 	// segment's checkpoint.
 	applied map[string]appliedWrite
+
+	// Group commit (DESIGN.md §10): releases applied but whose
+	// durability fan-out has not yet run, plus the single-flusher
+	// flag. flushDone (a condition on mu) is broadcast whenever the
+	// flusher takes a batch or exits.
+	pending   []*pendingRelease
+	flushing  bool
+	flushDone *sync.Cond
 }
 
 // appliedWrite is the recorded outcome of a write release.
@@ -145,23 +185,32 @@ type waiter struct {
 	ch   chan struct{}
 }
 
-// session is one connected client.
-type session struct {
-	srv     *Server
-	conn    net.Conn
-	sendMu  sync.Mutex
-	name    string
-	profile string
-}
-
 // New returns a server, restoring any checkpoint found in
 // opts.CheckpointDir.
 func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:     opts,
+		conns:    make(map[*wireConn]struct{}),
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
 		tracer:   opts.Tracer,
+
+		sessionSendQueue: opts.SessionSendQueue,
+		connSendQueue:    opts.ConnSendQueue,
+		writeTimeout:     opts.WriteTimeout,
+	}
+	if s.sessionSendQueue <= 0 {
+		s.sessionSendQueue = DefaultSessionSendQueue
+	}
+	if s.connSendQueue <= 0 {
+		s.connSendQueue = DefaultConnSendQueue
+	}
+	if s.writeTimeout <= 0 {
+		s.writeTimeout = DefaultWriteTimeout
+	}
+	s.groupCommitMax = opts.GroupCommitMax
+	if s.groupCommitMax <= 0 {
+		s.groupCommitMax = DefaultGroupCommitMax
 	}
 	s.reg.init()
 	if opts.Metrics != nil {
@@ -273,22 +322,22 @@ func (s *Server) Serve(ln net.Listener) error {
 				return fmt.Errorf("server: accept: %w", err)
 			}
 		}
-		sess := &session{srv: s, conn: conn}
+		wc := s.newWireConn(conn)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return net.ErrClosed
 		}
-		s.sessions[sess] = struct{}{}
+		s.conns[wc] = struct{}{}
 		if s.ins != nil {
-			s.ins.sessions.Set(int64(len(s.sessions)))
+			s.ins.conns.Set(int64(len(s.conns)))
 		}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			sess.serve()
+			wc.serve()
 		}()
 	}
 }
@@ -315,8 +364,8 @@ func (s *Server) Close() error {
 	s.closed = true
 	close(s.done)
 	ln := s.ln
-	for sess := range s.sessions {
-		_ = sess.conn.Close()
+	for wc := range s.conns {
+		wc.shut()
 	}
 	s.mu.Unlock()
 	if ln != nil {
@@ -361,6 +410,7 @@ func (s *Server) newSegState(name string) *segState {
 		subs:    make(map[*session]*subState),
 		applied: make(map[string]appliedWrite),
 	}
+	st.flushDone = sync.NewCond(&st.mu)
 	if s.opts.DiffCacheCap != 0 {
 		n := s.opts.DiffCacheCap
 		if n < 0 {
@@ -382,33 +432,6 @@ func (s *Server) getSeg(name string, create bool) (*segState, error) {
 	}
 	st, _ := s.reg.getOrCreate(name, s.newSegState)
 	return st, nil
-}
-
-// serve runs the session's request loop.
-func (sess *session) serve() {
-	defer sess.cleanup()
-	for {
-		id, msg, tc, err := protocol.ReadFrameCtx(sess.conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				sess.srv.logf("session %s: %v", sess.conn.RemoteAddr(), err)
-			}
-			return
-		}
-		reply := sess.handle(msg, tc)
-		if reply == nil {
-			continue
-		}
-		if err := sess.send(id, reply); err != nil {
-			return
-		}
-	}
-}
-
-func (sess *session) send(id uint32, m protocol.Message) error {
-	sess.sendMu.Lock()
-	defer sess.sendMu.Unlock()
-	return protocol.WriteFrame(sess.conn, id, m)
 }
 
 func errReply(code uint16, format string, args ...any) *protocol.ErrorReply {
@@ -607,6 +630,7 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 	if err != nil {
 		return errReply(protocol.CodeNoSegment, "%v", err)
 	}
+	sess.touch(st)
 	s.lockSeg(st)
 	if st.writer == sess {
 		st.mu.Unlock()
@@ -623,6 +647,11 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 		qsp = sp.Child("server.queue_wait")
 	}
 	for st.writer != nil {
+		if sess.gone() {
+			st.mu.Unlock()
+			qsp.End()
+			return errSessionClosed()
+		}
 		w := &waiter{sess: sess, ch: make(chan struct{})}
 		st.waiters = append(st.waiters, w)
 		st.mu.Unlock()
@@ -636,10 +665,16 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 		if st.writer == sess {
 			break // the releaser handed the lock directly to us
 		}
-		// Our wait was cancelled (session cleanup raced); try again.
+		// Our wait was cancelled (session teardown raced); try again.
 	}
 	qsp.End()
 	st.writer = sess
+	if sess.gone() {
+		// Teardown raced the grant: give the lock straight back.
+		releaseWriter(st, sess)
+		st.mu.Unlock()
+		return errSessionClosed()
+	}
 	if s.ins != nil {
 		s.ins.lockWait.ObserveSince(queuedAt)
 	}
@@ -700,6 +735,17 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 		st.mu.Unlock()
 		return errReply(protocol.CodeLockState, "write lock not held")
 	}
+	if s.opts.GroupCommit {
+		// Backpressure: a full pending batch makes the release wait
+		// (before applying) until the flusher takes a batch. The
+		// condition wait releases the mutex, so re-verify the write
+		// lock — a session teardown may have stripped it meanwhile.
+		s.waitGroupCommitRoom(st)
+		if st.writer != sess {
+			st.mu.Unlock()
+			return errReply(protocol.CodeLockState, "write lock not held")
+		}
+	}
 	prevVer := st.seg.Version
 	version := prevVer
 	var notifications []func()
@@ -732,6 +778,12 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 	}
 	if m.WriterID != "" {
 		st.applied[m.WriterID] = appliedWrite{seq: m.Seq, version: version}
+	}
+	if s.opts.GroupCommit && version != prevVer {
+		// Group mode: hand the lock off now and let the segment's
+		// flusher journal, replicate, and notify for the whole batch
+		// at once (groupcommit.go); unlocks st.mu.
+		return sess.finishReleaseGrouped(st, m.Seg, prevVer, version, notifications)
 	}
 	// Journal the release before replication and before the reply
 	// (DESIGN.md §9): an acknowledged write must already be on disk.
@@ -838,9 +890,9 @@ func updateSubscribers(st *segState, writer *session, newVer uint32, modified in
 			sub.notified = true
 			target, name := cl, st.name
 			out = append(out, func() {
-				if err := target.send(0, &protocol.Notify{Seg: name, Version: newVer}); err != nil {
-					target.srv.logf("notify %s: %v", target.conn.RemoteAddr(), err)
-				}
+				// Never blocks: a slow consumer is shed, not buffered
+				// (DESIGN.md §10).
+				target.sendNotify(&protocol.Notify{Seg: name, Version: newVer})
 			})
 		}
 	}
@@ -856,8 +908,12 @@ func (sess *session) handleSubscribe(m *protocol.Subscribe) protocol.Message {
 	if err := m.Policy.Validate(); err != nil {
 		return errReply(protocol.CodeBadRequest, "%v", err)
 	}
+	sess.touch(st)
 	s.lockSeg(st)
 	defer st.mu.Unlock()
+	if sess.gone() {
+		return errSessionClosed()
+	}
 	st.subs[sess] = &subState{policy: m.Policy, haveVersion: m.HaveVersion}
 	return &protocol.Ack{}
 }
@@ -872,36 +928,6 @@ func (sess *session) handleUnsubscribe(m *protocol.Unsubscribe) protocol.Message
 	defer st.mu.Unlock()
 	delete(st.subs, sess)
 	return &protocol.Ack{}
-}
-
-// cleanup releases everything a departing session holds: its entry in
-// the session set, then — segment by segment, in registry order — its
-// subscription, queued waiters, and any held write lock.
-func (sess *session) cleanup() {
-	s := sess.srv
-	_ = sess.conn.Close()
-	s.mu.Lock()
-	delete(s.sessions, sess)
-	if s.ins != nil {
-		s.ins.sessions.Set(int64(len(s.sessions)))
-	}
-	s.mu.Unlock()
-	for _, st := range s.reg.snapshot() {
-		s.lockSeg(st)
-		delete(st.subs, sess)
-		// Drop queued waiters belonging to this session.
-		kept := st.waiters[:0]
-		for _, w := range st.waiters {
-			if w.sess == sess {
-				close(w.ch) // its handler sees writer==nil and retries or is gone
-				continue
-			}
-			kept = append(kept, w)
-		}
-		st.waiters = kept
-		releaseWriter(st, sess)
-		st.mu.Unlock()
-	}
 }
 
 // UnitsModifiedSince counts units in subblocks newer than ver — the

@@ -48,6 +48,19 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		states[i] = st
 	}
 
+	// A TxCommit advances versions without joining the group-commit
+	// batch, so any in-flight flush on an involved segment must drain
+	// first — otherwise journal records and Replicate frames for
+	// overlapping version ranges would land out of order. The session
+	// holds the write locks, so nothing re-fills the batch after the
+	// drain (and if it does not hold them, the commit aborts below
+	// regardless).
+	if s.opts.GroupCommit {
+		for _, st := range states {
+			s.drainGroupCommit(st)
+		}
+	}
+
 	// A failed transaction is an abort: the session's write locks on
 	// the named segments are released, mirroring the client library,
 	// which releases its local locks when a commit fails.

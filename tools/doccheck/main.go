@@ -1,12 +1,15 @@
 // Command doccheck enforces the repo's godoc conventions without any
-// external linters: every package must carry a package comment, and
-// every exported top-level declaration (type, function, method,
-// const/var group) must carry a doc comment. CI runs it over internal
-// and cmd; see .github/workflows/ci.yml.
+// external linters: every package must carry a package comment
+// opening with the standard godoc phrase ("Package <name> ..." for
+// libraries, "Command <name> ..." for main packages), and every
+// exported top-level declaration (type, function, method, const/var
+// group) must carry a doc comment. CI runs it over the whole tree —
+// root, internal, cmd, tools, and examples; see
+// .github/workflows/ci.yml and the README's documentation rule.
 //
 // Usage:
 //
-//	go run ./tools/doccheck ./internal/... ./cmd/...
+//	go run ./tools/doccheck . ./internal/... ./cmd/... ./tools/... ./examples/...
 //
 // Patterns ending in /... recurse. Test files are exempt, as are
 // generated files (a "Code generated" header). Exit status is 1 when
@@ -101,8 +104,14 @@ func checkDir(dir string) int {
 	}
 	bad := 0
 	for name, pkg := range pkgs {
-		if !packageDocumented(pkg) {
+		switch doc := packageDoc(pkg); {
+		case doc == "":
 			fmt.Printf("%s: package %s has no package comment\n", dir, name)
+			bad++
+		case !strings.HasPrefix(doc, docPrefix(name)):
+			// main packages are commands: their doc names the binary
+			// ("Command iwserver ..."), not the package.
+			fmt.Printf("%s: package %s doc comment does not start with %q\n", dir, name, docPrefix(name))
 			bad++
 		}
 		for file, f := range pkg.Files {
@@ -115,15 +124,28 @@ func checkDir(dir string) int {
 	return bad
 }
 
-// packageDocumented reports whether any file carries the package's
-// doc comment.
-func packageDocumented(pkg *ast.Package) bool {
+// packageDoc returns the package's doc comment text, or "" when no
+// file carries one.
+func packageDoc(pkg *ast.Package) string {
 	for _, f := range pkg.Files {
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			return true
+		if f.Doc != nil {
+			if text := strings.TrimSpace(f.Doc.Text()); text != "" {
+				return text
+			}
 		}
 	}
-	return false
+	return ""
+}
+
+// docPrefix is the godoc opening phrase required of a package's doc
+// comment. For libraries the full "Package <name> " is checked; main
+// packages open with "Command " followed by the binary name, which
+// the parse tree does not know, so only the phrase is checked.
+func docPrefix(pkgName string) string {
+	if pkgName == "main" {
+		return "Command "
+	}
+	return "Package " + pkgName + " "
 }
 
 // isGenerated detects the standard "Code generated ... DO NOT EDIT."
