@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke iwtop-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -52,7 +52,32 @@ loadgen-slo:
 
 loadgen-smoke:
 	$(GO) run ./tools/loadgen -sessions 1000 -conns 8 -rate 500 \
-		-duration 5s -subscribe 0.2 -group-commit -json loadgen-smoke.json
+		-duration 5s -subscribe 0.2 -group-commit -slo-gate -json loadgen-smoke.json
+
+# Fleet observability smoke (also run in CI): boots a real three-node
+# iwserver topology with gossip-advertised metrics listeners, then
+# aggregates it with `iwtop -json -once -expect 3` — one seed address
+# must discover all three nodes, scrape them, and find them healthy.
+# Retries while the fleet's membership gossip converges. Writes the
+# snapshot to iwtop-smoke.json.
+iwtop-smoke:
+	@set -e; \
+	$(GO) build -o iwserver-smoke ./cmd/iwserver; \
+	trap 'kill $$S1 $$S2 $$S3 2>/dev/null; rm -f iwserver-smoke' EXIT; \
+	./iwserver-smoke -quiet -addr 127.0.0.1:7781 -cluster-self 127.0.0.1:7781 \
+		-cluster-peers 127.0.0.1:7782,127.0.0.1:7783 -metrics-addr 127.0.0.1:9981 & S1=$$!; \
+	./iwserver-smoke -quiet -addr 127.0.0.1:7782 -cluster-self 127.0.0.1:7782 \
+		-cluster-peers 127.0.0.1:7781,127.0.0.1:7783 -metrics-addr 127.0.0.1:9982 & S2=$$!; \
+	./iwserver-smoke -quiet -addr 127.0.0.1:7783 -cluster-self 127.0.0.1:7783 \
+		-cluster-peers 127.0.0.1:7781,127.0.0.1:7782 -metrics-addr 127.0.0.1:9983 & S3=$$!; \
+	ok=; for i in $$(seq 1 40); do \
+		if $(GO) run ./tools/iwtop -seed 127.0.0.1:7781 -json -once -expect 3 \
+			> iwtop-smoke.json 2> iwtop-smoke.err; then ok=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	if [ -z "$$ok" ]; then echo "iwtop-smoke: fleet never became healthy" >&2; \
+		cat iwtop-smoke.err >&2; cat iwtop-smoke.json >&2; exit 1; fi; \
+	rm -f iwtop-smoke.err; echo "iwtop-smoke: 3 nodes discovered and healthy (iwtop-smoke.json)"
 
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.
@@ -88,4 +113,4 @@ linkcheck:
 	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md CAPACITY.md
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json
+	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json iwtop-smoke.json iwtop-smoke.err iwserver-smoke

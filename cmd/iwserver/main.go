@@ -60,14 +60,20 @@
 //
 //	iwserver -addr :7777 -metrics-addr :9090
 //
-// serves Prometheus text metrics on /metrics, a per-segment JSON
-// snapshot on /debug/segments, distributed traces on /debug/traces
-// (JSON, ?id= detail, ?format=chrome Perfetto export), a runtime
-// health snapshot on /debug/runtime, and the standard pprof profiles
-// under /debug/pprof/. With -metrics-addr :0 the chosen port is
-// logged at startup. Tracing rides the same flag; -trace=false turns
-// it off, and -trace-capacity / -trace-sample / -trace-slowest tune
-// the tail-sampled store.
+// serves Prometheus text metrics on /metrics, the node health verdict
+// on /healthz (503 when overloaded; -slo-short/-slo-long/-slo-sample
+// tune its burn-rate windows), the full SLO report on /debug/slo, the
+// flight-recorder event ring on /debug/flight (-flight-capacity sizes
+// it; it is also dumped on panic), a per-segment JSON snapshot on
+// /debug/segments, distributed traces on /debug/traces (JSON, ?id=
+// detail, ?format=chrome Perfetto export), a runtime health snapshot
+// on /debug/runtime, and the standard pprof profiles under
+// /debug/pprof/. With -metrics-addr :0 the chosen port is logged at
+// startup, and in cluster mode the bound address is advertised in
+// membership gossip so fleet tools (tools/iwtop) can discover every
+// node's scrape endpoint from one seed. Tracing rides the same flag;
+// -trace=false turns it off, and -trace-capacity / -trace-sample /
+// -trace-slowest tune the tail-sampled store.
 package main
 
 import (
@@ -126,6 +132,10 @@ func run(args []string) error {
 	clusterReplicas := fs.Int("cluster-replicas", 1, "replicas each segment streams committed writes to")
 	clusterVNodes := fs.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = default)")
 	clusterHeartbeat := fs.Duration("cluster-heartbeat", 500*time.Millisecond, "peer probe interval for failure detection (0 = off)")
+	flightCap := fs.Int("flight-capacity", obs.DefaultFlightCapacity, "events the always-on flight recorder retains for /debug/flight and panic post-mortems (0 = off)")
+	sloShort := fs.Duration("slo-short", 0, "short SLO burn-rate window for /healthz and /debug/slo (0 = default)")
+	sloLong := fs.Duration("slo-long", 0, "long SLO burn-rate window (0 = default)")
+	sloSample := fs.Duration("slo-sample", 0, "SLO sampling cadence (0 = default, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +150,12 @@ func run(args []string) error {
 		WriteTimeout:        *writeTimeout,
 		GroupCommit:         *groupCommit,
 		GroupCommitMax:      *groupCommitMax,
+		SLOShortWindow:      *sloShort,
+		SLOLongWindow:       *sloLong,
+		SLOSampleEvery:      *sloSample,
+	}
+	if *flightCap > 0 {
+		opts.Flight = obs.NewFlightRecorder(*flightCap)
 	}
 	if !*quiet {
 		logger := log.New(os.Stderr, "iwserver: ", log.LstdFlags)
@@ -159,6 +175,19 @@ func run(args []string) error {
 			opts.Tracer = tracer
 		}
 	}
+	// The metrics listener binds before the cluster node is built: its
+	// bound address is advertised on this node's member entry, which is
+	// how fleet tools (tools/iwtop) learn every node's scrape endpoint
+	// from membership gossip alone.
+	var mln net.Listener
+	if reg != nil {
+		var err error
+		mln, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
+		}
+		defer mln.Close()
+	}
 	var node *cluster.Node
 	if *clusterSelf != "" {
 		var peers []string
@@ -170,14 +199,19 @@ func run(args []string) error {
 		if len(peers) == 0 {
 			return fmt.Errorf("cluster mode needs -cluster-peers alongside -cluster-self")
 		}
+		var advertise string
+		if mln != nil {
+			advertise = advertiseAddr(mln.Addr().String(), *clusterSelf)
+		}
 		node = cluster.NewNode(cluster.Options{
-			Self:      *clusterSelf,
-			Peers:     peers,
-			Replicas:  *clusterReplicas,
-			VNodes:    *clusterVNodes,
-			Heartbeat: *clusterHeartbeat,
-			Metrics:   reg,
-			Logf:      opts.Logf,
+			Self:        *clusterSelf,
+			Peers:       peers,
+			Replicas:    *clusterReplicas,
+			VNodes:      *clusterVNodes,
+			Heartbeat:   *clusterHeartbeat,
+			MetricsAddr: advertise,
+			Metrics:     reg,
+			Logf:        opts.Logf,
 		})
 		opts.Cluster = node
 	}
@@ -189,12 +223,7 @@ func run(args []string) error {
 		node.Start()
 		defer node.Close()
 	}
-	if reg != nil {
-		mln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
-		}
-		defer mln.Close()
+	if mln != nil {
 		go func() { _ = http.Serve(mln, metricsMux(reg, srv, tracer)) }()
 		if !*quiet {
 			log.Printf("iwserver: metrics on http://%s/metrics", mln.Addr())
@@ -231,6 +260,24 @@ func run(args []string) error {
 	}
 }
 
+// advertiseAddr turns the metrics listener's bound address into the
+// address peers should be told to scrape: a bind to an unspecified
+// host (":9090", "0.0.0.0:9090") advertises the cluster-self host with
+// the bound port, since peers cannot dial the wildcard.
+func advertiseAddr(bound, self string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return bound
+	}
+	if ip := net.ParseIP(host); host != "" && (ip == nil || !ip.IsUnspecified()) {
+		return bound
+	}
+	if sh, _, err := net.SplitHostPort(self); err == nil && sh != "" {
+		return net.JoinHostPort(sh, port)
+	}
+	return net.JoinHostPort("127.0.0.1", port)
+}
+
 // metricsMux builds the observability surface: Prometheus text on
 // /metrics, per-segment JSON on /debug/segments, traces on
 // /debug/traces (when tracing is on), runtime health on
@@ -238,6 +285,11 @@ func run(args []string) error {
 func metricsMux(reg *obs.Registry, srv *server.Server, tracer *obs.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(reg))
+	mux.Handle("/healthz", srv.HealthzHandler())
+	mux.Handle("/debug/slo", srv.SLOHandler())
+	if f := srv.Flight(); f != nil {
+		mux.Handle("/debug/flight", obs.FlightHandler(f))
+	}
 	mux.HandleFunc("/debug/segments", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -32,6 +32,11 @@ type Options struct {
 	FailureThreshold int
 	// DialTimeout bounds peer dials and RPCs; 0 = 2s.
 	DialTimeout time.Duration
+	// MetricsAddr is this node's observability HTTP address (the
+	// /metrics + /debug surface), advertised on its member entry so
+	// membership gossip teaches fleet tools (tools/iwtop) every
+	// node's scrape endpoint. Empty advertises nothing.
+	MetricsAddr string
 	// Metrics receives iw_cluster_* instruments; nil disables them.
 	Metrics *obs.Registry
 	// Logf logs membership transitions; nil discards.
@@ -107,7 +112,11 @@ func NewNode(opts Options) *Node {
 		VNodes:   uint16(opts.VNodes),
 	}
 	for _, a := range addrs {
-		ms.Members = append(ms.Members, protocol.Member{Addr: a})
+		m := protocol.Member{Addr: a}
+		if a == opts.Self {
+			m.MetricsAddr = opts.MetricsAddr
+		}
+		ms.Members = append(ms.Members, m)
 	}
 	n := &Node{
 		opts:  opts,
@@ -188,9 +197,25 @@ func (n *Node) OnEpochChange(fn func(ms protocol.Membership)) {
 	n.onEpoch = fn
 }
 
+// annotateSelfLocked re-stamps this node's metrics-addr advertisement
+// onto its own member entry — adopted peer views may predate (or have
+// never seen) the advertisement. Mutates ms in place; every caller
+// passes a clone or a freshly built view. Callers hold n.mu.
+func (n *Node) annotateSelfLocked(ms *protocol.Membership) {
+	if n.opts.MetricsAddr == "" {
+		return
+	}
+	for i := range ms.Members {
+		if ms.Members[i].Addr == n.opts.Self {
+			ms.Members[i].MetricsAddr = n.opts.MetricsAddr
+		}
+	}
+}
+
 // install replaces the view, rebuilds the ring, refreshes metrics, and
 // returns the callback to fire. Callers hold n.mu.
 func (n *Node) installLocked(ms protocol.Membership) func(protocol.Membership) {
+	n.annotateSelfLocked(&ms)
 	n.ms = ms
 	n.ring = BuildRing(ms)
 	n.publishMetricsLocked()
@@ -248,22 +273,32 @@ func (n *Node) AdoptMembership(ms protocol.Membership) bool {
 	return true
 }
 
+// memberMeta is the per-address state viewsEqual and mergeViews
+// compare and reconcile.
+type memberMeta struct {
+	dead    bool
+	metrics string
+}
+
 // viewsEqual reports whether two same-epoch views describe the same
-// cluster: identical member sets with identical dead marks and the
-// same override mapping. Override order is irrelevant — it is a map in
-// spirit — so it is compared as one.
+// cluster: identical member sets with identical dead marks and
+// metrics-addr advertisements, and the same override mapping.
+// Override order is irrelevant — it is a map in spirit — so it is
+// compared as one. Advertisement differences count as divergence so
+// an annotation spreads through the same merge machinery as every
+// other membership fact.
 func viewsEqual(a, b protocol.Membership) bool {
 	if a.Replicas != b.Replicas || a.VNodes != b.VNodes ||
 		len(a.Members) != len(b.Members) || len(a.Overrides) != len(b.Overrides) {
 		return false
 	}
-	dead := make(map[string]bool, len(a.Members))
+	meta := make(map[string]memberMeta, len(a.Members))
 	for _, m := range a.Members {
-		dead[m.Addr] = m.Dead
+		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr}
 	}
 	for _, m := range b.Members {
-		d, ok := dead[m.Addr]
-		if !ok || d != m.Dead {
+		mm, ok := meta[m.Addr]
+		if !ok || mm.dead != m.Dead || mm.metrics != m.MetricsAddr {
 			return false
 		}
 	}
@@ -280,7 +315,9 @@ func viewsEqual(a, b protocol.Membership) bool {
 }
 
 // mergeViews reconciles two divergent same-epoch views into one
-// deterministic successor: the member union with dead marks OR'd, the
+// deterministic successor: the member union with dead marks OR'd and
+// metrics-addr advertisements kept (non-empty wins; two different
+// non-empty advertisements break ties by the lower string), the
 // override union with same-segment conflicts broken by the lower
 // address, and the epoch bumped past both. Merging (a,b) and (b,a)
 // yield the same view, so concurrent mergers converge without another
@@ -291,20 +328,29 @@ func mergeViews(a, b protocol.Membership) protocol.Membership {
 		Replicas: a.Replicas,
 		VNodes:   a.VNodes,
 	}
-	dead := make(map[string]bool)
+	meta := make(map[string]memberMeta)
 	for _, m := range a.Members {
-		dead[m.Addr] = m.Dead
+		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr}
 	}
 	for _, m := range b.Members {
-		dead[m.Addr] = dead[m.Addr] || m.Dead
+		mm := meta[m.Addr]
+		mm.dead = mm.dead || m.Dead
+		if m.MetricsAddr != "" && (mm.metrics == "" || m.MetricsAddr < mm.metrics) {
+			mm.metrics = m.MetricsAddr
+		}
+		meta[m.Addr] = mm
 	}
-	addrs := make([]string, 0, len(dead))
-	for addr := range dead {
+	addrs := make([]string, 0, len(meta))
+	for addr := range meta {
 		addrs = append(addrs, addr)
 	}
 	sort.Strings(addrs)
 	for _, addr := range addrs {
-		out.Members = append(out.Members, protocol.Member{Addr: addr, Dead: dead[addr]})
+		out.Members = append(out.Members, protocol.Member{
+			Addr:        addr,
+			Dead:        meta[addr].dead,
+			MetricsAddr: meta[addr].metrics,
+		})
 	}
 	ov := make(map[string]string)
 	for _, o := range a.Overrides {

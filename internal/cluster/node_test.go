@@ -106,6 +106,62 @@ func TestNodeAdoptMembership(t *testing.T) {
 	}
 }
 
+// TestNodeMetricsAddrAdvertisement: a node stamps its own metrics
+// address onto every view it installs, adopted peer views included,
+// and the equal-epoch merge machinery spreads advertisements without
+// losing either side's.
+func TestNodeMetricsAddrAdvertisement(t *testing.T) {
+	failDial := func(addr string) (net.Conn, error) { return nil, net.ErrClosed }
+	a := NewNode(Options{Self: "h1:1", Peers: []string{"h2:1"}, Replicas: 1,
+		MetricsAddr: "h1:9", Dial: failDial})
+	b := NewNode(Options{Self: "h2:1", Peers: []string{"h1:1"}, Replicas: 1,
+		MetricsAddr: "h2:9", Dial: failDial})
+	defer a.Close()
+	defer b.Close()
+
+	find := func(ms protocol.Membership, addr string) protocol.Member {
+		for _, m := range ms.Members {
+			if m.Addr == addr {
+				return m
+			}
+		}
+		t.Fatalf("member %s missing", addr)
+		return protocol.Member{}
+	}
+	if got := find(a.Membership(), "h1:1").MetricsAddr; got != "h1:9" {
+		t.Fatalf("initial self advertisement = %q", got)
+	}
+
+	// a learns b's view (equal epoch, divergent advertisements):
+	// deterministic merge keeps both and bumps the epoch.
+	if !a.AdoptMembership(b.Membership()) {
+		t.Fatal("divergent equal-epoch view not merged")
+	}
+	am := a.Membership()
+	if am.Epoch != 2 {
+		t.Fatalf("merge epoch = %d, want 2", am.Epoch)
+	}
+	if find(am, "h1:1").MetricsAddr != "h1:9" || find(am, "h2:1").MetricsAddr != "h2:9" {
+		t.Fatalf("merge lost advertisements: %+v", am.Members)
+	}
+
+	// b adopts the merged higher-epoch view and re-stamps itself; the
+	// two nodes now agree.
+	if !b.AdoptMembership(am) {
+		t.Fatal("higher-epoch merged view not adopted")
+	}
+	bm := b.Membership()
+	if !viewsEqual(am, bm) {
+		t.Fatalf("views diverge after adoption:\n a %+v\n b %+v", am.Members, bm.Members)
+	}
+
+	// A node with no metrics address must not invent one, and a
+	// re-adoption must not strip a peer's advertisement.
+	if got := find(newTestNode("h9:1", "h1:1").Membership(), "h9:1").MetricsAddr; got != "" {
+		t.Fatalf("unadvertised node exported %q", got)
+	}
+}
+
 // TestNodeSetOverride: migration pins change placement and bump the
 // epoch.
 func TestNodeSetOverride(t *testing.T) {

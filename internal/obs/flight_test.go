@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightNilIsSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Event{Name: "x"})
+	if got := f.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	if f.Recorded() != 0 || f.Capacity() != 0 {
+		t.Fatal("nil recorder reported non-zero state")
+	}
+	f.DumpTo(&strings.Builder{}) // must not panic
+}
+
+func TestFlightRecordAndOrder(t *testing.T) {
+	f := NewFlightRecorder(8)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		f.Record(Event{Name: fmt.Sprintf("ev%d", i), At: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	evs := f.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("ev%d", i); ev.Name != want {
+			t.Fatalf("event %d: got %q, want %q", i, ev.Name, want)
+		}
+	}
+	if f.Recorded() != 5 {
+		t.Fatalf("Recorded() = %d, want 5", f.Recorded())
+	}
+}
+
+func TestFlightWraparound(t *testing.T) {
+	const capacity = 16
+	f := NewFlightRecorder(capacity)
+	base := time.Now()
+	const total = 3*capacity + 5
+	for i := 0; i < total; i++ {
+		f.Record(Event{Name: fmt.Sprintf("ev%d", i), At: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	evs := f.Events()
+	if len(evs) != capacity {
+		t.Fatalf("got %d events after wraparound, want %d", len(evs), capacity)
+	}
+	// Only the newest capacity events survive, still oldest-first.
+	for i, ev := range evs {
+		if want := fmt.Sprintf("ev%d", total-capacity+i); ev.Name != want {
+			t.Fatalf("event %d: got %q, want %q", i, ev.Name, want)
+		}
+	}
+	if f.Recorded() != total {
+		t.Fatalf("Recorded() = %d, want %d", f.Recorded(), total)
+	}
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record(Event{Name: "concurrent", N: int64(w)})
+				if i%50 == 0 {
+					_ = f.Events() // reader racing the writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Recorded() != workers*per {
+		t.Fatalf("Recorded() = %d, want %d", f.Recorded(), workers*per)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("got %d events, want full ring of 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestFlightSince(t *testing.T) {
+	f := NewFlightRecorder(8)
+	base := time.Now()
+	for i := 0; i < 6; i++ {
+		f.Record(Event{Name: fmt.Sprintf("ev%d", i), At: base.Add(time.Duration(i) * time.Second)})
+	}
+	got := f.Since(base.Add(3 * time.Second))
+	if len(got) != 3 {
+		t.Fatalf("Since returned %d events, want 3", len(got))
+	}
+	if got[0].Name != "ev3" {
+		t.Fatalf("Since starts at %q, want ev3", got[0].Name)
+	}
+}
+
+func TestFlightDumpOnPanic(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(Event{Name: "lock.grant", Seg: "iw://s/a"})
+	f.Record(Event{Name: "session.evict", Err: "slow consumer"})
+
+	var dump strings.Builder
+	var rePanicked any
+	func() {
+		defer func() { rePanicked = recover() }()
+		func() {
+			defer f.DumpOnPanic(&dump, "test goroutine")
+			panic("boom")
+		}()
+	}()
+	if rePanicked != "boom" {
+		t.Fatalf("re-panic value = %v, want boom", rePanicked)
+	}
+	out := dump.String()
+	for _, want := range []string{
+		"panic in test goroutine: boom",
+		"lock.grant",
+		"seg=iw://s/a",
+		"session.evict",
+		"err=slow consumer",
+		"goroutine", // the stack trace
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightDumpOnPanicNoPanic(t *testing.T) {
+	f := NewFlightRecorder(4)
+	var dump strings.Builder
+	func() {
+		defer f.DumpOnPanic(&dump, "clean goroutine")
+	}()
+	if dump.Len() != 0 {
+		t.Fatalf("dump written without a panic:\n%s", dump.String())
+	}
+}
+
+func TestFlightDumpOnPanicNilRecorder(t *testing.T) {
+	var f *FlightRecorder
+	var rePanicked any
+	func() {
+		defer func() { rePanicked = recover() }()
+		func() {
+			defer f.DumpOnPanic(nil, "nil recorder")
+			panic("still dies")
+		}()
+	}()
+	if rePanicked != "still dies" {
+		t.Fatalf("nil recorder swallowed the panic: %v", rePanicked)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(8)
+	base := time.Now().Add(-time.Minute)
+	f.Record(Event{Name: "old", At: base})
+	f.Record(Event{Name: "new", At: time.Now(), Seg: "iw://s/a", N: 3})
+
+	get := func(url string) []flightEvent {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		FlightHandler(f).ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d: %s", url, rec.Code, rec.Body.String())
+		}
+		var evs []flightEvent
+		if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+		return evs
+	}
+
+	all := get("/debug/flight")
+	if len(all) != 2 || all[0].Name != "old" || all[1].Name != "new" {
+		t.Fatalf("unfiltered: %+v", all)
+	}
+	if all[1].Seg != "iw://s/a" || all[1].N != 3 {
+		t.Fatalf("event fields lost: %+v", all[1])
+	}
+
+	recent := get("/debug/flight?since=30s")
+	if len(recent) != 1 || recent[0].Name != "new" {
+		t.Fatalf("since=30s: %+v", recent)
+	}
+
+	stamped := get("/debug/flight?since=" + base.Add(time.Second).Format(time.RFC3339Nano))
+	if len(stamped) != 1 || stamped[0].Name != "new" {
+		t.Fatalf("since=<rfc3339>: %+v", stamped)
+	}
+
+	rec := httptest.NewRecorder()
+	FlightHandler(f).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight?since=garbage", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status %d, want 400", rec.Code)
+	}
+}

@@ -371,6 +371,10 @@ type Event struct {
 	Attempt int
 	// Err is the triggering error's text, when any.
 	Err string
+	// N is an event-specific count (e.g. releases coalesced by a
+	// group-commit flush, subscribers invalidated by a demotion),
+	// zero when the event carries none.
+	N int64
 	// At is when the event occurred, captured with time.Now on the
 	// emitting goroutine. The reading carries Go's monotonic clock, so
 	// events can be ordered and merged with span timelines without

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// histFromCounts builds a snapshot directly, for merge tests.
+func histFromCounts(bounds []float64, counts []uint64, sum float64) HistSnapshot {
+	var count uint64
+	for _, c := range counts {
+		count += c
+	}
+	return HistSnapshot{Bounds: bounds, Counts: counts, Sum: sum, Count: count}
+}
+
+func TestHistMergeAssociative(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	mk := func() (a, b, c HistSnapshot) {
+		a = histFromCounts(bounds, []uint64{1, 0, 2, 3}, 10)
+		b = histFromCounts(bounds, []uint64{0, 5, 0, 1}, 7.5)
+		c = histFromCounts(bounds, []uint64{2, 2, 2, 2}, 16)
+		return
+	}
+
+	// (a+b)+c
+	a1, b1, c1 := mk()
+	if err := a1.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Merge(c1); err != nil {
+		t.Fatal(err)
+	}
+	// a+(b+c)
+	a2, b2, c2 := mk()
+	if err := b2.Merge(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Merge(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	if a1.Count != a2.Count || a1.Sum != a2.Sum {
+		t.Fatalf("merge not associative: count %d vs %d, sum %g vs %g", a1.Count, a2.Count, a1.Sum, a2.Sum)
+	}
+	for i := range a1.Counts {
+		if a1.Counts[i] != a2.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, a1.Counts[i], a2.Counts[i])
+		}
+	}
+	wantCounts := []uint64{3, 7, 4, 6}
+	for i, w := range wantCounts {
+		if a1.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d, want %d", i, a1.Counts[i], w)
+		}
+	}
+	if a1.Count != 20 || a1.Sum != 33.5 {
+		t.Fatalf("total: count %d sum %g, want 20 and 33.5", a1.Count, a1.Sum)
+	}
+}
+
+func TestHistMergeCommutes(t *testing.T) {
+	bounds := []float64{1, 2}
+	a1 := histFromCounts(bounds, []uint64{1, 2, 3}, 4)
+	b1 := histFromCounts(bounds, []uint64{5, 6, 7}, 8)
+	a2 := histFromCounts(bounds, []uint64{1, 2, 3}, 4)
+	b2 := histFromCounts(bounds, []uint64{5, 6, 7}, 8)
+	if err := a1.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Count != b2.Count || a1.Sum != b2.Sum {
+		t.Fatalf("merge not commutative: %+v vs %+v", a1, b2)
+	}
+	for i := range a1.Counts {
+		if a1.Counts[i] != b2.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, a1.Counts[i], b2.Counts[i])
+		}
+	}
+}
+
+func TestHistMergeBucketMismatch(t *testing.T) {
+	a := histFromCounts([]float64{1, 2}, []uint64{1, 1, 1}, 3)
+	b := histFromCounts([]float64{1, 2, 4}, []uint64{1, 1, 1, 1}, 4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bucket layouts succeeded")
+	}
+	// The failed merge must not have half-applied: counts unchanged.
+	for i, c := range a.Counts {
+		if c != 1 {
+			t.Fatalf("bucket %d mutated to %d by failed merge", i, c)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	cases := []struct {
+		value string
+		want  string // the rendered label value between the quotes
+	}{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`quo"te`, `quo\"te`},
+		{"all\\three\"\n", `all\\three\"\n`},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Counter("esc_total", "help", L("v", tc.value)).Inc()
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		wantLine := `esc_total{v="` + tc.want + `"} 1`
+		if !strings.Contains(sb.String(), wantLine+"\n") {
+			t.Fatalf("value %q: output missing %q:\n%s", tc.value, wantLine, sb.String())
+		}
+	}
+}
+
+func TestPromHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "line\nbreak and back\\slash").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_total line\nbreak and back\\slash`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Fatalf("output missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestPromInfBucketRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05) // bucket le=0.1
+	h.Observe(0.5)  // bucket le=1
+	h.Observe(10)   // only the implicit +Inf bucket
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		`lat_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The +Inf bucket must equal _count: cumulative rendering's
+	// closing invariant.
+	if !strings.Contains(out, "lat_seconds_sum 10.55") {
+		t.Fatalf("output missing sum 10.55:\n%s", out)
+	}
+}
+
+func TestPromHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("rpc_seconds", "help", []float64{1}, L("rpc", "ReadLock")).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`rpc_seconds_bucket{rpc="ReadLock",le="1"} 1`,
+		`rpc_seconds_bucket{rpc="ReadLock",le="+Inf"} 1`,
+		`rpc_seconds_count{rpc="ReadLock"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

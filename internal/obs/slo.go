@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective is one latency service-level objective over a registered
+// histogram: "Target of observations complete within Bound seconds".
+// Bound must be one of the histogram's bucket bounds — fixed-bucket
+// histograms can answer "how many observations were ≤ bound" exactly
+// at bucket boundaries and not in between, so the SLO is defined on
+// the ladder the metric already uses.
+type Objective struct {
+	// Name identifies the objective in reports, e.g. "read_lock".
+	Name string
+	// Metric is the histogram's instance key in a Snapshot, e.g.
+	// `iw_server_rpc_seconds{rpc="ReadLock"}`.
+	Metric string
+	// Bound is the latency objective in the histogram's unit
+	// (seconds for DurationBuckets); must equal a bucket bound.
+	Bound float64
+	// Target is the fraction of observations that must land within
+	// Bound, e.g. 0.99.
+	Target float64
+}
+
+// SLOTracker turns cumulative histograms into rolling-window
+// error-budget arithmetic. Sample records the cumulative good/total
+// counts per objective; Report differences the newest sample against
+// window-old baselines to produce per-window bad ratios and burn
+// rates. The tracker never touches the hot path: it reads registry
+// snapshots at its own cadence.
+type SLOTracker struct {
+	reg        *Registry
+	objectives []Objective
+	short      time.Duration
+	long       time.Duration
+
+	mu      sync.Mutex
+	samples []sloSample
+}
+
+// sloSample is the cumulative good/total counts per objective at one
+// instant.
+type sloSample struct {
+	at    time.Time
+	good  []uint64
+	total []uint64
+}
+
+// Default SLO windows: the short window catches an active burn fast,
+// the long window separates a blip from a budget problem — the
+// standard multi-window burn-rate pattern.
+const (
+	DefaultSLOShortWindow = time.Minute
+	DefaultSLOLongWindow  = 15 * time.Minute
+)
+
+// NewSLOTracker builds a tracker over reg for the given objectives.
+// Non-positive windows take the defaults; short must not exceed long.
+func NewSLOTracker(reg *Registry, objectives []Objective, short, long time.Duration) *SLOTracker {
+	if short <= 0 {
+		short = DefaultSLOShortWindow
+	}
+	if long <= 0 {
+		long = DefaultSLOLongWindow
+	}
+	if short > long {
+		short = long
+	}
+	return &SLOTracker{
+		reg:        reg,
+		objectives: append([]Objective(nil), objectives...),
+		short:      short,
+		long:       long,
+	}
+}
+
+// Windows returns the tracker's short and long window durations.
+func (t *SLOTracker) Windows() (short, long time.Duration) { return t.short, t.long }
+
+// Objectives returns the tracked objectives.
+func (t *SLOTracker) Objectives() []Objective {
+	return append([]Objective(nil), t.objectives...)
+}
+
+// Sample records the current cumulative counts. Call it on a timer
+// (a few seconds is plenty) or manually from tests; Report
+// interpolates nothing, so window resolution is sampling resolution.
+func (t *SLOTracker) Sample(now time.Time) {
+	snap := t.reg.Snapshot()
+	s := sloSample{
+		at:    now,
+		good:  make([]uint64, len(t.objectives)),
+		total: make([]uint64, len(t.objectives)),
+	}
+	for i, o := range t.objectives {
+		h, ok := snap.Histograms[o.Metric]
+		if !ok {
+			continue // metric not registered yet: counts stay zero
+		}
+		s.good[i], s.total[i] = goodTotal(h, o.Bound)
+	}
+	t.mu.Lock()
+	t.samples = append(t.samples, s)
+	// Prune anything older than the long window plus one extra
+	// sample to serve as the window-start baseline.
+	cut := now.Add(-t.long)
+	drop := 0
+	for drop < len(t.samples)-1 && t.samples[drop+1].at.Before(cut) {
+		drop++
+	}
+	if drop > 0 {
+		t.samples = append(t.samples[:0], t.samples[drop:]...)
+	}
+	t.mu.Unlock()
+}
+
+// goodTotal computes the cumulative count of observations at or
+// under bound, and the total count, from one histogram snapshot.
+func goodTotal(h HistSnapshot, bound float64) (good, total uint64) {
+	i := sort.SearchFloat64s(h.Bounds, bound)
+	cum := uint64(0)
+	for j := 0; j <= i && j < len(h.Counts); j++ {
+		if j == i && (i >= len(h.Bounds) || h.Bounds[i] != bound) {
+			break // bound below bucket i's upper edge: bucket i is not all-good
+		}
+		cum += h.Counts[j]
+	}
+	return cum, h.Count
+}
+
+// SLOWindowReport is the error-budget arithmetic for one objective
+// over one window.
+type SLOWindowReport struct {
+	// Window is the window duration in seconds.
+	Window float64 `json:"window_seconds"`
+	// Total is the number of observations in the window.
+	Total uint64 `json:"total"`
+	// Bad is the number of observations over the objective bound.
+	Bad uint64 `json:"bad"`
+	// BadRatio is Bad/Total (0 when Total is 0).
+	BadRatio float64 `json:"bad_ratio"`
+	// BurnRate is BadRatio divided by the objective's error budget
+	// (1 − Target): 1.0 means the budget is being spent exactly at
+	// the sustainable rate, above 1 it is burning.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOObjectiveReport is one objective's rolling-window status.
+type SLOObjectiveReport struct {
+	// Name is the objective's identifier, e.g. "read_lock".
+	Name string `json:"name"`
+	// Metric is the histogram instance key the objective reads.
+	Metric string `json:"metric"`
+	// Bound is the latency objective (histogram units; seconds for
+	// the duration ladder).
+	Bound float64 `json:"bound"`
+	// Target is the required within-bound fraction.
+	Target float64 `json:"target"`
+	// Short is the short-window burn arithmetic.
+	Short SLOWindowReport `json:"short"`
+	// Long is the long-window burn arithmetic.
+	Long SLOWindowReport `json:"long"`
+	// Burning reports whether the short window is burning budget
+	// faster than sustainable (BurnRate ≥ 1 with traffic present).
+	Burning bool `json:"burning"`
+}
+
+// SLOReport is the full rolling-window SLO state, the body of
+// /debug/slo.
+type SLOReport struct {
+	// At is when the report was computed.
+	At time.Time `json:"at"`
+	// Objectives carries one entry per tracked objective, in
+	// registration order.
+	Objectives []SLOObjectiveReport `json:"objectives"`
+}
+
+// Report computes the rolling-window report as of now, using the
+// samples recorded so far. With fewer than two samples every window
+// is empty (and not burning).
+func (t *SLOTracker) Report(now time.Time) SLOReport {
+	t.mu.Lock()
+	samples := append([]sloSample(nil), t.samples...)
+	t.mu.Unlock()
+	rep := SLOReport{At: now, Objectives: make([]SLOObjectiveReport, len(t.objectives))}
+	for i, o := range t.objectives {
+		or := SLOObjectiveReport{Name: o.Name, Metric: o.Metric, Bound: o.Bound, Target: o.Target}
+		or.Short = windowReport(samples, i, now, t.short, o.Target)
+		or.Long = windowReport(samples, i, now, t.long, o.Target)
+		or.Burning = or.Short.Total > 0 && or.Short.BurnRate >= 1
+		rep.Objectives[i] = or
+	}
+	return rep
+}
+
+// windowReport differences the newest sample against the newest
+// sample at or before the window start (falling back to the oldest
+// sample when none is old enough).
+func windowReport(samples []sloSample, obj int, now time.Time, window time.Duration, target float64) SLOWindowReport {
+	wr := SLOWindowReport{Window: window.Seconds()}
+	if len(samples) < 2 {
+		return wr
+	}
+	latest := samples[len(samples)-1]
+	start := now.Add(-window)
+	base := samples[0]
+	for _, s := range samples[1:] {
+		if s.at.After(start) {
+			break
+		}
+		base = s
+	}
+	// Counter resets (process restart reusing a tracker) clamp to
+	// zero rather than underflowing.
+	total := satSub(latest.total[obj], base.total[obj])
+	good := satSub(latest.good[obj], base.good[obj])
+	wr.Total = total
+	if good > total {
+		good = total
+	}
+	wr.Bad = total - good
+	if total > 0 {
+		wr.BadRatio = float64(wr.Bad) / float64(total)
+	}
+	budget := 1 - target
+	if budget > 0 {
+		wr.BurnRate = wr.BadRatio / budget
+	} else if wr.Bad > 0 {
+		wr.BurnRate = float64(wr.Bad) // zero budget: any badness burns hard
+	}
+	return wr
+}
+
+// satSub is saturating uint64 subtraction.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// String renders a one-line summary per objective, for logs.
+func (r SLOReport) String() string {
+	s := ""
+	for _, o := range r.Objectives {
+		if s != "" {
+			s += "; "
+		}
+		s += fmt.Sprintf("%s: short burn %.2f (%d/%d bad), long burn %.2f",
+			o.Name, o.Short.BurnRate, o.Short.Bad, o.Short.Total, o.Long.BurnRate)
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloHarness builds a registry with one latency histogram and a
+// tracker with a single 64ms@99% objective over it.
+func sloHarness(short, long time.Duration) (*Registry, *Histogram, *SLOTracker) {
+	reg := NewRegistry()
+	h := reg.Histogram("svc_seconds", "help", DurationBuckets)
+	tr := NewSLOTracker(reg, []Objective{{
+		Name:   "svc",
+		Metric: "svc_seconds",
+		Bound:  64e-3,
+		Target: 0.99,
+	}}, short, long)
+	return reg, h, tr
+}
+
+func TestSLOGoodTotal(t *testing.T) {
+	h := HistSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{10, 5, 3, 2},
+		Count:  20,
+	}
+	cases := []struct {
+		bound     float64
+		good, tot uint64
+	}{
+		{1, 10, 20},
+		{2, 15, 20},
+		{4, 18, 20},
+		{3, 15, 20},  // off-ladder bound: conservative, only fully-covered buckets count
+		{8, 18, 20},  // above the ladder: everything but +Inf
+		{0.5, 0, 20}, // below the first bucket: nothing provably good
+	}
+	for _, tc := range cases {
+		good, tot := goodTotal(h, tc.bound)
+		if good != tc.good || tot != tc.tot {
+			t.Errorf("goodTotal(bound=%g) = (%d, %d), want (%d, %d)", tc.bound, good, tot, tc.good, tc.tot)
+		}
+	}
+}
+
+func TestSLOReportCleanTraffic(t *testing.T) {
+	_, h, tr := sloHarness(time.Minute, 15*time.Minute)
+	now := time.Now()
+	tr.Sample(now.Add(-30 * time.Second))
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-3) // well within 64ms
+	}
+	tr.Sample(now)
+	rep := tr.Report(now)
+	o := rep.Objectives[0]
+	if o.Short.Total != 100 || o.Short.Bad != 0 {
+		t.Fatalf("short window: %+v", o.Short)
+	}
+	if o.Short.BurnRate != 0 || o.Burning {
+		t.Fatalf("clean traffic reported burning: %+v", o)
+	}
+}
+
+func TestSLOReportBurn(t *testing.T) {
+	_, h, tr := sloHarness(time.Minute, 15*time.Minute)
+	now := time.Now()
+	tr.Sample(now.Add(-30 * time.Second))
+	for i := 0; i < 90; i++ {
+		h.Observe(1e-3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // over the 64ms bound
+	}
+	tr.Sample(now)
+	rep := tr.Report(now)
+	o := rep.Objectives[0]
+	if o.Short.Total != 100 || o.Short.Bad != 10 {
+		t.Fatalf("short window: %+v", o.Short)
+	}
+	// 10% bad against a 1% budget = burn rate 10.
+	if o.Short.BurnRate < 9.99 || o.Short.BurnRate > 10.01 {
+		t.Fatalf("burn rate %g, want 10", o.Short.BurnRate)
+	}
+	if !o.Burning {
+		t.Fatal("10x burn not flagged")
+	}
+}
+
+func TestSLOWindowExcludesOldTraffic(t *testing.T) {
+	// Bad traffic before the short window started must not burn the
+	// short window, but still burns the long window.
+	_, h, tr := sloHarness(time.Minute, 15*time.Minute)
+	now := time.Now()
+	tr.Sample(now.Add(-5 * time.Minute))
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all bad
+	}
+	tr.Sample(now.Add(-2 * time.Minute)) // the short-window baseline
+	for i := 0; i < 50; i++ {
+		h.Observe(1e-3) // recent traffic is clean
+	}
+	tr.Sample(now)
+	rep := tr.Report(now)
+	o := rep.Objectives[0]
+	if o.Short.Bad != 0 || o.Short.Total != 50 {
+		t.Fatalf("short window leaked old traffic: %+v", o.Short)
+	}
+	if o.Long.Bad != 100 || o.Long.Total != 150 {
+		t.Fatalf("long window: %+v", o.Long)
+	}
+	if o.Burning {
+		t.Fatal("recovered service still flagged burning")
+	}
+}
+
+func TestSLORecovery(t *testing.T) {
+	// The degraded→ok round trip the chaos test asserts end-to-end:
+	// a burn flips Burning on, clean samples flip it back off.
+	_, h, tr := sloHarness(10*time.Second, time.Minute)
+	t0 := time.Now()
+	tr.Sample(t0)
+	for i := 0; i < 20; i++ {
+		h.Observe(0.5)
+	}
+	tr.Sample(t0.Add(5 * time.Second))
+	if o := tr.Report(t0.Add(5 * time.Second)).Objectives[0]; !o.Burning {
+		t.Fatalf("burn not detected: %+v", o)
+	}
+	// 30s later the bad traffic has aged out of the 10s window and
+	// only clean traffic arrived since.
+	for i := 0; i < 20; i++ {
+		h.Observe(1e-3)
+	}
+	tr.Sample(t0.Add(30 * time.Second))
+	tr.Sample(t0.Add(35 * time.Second))
+	if o := tr.Report(t0.Add(35 * time.Second)).Objectives[0]; o.Burning {
+		t.Fatalf("burn did not clear: %+v", o)
+	}
+}
+
+func TestSLOEmptyAndMissingMetric(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(reg, []Objective{{
+		Name: "ghost", Metric: "not_registered", Bound: 1, Target: 0.99,
+	}}, time.Minute, 15*time.Minute)
+	now := time.Now()
+	rep := tr.Report(now)
+	if o := rep.Objectives[0]; o.Burning || o.Short.Total != 0 {
+		t.Fatalf("no samples: %+v", o)
+	}
+	tr.Sample(now.Add(-time.Second))
+	tr.Sample(now)
+	rep = tr.Report(now)
+	if o := rep.Objectives[0]; o.Burning || o.Short.Total != 0 || o.Short.BurnRate != 0 {
+		t.Fatalf("missing metric: %+v", o)
+	}
+}
+
+func TestSLOSamplePruning(t *testing.T) {
+	_, h, tr := sloHarness(time.Second, 10*time.Second)
+	t0 := time.Now()
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-3)
+		tr.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	tr.mu.Lock()
+	n := len(tr.samples)
+	tr.mu.Unlock()
+	// The ring keeps the long window plus one baseline sample, not
+	// the whole history.
+	if n > 13 {
+		t.Fatalf("sample ring grew to %d entries for a 10s window at 1s cadence", n)
+	}
+}
+
+func TestSLOWindowClamp(t *testing.T) {
+	tr := NewSLOTracker(NewRegistry(), nil, time.Hour, time.Minute)
+	short, long := tr.Windows()
+	if short > long {
+		t.Fatalf("short %v exceeds long %v", short, long)
+	}
+	tr = NewSLOTracker(NewRegistry(), nil, 0, 0)
+	short, long = tr.Windows()
+	if short != DefaultSLOShortWindow || long != DefaultSLOLongWindow {
+		t.Fatalf("defaults not applied: %v, %v", short, long)
+	}
+}

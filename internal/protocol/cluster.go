@@ -61,6 +61,12 @@ type Member struct {
 	Addr string
 	// Dead marks a node excluded from placement after failover.
 	Dead bool
+	// MetricsAddr is the node's observability address (its /metrics,
+	// /debug/slo, and /debug/segments HTTP surface), advertised
+	// through gossip so fleet tools (tools/iwtop) can discover every
+	// node's scrape endpoint from any one member. Empty when the node
+	// runs without -metrics-addr.
+	MetricsAddr string
 }
 
 // Override pins one segment to an owner outside hash placement — the
@@ -253,10 +259,21 @@ func appendMembership(buf []byte, ms Membership) []byte {
 	buf = wire.AppendU16(buf, uint16(len(ms.Members)))
 	for _, m := range ms.Members {
 		buf = wire.AppendString(buf, m.Addr)
+		// The member flag byte: bit 0 = dead, bit 1 = a MetricsAddr
+		// string follows. Cluster frames only flow between
+		// identically-configured cluster nodes, and decoders treat the
+		// byte as a bit set, so the advertisement extends the frame
+		// without a format break.
+		var flags uint8
 		if m.Dead {
-			buf = wire.AppendU8(buf, 1)
-		} else {
-			buf = wire.AppendU8(buf, 0)
+			flags |= 1
+		}
+		if m.MetricsAddr != "" {
+			flags |= 2
+		}
+		buf = wire.AppendU8(buf, flags)
+		if m.MetricsAddr != "" {
+			buf = wire.AppendString(buf, m.MetricsAddr)
 		}
 	}
 	buf = wire.AppendU16(buf, uint16(len(ms.Overrides)))
@@ -279,7 +296,11 @@ func readMembership(r *wire.Reader) (Membership, error) {
 	ms.Members = make([]Member, n)
 	for i := range ms.Members {
 		ms.Members[i].Addr = r.Str()
-		ms.Members[i].Dead = r.U8() == 1
+		flags := r.U8()
+		ms.Members[i].Dead = flags&1 != 0
+		if flags&2 != 0 {
+			ms.Members[i].MetricsAddr = r.Str()
+		}
 	}
 	no := r.U16()
 	if r.Err() != nil {

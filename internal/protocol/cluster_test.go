@@ -9,18 +9,46 @@ import (
 )
 
 // testMembership is a representative membership view exercising every
-// field: a dead member, overrides, and non-default placement params.
+// field: a dead member, a metrics-addr advertisement (alone and
+// combined with the dead flag), overrides, and non-default placement
+// params.
 func testMembership() Membership {
 	return Membership{
 		Epoch:    7,
 		Replicas: 2,
 		VNodes:   64,
 		Members: []Member{
-			{Addr: "127.0.0.1:7001"},
-			{Addr: "127.0.0.1:7002", Dead: true},
+			{Addr: "127.0.0.1:7001", MetricsAddr: "127.0.0.1:9001"},
+			{Addr: "127.0.0.1:7002", Dead: true, MetricsAddr: "127.0.0.1:9002"},
 			{Addr: "127.0.0.1:7003"},
 		},
 		Overrides: []Override{{Seg: "127.0.0.1:7001/hot", Addr: "127.0.0.1:7003"}},
+	}
+}
+
+// TestMembershipMetricsAddrRoundTrip pins the member flag-byte
+// encoding: bit 0 dead, bit 1 metrics-addr present, every
+// combination.
+func TestMembershipMetricsAddrRoundTrip(t *testing.T) {
+	ms := Membership{
+		Epoch: 1, Replicas: 1, VNodes: 8,
+		Members: []Member{
+			{Addr: "a:1"},
+			{Addr: "b:1", Dead: true},
+			{Addr: "c:1", MetricsAddr: "c:9"},
+			{Addr: "d:1", Dead: true, MetricsAddr: "d:9"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, &RingReply{Ms: ms}); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.(*RingReply).Ms.Members, ms.Members) {
+		t.Fatalf("round trip lost fields:\n got %+v\nwant %+v", got.(*RingReply).Ms.Members, ms.Members)
 	}
 }
 

@@ -419,6 +419,9 @@ func (s *Server) runReplication(job *replicationJob) error {
 			if s.cins != nil {
 				s.cins.fenced.Inc()
 			}
+			if s.flight != nil {
+				s.flight.Record(obs.Event{Name: "cluster.fence", Seg: job.seg, N: int64(rr.Ms.Epoch), Err: "replicate fenced by " + addr})
+			}
 			s.logf("replicate %s to %s: fenced at epoch %d; adopting replica's view", job.seg, addr, rr.Ms.Epoch)
 			s.cluster.AdoptMembership(rr.Ms)
 			return errWriteFenced
@@ -444,6 +447,9 @@ func (s *Server) runReplication(job *replicationJob) error {
 			if rr.Fenced {
 				if s.cins != nil {
 					s.cins.fenced.Inc()
+				}
+				if s.flight != nil {
+					s.flight.Record(obs.Event{Name: "cluster.fence", Seg: job.seg, N: int64(rr.Ms.Epoch), Err: "catch-up fenced by " + addr})
 				}
 				s.logf("replicate catch-up %s to %s: fenced at epoch %d; adopting replica's view", job.seg, addr, rr.Ms.Epoch)
 				s.cluster.AdoptMembership(rr.Ms)
@@ -581,6 +587,9 @@ func (s *Server) catchUpFromJournal(addr string, job *replicationJob, replicaVer
 // snapshot in ascending segment-name order — the global ordering rule
 // (DESIGN.md §8) — taking one segment lock at a time.
 func (s *Server) onEpochChange(ms protocol.Membership) {
+	if s.flight != nil {
+		s.flight.Record(obs.Event{Name: "cluster.epoch", N: int64(ms.Epoch)})
+	}
 	newRing := s.cluster.Ring()
 	self := s.cluster.Self()
 
@@ -599,10 +608,14 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 			promoted = append(promoted, st.name)
 		case wasOwner && !isOwner:
 			s.lockSeg(st)
-			notifications = append(notifications, s.demoteSegLocked(st)...)
+			notes := s.demoteSegLocked(st)
 			st.mu.Unlock()
+			notifications = append(notifications, notes...)
 			if s.cins != nil {
 				s.cins.demotions.Inc()
+			}
+			if s.flight != nil {
+				s.flight.Record(obs.Event{Name: "cluster.demote", Seg: st.name, N: int64(len(notes))})
 			}
 		}
 	}
@@ -613,6 +626,9 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 	for _, seg := range promoted {
 		if s.cins != nil {
 			s.cins.promotions.Inc()
+		}
+		if s.flight != nil {
+			s.flight.Record(obs.Event{Name: "cluster.promote", Seg: seg, N: int64(ms.Epoch)})
 		}
 		s.promoteSegment(seg, newRing, self)
 	}
@@ -791,6 +807,9 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 		if s.cins != nil {
 			s.cins.fenced.Inc()
 		}
+		if s.flight != nil {
+			s.flight.Record(obs.Event{Name: "cluster.fence", Seg: m.Seg, N: int64(rr.Ms.Epoch), Err: "migrate fenced by " + m.Target})
+		}
 		s.cluster.AdoptMembership(rr.Ms)
 		rerr = errWriteFenced
 	}
@@ -810,6 +829,9 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 	s.cluster.SetOverride(m.Seg, m.Target)
 	if s.cins != nil {
 		s.cins.migrations.Inc()
+	}
+	if s.flight != nil {
+		s.flight.Record(obs.Event{Name: "cluster.migrate", Seg: m.Seg, N: int64(version)})
 	}
 	s.logf("migrated %s to %s at version %d", m.Seg, m.Target, version)
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
 
@@ -75,6 +76,9 @@ func (sess *session) finishReleaseGrouped(st *segState, seg string, prevVer, ver
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if s.flight != nil {
+				defer s.flight.DumpOnPanic(s.crashw, "group-commit flusher "+st.name)
+			}
 			s.runGroupFlush(st)
 		}()
 	}
@@ -111,6 +115,8 @@ func (s *Server) runGroupFlush(st *segState) {
 		// batch bound, and anyone draining (drainGroupCommit re-checks
 		// flushing, which is still true).
 		st.flushDone.Broadcast()
+		st.gcFlushes++
+		st.gcReleases += uint64(len(batch))
 		prev0 := batch[0].prevVer
 		endVer := batch[len(batch)-1].version
 		var jerr, replErr error
@@ -159,6 +165,15 @@ func (s *Server) runGroupFlush(st *segState) {
 		if s.ins != nil {
 			s.ins.groupCommits.Inc()
 			s.ins.groupCommitted.Add(uint64(len(batch)))
+		}
+		if s.flight != nil {
+			ev := obs.Event{Name: "groupcommit.flush", Seg: st.name, N: int64(len(batch))}
+			if jerr != nil {
+				ev.Err = jerr.Error()
+			} else if replErr != nil {
+				ev.Err = replErr.Error()
+			}
+			s.flight.Record(ev)
 		}
 		var notes []func()
 		for _, pr := range batch {

@@ -1,0 +1,277 @@
+package server
+
+// Health/SLO plane (OBSERVABILITY.md). The server tracks rolling
+// error-budget burn over its own latency histograms and renders a
+// machine-readable verdict: /healthz answers "should the balancer /
+// operator trust this node right now", /debug/slo exposes the full
+// burn-rate arithmetic behind that answer.
+//
+// The SLO tracker (internal/obs) differences cumulative histogram
+// counts between periodic samples, so nothing here touches a hot
+// path: SampleSLO reads registry snapshots at its own cadence, and
+// the verdict is computed on demand from the recorded samples.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"interweave/internal/obs"
+)
+
+// DefaultSLOSampleEvery is the background SLO sampling cadence when
+// Options.SLOSampleEvery is zero.
+const DefaultSLOSampleEvery = 5 * time.Second
+
+// Server SLO objectives: the latency bounds sit on the shared
+// obs.DurationBuckets ladder (the tracker's within-bound counting is
+// exact only at bucket bounds), and the targets are the fractions the
+// paper's interactive-sharing workloads need.
+const (
+	// sloReadLockBound is the ReadLock handling-latency objective:
+	// freshness check plus diff collection must fit an interactive
+	// read path.
+	sloReadLockBound = 64e-3
+	// sloWriteUnlockBound is the WriteUnlock handling-latency
+	// objective; it is looser because the release path carries the
+	// journal append and the replicate-before-acknowledge fan-out.
+	sloWriteUnlockBound = 256e-3
+	// sloJournalAppendBound is the per-record journal fsync-path
+	// objective; appends past it indicate a stalling disk.
+	sloJournalAppendBound = 64e-3
+	// sloTarget is the required within-bound fraction for every
+	// server objective.
+	sloTarget = 0.99
+)
+
+// Verdict thresholds for the non-SLO health reasons. They are
+// deliberately conservative: each one flags a condition that is
+// already costing clients work (re-validation after eviction, refused
+// admissions, serialized segment handlers), not a prediction.
+const (
+	// healthReplLagVersions is the replication-lag gauge value (in
+	// versions) past which the node is degraded: the slowest replica
+	// is trailing the primary by whole committed writes.
+	healthReplLagVersions = 8
+	// healthShedPerSec is the short-window session-shed rate past
+	// which the node is overloaded: it is actively evicting slow
+	// consumers to protect itself.
+	healthShedPerSec = 1.0
+	// healthContentionPerSec is the short-window segment-mutex
+	// contention rate past which the node is degraded: handlers are
+	// serializing on hot segments (DESIGN.md §8).
+	healthContentionPerSec = 10000.0
+)
+
+// Health status verdicts, ordered by severity.
+const (
+	// HealthOK means every objective is within budget and no
+	// overload signal is firing.
+	HealthOK = "ok"
+	// HealthDegraded means the node serves traffic but at least one
+	// SLO is burning budget faster than sustainable (or replication /
+	// contention is backing up).
+	HealthDegraded = "degraded"
+	// HealthOverloaded means the node is shedding or refusing load;
+	// /healthz answers 503 so balancers drain it.
+	HealthOverloaded = "overloaded"
+)
+
+// serverSLOObjectives is the objective set every server tracks. The
+// metric keys are obs.Registry instance keys; a metric with no
+// traffic yet reports empty windows, never a burn.
+func serverSLOObjectives() []obs.Objective {
+	return []obs.Objective{
+		{Name: "read_lock", Metric: `iw_server_rpc_seconds{rpc="ReadLock"}`,
+			Bound: sloReadLockBound, Target: sloTarget},
+		{Name: "write_unlock", Metric: `iw_server_rpc_seconds{rpc="WriteUnlock"}`,
+			Bound: sloWriteUnlockBound, Target: sloTarget},
+		{Name: "journal_append", Metric: smJournalAppendSec,
+			Bound: sloJournalAppendBound, Target: sloTarget},
+	}
+}
+
+// healthSample is one point-in-time copy of the counters behind the
+// verdict's windowed-rate reasons, recorded alongside each SLO sample.
+type healthSample struct {
+	at         time.Time
+	shed       uint64
+	refused    uint64
+	contention uint64
+}
+
+// SampleSLO records one SLO sample (cumulative good/total counts per
+// objective, plus the verdict counters) stamped at now. Serve runs
+// this on a timer; tests and tools may drive it manually. A server
+// without metrics ignores the call.
+func (s *Server) SampleSLO(now time.Time) {
+	if s.slo == nil {
+		return
+	}
+	s.slo.Sample(now)
+	hs := healthSample{at: now}
+	if s.ins != nil {
+		hs.shed = s.ins.shed.Value()
+		hs.refused = s.ins.sessionsRefused.Value()
+		hs.contention = s.ins.segLockContention.Value()
+	}
+	short, _ := s.slo.Windows()
+	s.healthMu.Lock()
+	s.healthSamples = append(s.healthSamples, hs)
+	// Keep the short window plus one baseline, like the SLO tracker.
+	cut := now.Add(-short)
+	drop := 0
+	for drop < len(s.healthSamples)-1 && s.healthSamples[drop+1].at.Before(cut) {
+		drop++
+	}
+	if drop > 0 {
+		s.healthSamples = append(s.healthSamples[:0], s.healthSamples[drop:]...)
+	}
+	s.healthMu.Unlock()
+}
+
+// sloSampleLoop is the background sampler Serve starts when the
+// server has metrics and sampling is not disabled.
+func (s *Server) sloSampleLoop() {
+	defer s.wg.Done()
+	every := s.opts.SLOSampleEvery
+	if every == 0 {
+		every = DefaultSLOSampleEvery
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.SampleSLO(time.Now())
+		}
+	}
+}
+
+// SLOReport computes the rolling-window SLO report as of now. A
+// server without metrics reports no objectives.
+func (s *Server) SLOReport(now time.Time) obs.SLOReport {
+	if s.slo == nil {
+		return obs.SLOReport{At: now}
+	}
+	return s.slo.Report(now)
+}
+
+// Flight returns the server's flight recorder (nil when disabled),
+// for mounting /debug/flight and for tests.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// Health is the machine-readable node verdict /healthz serves.
+type Health struct {
+	// Status is "ok", "degraded", or "overloaded".
+	Status string `json:"status"`
+	// Reasons explains every condition behind a non-ok status.
+	Reasons []string `json:"reasons,omitempty"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// SLO is the rolling-window report the verdict was computed from.
+	SLO obs.SLOReport `json:"slo"`
+}
+
+// Health computes the node verdict as of now: burning SLO objectives
+// and replication/contention backlogs degrade the node, active load
+// shedding or refused admissions mark it overloaded.
+func (s *Server) Health(now time.Time) Health {
+	h := Health{
+		Status:        HealthOK,
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		SLO:           s.SLOReport(now),
+	}
+	overloaded := false
+	for _, o := range h.SLO.Objectives {
+		if o.Burning {
+			h.Reasons = append(h.Reasons, fmt.Sprintf(
+				"slo %s burning: %.1fx budget over the short window (%d/%d over %gs bound)",
+				o.Name, o.Short.BurnRate, o.Short.Bad, o.Short.Total, o.Bound))
+		}
+	}
+	if s.cins != nil {
+		if lag := s.cins.replLag.Value(); lag >= healthReplLagVersions {
+			h.Reasons = append(h.Reasons, fmt.Sprintf(
+				"replication lag: slowest replica trails by %d versions", lag))
+		}
+	}
+	if shed, refused, contention, secs := s.healthRates(); secs > 0 {
+		if rate := float64(shed) / secs; rate >= healthShedPerSec {
+			overloaded = true
+			h.Reasons = append(h.Reasons, fmt.Sprintf(
+				"shedding %.1f sessions/s (slow consumers evicted)", rate))
+		}
+		if refused > 0 {
+			overloaded = true
+			h.Reasons = append(h.Reasons, fmt.Sprintf(
+				"admission control refused %d sessions in the short window", refused))
+		}
+		if rate := float64(contention) / secs; rate >= healthContentionPerSec {
+			h.Reasons = append(h.Reasons, fmt.Sprintf(
+				"segment lock contention at %.0f blocked acquisitions/s", rate))
+		}
+	}
+	switch {
+	case overloaded:
+		h.Status = HealthOverloaded
+	case len(h.Reasons) > 0:
+		h.Status = HealthDegraded
+	}
+	return h
+}
+
+// healthRates returns the verdict counters' deltas across the
+// recorded sample window and the window's span in seconds (zero when
+// fewer than two samples exist).
+func (s *Server) healthRates() (shed, refused, contention uint64, secs float64) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	n := len(s.healthSamples)
+	if n < 2 {
+		return 0, 0, 0, 0
+	}
+	first, last := s.healthSamples[0], s.healthSamples[n-1]
+	return satSub(last.shed, first.shed),
+		satSub(last.refused, first.refused),
+		satSub(last.contention, first.contention),
+		last.at.Sub(first.at).Seconds()
+}
+
+// satSub is saturating uint64 subtraction, clamping counter resets.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// HealthzHandler serves /healthz: the JSON Health verdict, status 200
+// for ok and degraded (the node still serves correctly) and 503 for
+// overloaded (balancers should drain it).
+func (s *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health(time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == HealthOverloaded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+}
+
+// SLOHandler serves /debug/slo: the full rolling-window burn-rate
+// report as JSON.
+func (s *Server) SLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.SLOReport(time.Now()))
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"interweave/internal/journal"
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
 
@@ -129,11 +130,16 @@ func (s *Server) journalAppend(st *segState, rep *protocol.Replicate) error {
 	if err != nil {
 		return err
 	}
+	var start time.Time
+	if s.ins != nil {
+		start = time.Now()
+	}
 	if err := l.Append(rep); err != nil {
 		return err
 	}
 	if s.ins != nil {
 		s.ins.journalAppends.Inc()
+		s.ins.journalAppendSec.ObserveSince(start)
 	}
 	return nil
 }
@@ -173,6 +179,9 @@ func (s *Server) compactJournalSeg(st *segState) error {
 	}
 	if s.ins != nil {
 		s.ins.journalCompactions.Inc()
+	}
+	if s.flight != nil {
+		s.flight.Record(obs.Event{Name: "journal.compact", Seg: st.name, N: int64(ver)})
 	}
 	return nil
 }

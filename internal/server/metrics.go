@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"interweave/internal/obs"
 	"interweave/internal/protocol"
@@ -35,6 +36,9 @@ const (
 	smGroupCommits      = "iw_server_group_commits_total"
 	smGroupCommitted    = "iw_server_group_commit_releases_total"
 	smJournalAppends    = "iw_server_journal_appends_total"
+	smJournalAppendSec  = "iw_server_journal_append_seconds"
+	smJournalDiskBytes  = "iw_server_journal_disk_bytes"
+	smUptime            = "iw_server_uptime_seconds"
 	smJournalReplayed   = "iw_server_journal_replayed_total"
 	smJournalCompacts   = "iw_server_journal_compactions_total"
 	smJournalTruncated  = "iw_server_journal_truncated_tail_total"
@@ -76,6 +80,7 @@ type serverInstruments struct {
 	groupCommitted  *obs.Counter
 
 	journalAppends       *obs.Counter
+	journalAppendSec     *obs.Histogram
 	journalReplayStartup *obs.Counter
 	journalReplayCatchup *obs.Counter
 	journalCompactions   *obs.Counter
@@ -138,6 +143,9 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 			"Releases committed through a group-commit batch; releases/flushes is the coalescing factor."),
 		journalAppends: reg.Counter(smJournalAppends,
 			"Replicate records appended to segment journals (one per committed write, before its acknowledgement)."),
+		journalAppendSec: reg.Histogram(smJournalAppendSec,
+			"Per-record journal append time, encode through write; the journal_append SLO objective watches this for disk stalls.",
+			obs.DurationBuckets),
 		journalReplayStartup: reg.Counter(smJournalReplayed,
 			journalReplayHelp, obs.L("source", "startup")),
 		journalReplayCatchup: reg.Counter(smJournalReplayed,
@@ -174,10 +182,12 @@ func reqName(m protocol.Message) string {
 	return strings.TrimPrefix(fmt.Sprintf("%T", m), "*protocol.")
 }
 
-// collectSegmentGauges emits the per-segment gauges at scrape time,
-// so no continuous bookkeeping is needed. It takes one segment lock
-// at a time, in registry order.
-func (s *Server) collectSegmentGauges(emit obs.GaugeEmit) {
+// collectServerGauges emits the scrape-time gauges — server uptime
+// plus the per-segment set — so no continuous bookkeeping is needed.
+// It takes one segment lock at a time, in registry order; journal
+// sizes are read outside the segment lock (the journal has its own).
+func (s *Server) collectServerGauges(emit obs.GaugeEmit) {
+	emit(smUptime, "Seconds since this server was constructed.", time.Since(s.start).Seconds())
 	for _, st := range s.reg.snapshot() {
 		s.lockSeg(st)
 		l := obs.L("seg", st.name)
@@ -188,6 +198,11 @@ func (s *Server) collectSegmentGauges(emit obs.GaugeEmit) {
 		emit(smSegWaiters, "Writers queued for each segment's write lock.", float64(len(st.waiters)), l)
 		emit(smSegCacheHits, "Diff-cache hits served from each segment's cached diff window.", float64(st.seg.CacheHits()), l)
 		st.mu.Unlock()
+		if s.journal != nil {
+			if jl, err := s.journal.Segment(st.name); err == nil {
+				emit(smJournalDiskBytes, "On-disk byte length of each segment's journal log (drops to ~0 after compaction).", float64(jl.Size()), l)
+			}
+		}
 	}
 }
 
@@ -203,6 +218,22 @@ type SegmentDebug struct {
 	WriterHeld     bool   `json:"writer_held"`
 	Waiters        int    `json:"waiters"`
 	AppliedWriters int    `json:"applied_writers"`
+	// Sessions counts the distinct sessions currently attached to the
+	// segment: subscribers, queued writers, and the lock holder.
+	Sessions int `json:"sessions"`
+	// CacheHits is the segment's cumulative diff-cache hit count.
+	CacheHits uint64 `json:"cache_hits"`
+	// PendingReleases is the group-commit batch currently waiting for
+	// the segment's flusher.
+	PendingReleases int `json:"pending_releases"`
+	// GroupFlushes and GroupReleases are the segment's cumulative
+	// group-commit flush and coalesced-release counts;
+	// releases/flushes is the segment's coalescing factor.
+	GroupFlushes  uint64 `json:"group_flushes"`
+	GroupReleases uint64 `json:"group_releases"`
+	// JournalBytes is the on-disk length of the segment's journal
+	// log, zero when the server is not in journal mode.
+	JournalBytes int64 `json:"journal_bytes"`
 }
 
 // DebugSegments snapshots per-segment state for the /debug/segments
@@ -212,18 +243,39 @@ func (s *Server) DebugSegments() []SegmentDebug {
 	out := make([]SegmentDebug, 0, len(sts))
 	for _, st := range sts {
 		s.lockSeg(st)
-		out = append(out, SegmentDebug{
-			Name:           st.name,
-			Version:        st.seg.Version,
-			Blocks:         st.seg.NumBlocks(),
-			Units:          st.seg.TotalUnits(),
-			Descriptors:    len(st.seg.DescSerials()),
-			Subscribers:    len(st.subs),
-			WriterHeld:     st.writer != nil,
-			Waiters:        len(st.waiters),
-			AppliedWriters: len(st.applied),
-		})
+		attached := make(map[*session]struct{}, len(st.subs)+len(st.waiters)+1)
+		for cl := range st.subs {
+			attached[cl] = struct{}{}
+		}
+		for _, w := range st.waiters {
+			attached[w.sess] = struct{}{}
+		}
+		if st.writer != nil {
+			attached[st.writer] = struct{}{}
+		}
+		sd := SegmentDebug{
+			Name:            st.name,
+			Version:         st.seg.Version,
+			Blocks:          st.seg.NumBlocks(),
+			Units:           st.seg.TotalUnits(),
+			Descriptors:     len(st.seg.DescSerials()),
+			Subscribers:     len(st.subs),
+			WriterHeld:      st.writer != nil,
+			Waiters:         len(st.waiters),
+			AppliedWriters:  len(st.applied),
+			Sessions:        len(attached),
+			CacheHits:       st.seg.CacheHits(),
+			PendingReleases: len(st.pending),
+			GroupFlushes:    st.gcFlushes,
+			GroupReleases:   st.gcReleases,
+		}
 		st.mu.Unlock()
+		if s.journal != nil {
+			if jl, err := s.journal.Segment(st.name); err == nil {
+				sd.JournalBytes = jl.Size()
+			}
+		}
+		out = append(out, sd)
 	}
 	return out
 }

@@ -3,7 +3,9 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -82,6 +84,28 @@ type Options struct {
 	// GroupCommitMax caps how many releases one flush may coalesce.
 	// Zero means DefaultGroupCommitMax.
 	GroupCommitMax int
+	// Flight, when non-nil, is the always-on flight recorder: the
+	// server records structural incidents into it (session evictions,
+	// group-commit flushes, promotions, demotions, fencing, epoch
+	// changes, journal compactions), dumps it when a handler goroutine
+	// panics, and /debug/flight serves it. A nil recorder disables
+	// every recording site and every panic hook (OBSERVABILITY.md).
+	Flight *obs.FlightRecorder
+	// CrashDump is where a panicking server goroutine writes its
+	// post-mortem (the panic value, the flight recorder's contents,
+	// and the stack) before re-panicking. Nil means os.Stderr. Only
+	// consulted when Flight is non-nil.
+	CrashDump io.Writer
+	// SLOShortWindow and SLOLongWindow override the SLO tracker's
+	// rolling windows; zero means obs.DefaultSLOShortWindow and
+	// obs.DefaultSLOLongWindow. The tracker exists only when Metrics
+	// is non-nil (see health.go and /debug/slo).
+	SLOShortWindow time.Duration
+	SLOLongWindow  time.Duration
+	// SLOSampleEvery is the cadence of the background SLO sampler
+	// Serve starts. Zero means DefaultSLOSampleEvery; negative
+	// disables the sampler (tests drive SampleSLO manually).
+	SLOSampleEvery time.Duration
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -117,6 +141,18 @@ type Server struct {
 
 	ins    *serverInstruments
 	tracer *obs.Tracer
+
+	// Observability plane (health.go, OBSERVABILITY.md): construction
+	// time for the uptime gauge, the flight recorder and its crash
+	// writer, the SLO tracker, and the counter samples Health's
+	// windowed-rate reasons difference against.
+	start  time.Time
+	flight *obs.FlightRecorder
+	crashw io.Writer
+	slo    *obs.SLOTracker
+
+	healthMu      sync.Mutex
+	healthSamples []healthSample
 
 	// journal is the log-structured persistence store, nil unless
 	// Options.JournalDir is set (DESIGN.md §9).
@@ -165,6 +201,12 @@ type segState struct {
 	pending   []*pendingRelease
 	flushing  bool
 	flushDone *sync.Cond
+	// gcFlushes/gcReleases are the segment's cumulative group-commit
+	// flush and coalesced-release counts (the per-segment view of the
+	// server-wide iw_server_group_commits_total pair), surfaced by
+	// /debug/segments.
+	gcFlushes  uint64
+	gcReleases uint64
 }
 
 // appliedWrite is the recorded outcome of a write release.
@@ -194,10 +236,16 @@ func New(opts Options) (*Server, error) {
 		sessions: make(map[*session]struct{}),
 		done:     make(chan struct{}),
 		tracer:   opts.Tracer,
+		start:    time.Now(),
+		flight:   opts.Flight,
+		crashw:   opts.CrashDump,
 
 		sessionSendQueue: opts.SessionSendQueue,
 		connSendQueue:    opts.ConnSendQueue,
 		writeTimeout:     opts.WriteTimeout,
+	}
+	if s.crashw == nil {
+		s.crashw = os.Stderr
 	}
 	if s.sessionSendQueue <= 0 {
 		s.sessionSendQueue = DefaultSessionSendQueue
@@ -215,7 +263,9 @@ func New(opts Options) (*Server, error) {
 	s.reg.init()
 	if opts.Metrics != nil {
 		s.ins = newServerInstruments(opts.Metrics)
-		opts.Metrics.RegisterCollector(s.collectSegmentGauges)
+		opts.Metrics.RegisterCollector(s.collectServerGauges)
+		s.slo = obs.NewSLOTracker(opts.Metrics, serverSLOObjectives(),
+			opts.SLOShortWindow, opts.SLOLongWindow)
 	}
 	if opts.CheckpointDir != "" && opts.JournalDir != "" {
 		return nil, errors.New("server: CheckpointDir and JournalDir are mutually exclusive")
@@ -311,6 +361,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
+	if s.slo != nil && s.opts.SLOSampleEvery >= 0 {
+		s.wg.Add(1)
+		go s.sloSampleLoop()
+	}
 
 	for {
 		conn, err := ln.Accept()
@@ -337,6 +391,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if s.flight != nil {
+				// Post-mortem hook: a panic on this connection's read
+				// loop dumps the flight recorder before killing the
+				// process (obs.FlightRecorder.DumpOnPanic re-panics).
+				defer s.flight.DumpOnPanic(s.crashw, "server connection")
+			}
 			wc.serve()
 		}()
 	}

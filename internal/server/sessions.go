@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"interweave/internal/obs"
 	"interweave/internal/protocol"
 )
 
@@ -202,6 +203,9 @@ func (wc *wireConn) serve() {
 			wc.handlers.Add(1)
 			go func() {
 				defer wc.handlers.Done()
+				if srv := wc.srv; srv.flight != nil {
+					defer srv.flight.DumpOnPanic(srv.crashw, "session request handler")
+				}
 				if reply := sess.handle(msg, tc); reply != nil {
 					_ = sess.send(id, reply)
 				}
@@ -388,6 +392,9 @@ func (s *Server) teardownSession(sess *session, evictReason string) {
 		}
 	}
 	s.mu.Unlock()
+	if s.flight != nil && evictReason != "" {
+		s.flight.Record(obs.Event{Name: "session.evict", Err: evictReason, N: int64(sess.sid)})
+	}
 	sess.sweepSegments()
 	if evictReason == "" {
 		return

@@ -1,0 +1,251 @@
+package main
+
+// Prometheus text-format parser (exposition format 0.0.4), the
+// inverse of obs.Registry.WritePrometheus: it rebuilds an
+// obs.Snapshot from a /metrics scrape so per-node snapshots can be
+// merged with obs.Snapshot.Merge. Only what the obs writer emits is
+// supported — counters, gauges, and histograms with cumulative le
+// buckets plus _sum/_count — which is exactly what every InterWeave
+// node serves.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"interweave/internal/obs"
+)
+
+// histAcc accumulates one histogram instance's exposition lines until
+// the scrape is fully read.
+type histAcc struct {
+	bounds []float64
+	cum    []uint64 // cumulative counts per finite bound, in bound order
+	infCum uint64   // cumulative count at le="+Inf"
+	sum    float64
+	count  uint64
+}
+
+// parseProm reads one Prometheus text scrape into a Snapshot keyed
+// exactly like obs.Registry.Snapshot (name{k="v",...}), so snapshots
+// from different nodes merge bucket-for-bucket.
+func parseProm(r io.Reader) (obs.Snapshot, error) {
+	snap := obs.Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]obs.HistSnapshot),
+	}
+	types := make(map[string]string)
+	hists := make(map[string]*histAcc)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if f := strings.Fields(line); len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return snap, err
+		}
+		fam, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name && types[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		if suffix == "" {
+			switch types[name] {
+			case "counter":
+				u, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					return snap, fmt.Errorf("counter %s: %w", name, err)
+				}
+				snap.Counters[instanceKey(name, labels)] = u
+			default: // gauge, or untyped — keep as gauge
+				f, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return snap, fmt.Errorf("gauge %s: %w", name, err)
+				}
+				snap.Gauges[instanceKey(name, labels)] = f
+			}
+			continue
+		}
+		le := ""
+		if suffix == "_bucket" {
+			labels, le = splitLe(labels)
+		}
+		k := instanceKey(fam, labels)
+		acc := hists[k]
+		if acc == nil {
+			acc = &histAcc{}
+			hists[k] = acc
+		}
+		switch suffix {
+		case "_bucket":
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return snap, fmt.Errorf("bucket %s: %w", k, err)
+			}
+			if le == "+Inf" {
+				acc.infCum = cum
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return snap, fmt.Errorf("bucket bound %s le=%q: %w", k, le, err)
+				}
+				acc.bounds = append(acc.bounds, b)
+				acc.cum = append(acc.cum, cum)
+			}
+		case "_sum":
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return snap, fmt.Errorf("sum %s: %w", k, err)
+			}
+			acc.sum = f
+		case "_count":
+			u, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return snap, fmt.Errorf("count %s: %w", k, err)
+			}
+			acc.count = u
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	for k, acc := range hists {
+		counts := make([]uint64, len(acc.bounds)+1)
+		prev := uint64(0)
+		for i, c := range acc.cum {
+			if c < prev {
+				return snap, fmt.Errorf("histogram %s: non-cumulative buckets", k)
+			}
+			counts[i] = c - prev
+			prev = c
+		}
+		if acc.infCum < prev {
+			return snap, fmt.Errorf("histogram %s: +Inf bucket below last bound", k)
+		}
+		counts[len(acc.bounds)] = acc.infCum - prev
+		snap.Histograms[k] = obs.HistSnapshot{
+			Bounds: acc.bounds, Counts: counts, Sum: acc.sum, Count: acc.count,
+		}
+	}
+	return snap, nil
+}
+
+// parseSample splits one exposition line into its metric name, label
+// set (unescaped values), and value text.
+func parseSample(line string) (string, []obs.Label, string, error) {
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace == -1 || (sp != -1 && sp < brace) {
+		if sp == -1 {
+			return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		}
+		return line[:sp], nil, strings.TrimSpace(line[sp+1:]), nil
+	}
+	name := line[:brace]
+	rest := line[brace+1:]
+	var labels []obs.Label
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if rest == "" {
+			return "", nil, "", fmt.Errorf("unterminated labels in %q", line)
+		}
+		if rest[0] == '}' {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq == -1 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", nil, "", fmt.Errorf("malformed label in %q", line)
+		}
+		key := rest[:eq]
+		val, remain, err := scanQuoted(rest[eq+1:])
+		if err != nil {
+			return "", nil, "", fmt.Errorf("%v in %q", err, line)
+		}
+		labels = append(labels, obs.L(key, val))
+		rest = remain
+	}
+	return name, labels, strings.TrimSpace(rest), nil
+}
+
+// scanQuoted consumes a double-quoted, backslash-escaped string at
+// the start of s, returning the unescaped value and the remainder
+// after the closing quote.
+func scanQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted value")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \" and \\ unescape to the character itself
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// splitLe strips the le label (the obs writer always appends it last,
+// but any position is accepted) and returns the remaining labels.
+func splitLe(labels []obs.Label) ([]obs.Label, string) {
+	le := ""
+	out := labels[:0]
+	for _, l := range labels {
+		if l.Key == "le" {
+			le = l.Value
+			continue
+		}
+		out = append(out, l)
+	}
+	return out, le
+}
+
+// instanceKey mirrors the obs registry's snapshot key format,
+// name{k="v",...} with raw (unescaped) label values, so parsed
+// scrapes index identically to in-process snapshots.
+func instanceKey(family string, labels []obs.Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -29,6 +29,13 @@
 // field. The process exits non-zero when the run could not hold the
 // requested session count (refused or evicted sessions), so CI can
 // gate on it.
+//
+// The report also carries the server's own health verdict: for the
+// in-process server it is computed directly from the server's SLO
+// tracker after the measurement window; for an external server, point
+// -health at its /healthz endpoint. With -slo-gate the run
+// additionally fails when that verdict is not "ok" — the generator
+// consumes the server's burn-rate math instead of re-deriving it.
 package main
 
 import (
@@ -37,8 +44,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,6 +77,8 @@ func main() {
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", 0, "in-process server session cap (0 = unlimited)")
 	flag.BoolVar(&cfg.GroupCommit, "group-commit", false, "enable group commit on the in-process server")
 	flag.StringVar(&cfg.JSONOut, "json", "", "write the SLO document to this path")
+	flag.StringVar(&cfg.Health, "health", "", "external server's /healthz URL, fetched after the run (in-process runs compute it directly)")
+	flag.BoolVar(&cfg.SLOGate, "slo-gate", false, "exit non-zero when the post-run health verdict is not \"ok\"")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -90,6 +101,8 @@ type config struct {
 	MaxSessions int           `json:"max_sessions"`
 	GroupCommit bool          `json:"group_commit"`
 	JSONOut     string        `json:"-"`
+	Health      string        `json:"health_url,omitempty"`
+	SLOGate     bool          `json:"slo_gate"`
 }
 
 // loadSession is one held session plus the per-session client state a
@@ -124,6 +137,9 @@ type report struct {
 		Notifies int64   `json:"notifies"`
 	} `json:"ops"`
 	ReadLock histReport `json:"readlock_seconds"`
+	// Health is the server's own post-run verdict (in-process SLO
+	// tracker, or a -health fetch); absent when neither is available.
+	Health *server.Health `json:"health,omitempty"`
 }
 
 // histReport is an SLO summary of one latency histogram. Quantiles
@@ -171,15 +187,23 @@ func run(cfg config) error {
 		cfg.Segments = 1
 	}
 
-	// Server: in-process unless targeting a running one.
+	// Server: in-process unless targeting a running one. The
+	// in-process server carries its own registry and SLO tracker so
+	// the report can include the server-side verdict; sampling is
+	// manual (disabled loop) so the two samples bracket the
+	// measurement window exactly.
+	var inproc *server.Server
 	if cfg.Addr == "" {
 		srv, err := server.New(server.Options{
-			MaxSessions: cfg.MaxSessions,
-			GroupCommit: cfg.GroupCommit,
+			MaxSessions:    cfg.MaxSessions,
+			GroupCommit:    cfg.GroupCommit,
+			Metrics:        obs.NewRegistry(),
+			SLOSampleEvery: -1,
 		})
 		if err != nil {
 			return err
 		}
+		inproc = srv
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -302,6 +326,9 @@ func run(cfg config) error {
 	}
 	ops := make(chan time.Time, 8192)
 	measureStart := time.Now()
+	if inproc != nil {
+		inproc.SampleSLO(measureStart) // baseline: SLO windows cover the measurement only
+	}
 	go func() {
 		defer close(ops)
 		deadline := measureStart.Add(cfg.Duration)
@@ -347,6 +374,9 @@ func run(cfg config) error {
 	elapsed := time.Since(measureStart)
 	close(stopWriters)
 	writerWG.Wait()
+	if inproc != nil {
+		inproc.SampleSLO(time.Now())
+	}
 
 	// Report.
 	var rep report
@@ -367,6 +397,17 @@ func run(cfg config) error {
 	rep.Ops.Diffs = diffs.Load()
 	rep.Ops.Notifies = notifies.Load()
 	rep.ReadLock = summarize(hist.Snapshot())
+	if inproc != nil {
+		h := inproc.Health(time.Now())
+		rep.Health = &h
+	} else if cfg.Health != "" {
+		h, err := fetchHealth(cfg.Health)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: health fetch: %v\n", err)
+		} else {
+			rep.Health = h
+		}
+	}
 
 	fmt.Printf("held %d sessions; %d ops in %v (%.0f/s, target %.0f/s); fresh=%d diffs=%d errors=%d\n",
 		len(held), done.Load(), elapsed.Round(time.Millisecond), rep.Ops.Rate, cfg.Rate,
@@ -374,6 +415,13 @@ func run(cfg config) error {
 	fmt.Printf("ReadLock latency (open-loop): mean=%s p50=%s p90=%s p99=%s p99.9=%s\n",
 		secs(rep.ReadLock.Mean), secs(rep.ReadLock.P50), secs(rep.ReadLock.P90),
 		secs(rep.ReadLock.P99), secs(rep.ReadLock.P999))
+	if rep.Health != nil {
+		line := "server health: " + rep.Health.Status
+		if len(rep.Health.Reasons) > 0 {
+			line += " (" + strings.Join(rep.Health.Reasons, "; ") + ")"
+		}
+		fmt.Println(line)
+	}
 
 	if cfg.JSONOut != "" {
 		buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -390,7 +438,32 @@ func run(cfg config) error {
 		return fmt.Errorf("held %d/%d sessions (%d refused, %d evicted)",
 			len(held), cfg.Sessions, refused.Load(), evicted.Load())
 	}
+	if cfg.SLOGate {
+		if rep.Health == nil {
+			return fmt.Errorf("slo gate: no health verdict (in-process server or -health required)")
+		}
+		if rep.Health.Status != server.HealthOK {
+			return fmt.Errorf("slo gate: server %s: %s",
+				rep.Health.Status, strings.Join(rep.Health.Reasons, "; "))
+		}
+	}
 	return nil
+}
+
+// fetchHealth pulls an external server's /healthz verdict. The
+// endpoint answers 503 when overloaded, so any decodable body counts.
+func fetchHealth(url string) (*server.Health, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &h, nil
 }
 
 func secs(v float64) string {
