@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke iwtop-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke iwtop-smoke proxy-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -79,6 +79,43 @@ iwtop-smoke:
 		cat iwtop-smoke.err >&2; cat iwtop-smoke.json >&2; exit 1; fi; \
 	rm -f iwtop-smoke.err; echo "iwtop-smoke: 3 nodes discovered and healthy (iwtop-smoke.json)"
 
+# Proxy-tier smoke (also run in CI; DESIGN.md §11, CAPACITY.md):
+# boots an origin plus a two-level proxy tree (p1 -> origin,
+# p2 -> p1), drives 1000 reader sessions through the leaf with
+# tools/loadgen (95% reads, 20% subscribers, background writers on
+# the origin), and asserts via tools/proxysmoke that the run was
+# error-free with bounded observed staleness and that notify fan-out
+# happened at the edge: the origin's session and notification counts
+# track its proxy subscriptions, not the 1000 readers. Then the chaos
+# leg: kill the leaf's upstream (p1) and require the leaf's health
+# verdict to degrade while it keeps serving stale, restart p1 and
+# require recovery back to ok.
+proxy-smoke:
+	@set -e; \
+	$(GO) build -o iwserver-smoke ./cmd/iwserver; \
+	$(GO) build -o iwproxy-smoke ./cmd/iwproxy; \
+	$(GO) build -o proxysmoke-check ./tools/proxysmoke; \
+	trap 'kill $$S0 $$P1 $$P2 2>/dev/null; rm -f iwserver-smoke iwproxy-smoke proxysmoke-check' EXIT; \
+	./iwserver-smoke -quiet -addr 127.0.0.1:7791 -metrics-addr 127.0.0.1:9991 & S0=$$!; \
+	./iwproxy-smoke -quiet -addr 127.0.0.1:7792 -upstream 127.0.0.1:7791 \
+		-max-lag 8 -sync-every 250ms -metrics-addr 127.0.0.1:9992 & P1=$$!; \
+	./iwproxy-smoke -quiet -addr 127.0.0.1:7793 -upstream 127.0.0.1:7792 \
+		-max-lag 8 -sync-every 250ms -metrics-addr 127.0.0.1:9993 & P2=$$!; \
+	sleep 1; \
+	$(GO) run ./tools/loadgen -addr 127.0.0.1:7791 -via-proxy 127.0.0.1:7793 \
+		-sessions 1000 -conns 8 -rate 500 -duration 5s \
+		-read-ratio 0.95 -subscribe 0.2 -segments 4 -writers 2 \
+		-json proxy-smoke.json; \
+	./proxysmoke-check -report proxy-smoke.json -origin 127.0.0.1:9991 -leaf 127.0.0.1:9993; \
+	echo "proxy-smoke: killing mid-tier proxy (leaf upstream)"; \
+	kill $$P1; \
+	./proxysmoke-check -wait-status degraded -leaf 127.0.0.1:9993 -timeout 15s; \
+	echo "proxy-smoke: restarting mid-tier proxy"; \
+	./iwproxy-smoke -quiet -addr 127.0.0.1:7792 -upstream 127.0.0.1:7791 \
+		-max-lag 8 -sync-every 250ms -metrics-addr 127.0.0.1:9992 & P1=$$!; \
+	./proxysmoke-check -wait-status ok -leaf 127.0.0.1:9993 -timeout 15s; \
+	echo "proxy-smoke: fan-out independent of reader count; degraded/recovered cleanly (proxy-smoke.json)"
+
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.
 figures:
@@ -113,4 +150,4 @@ linkcheck:
 	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md CAPACITY.md
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json iwtop-smoke.json iwtop-smoke.err iwserver-smoke
+	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json iwtop-smoke.json iwtop-smoke.err iwserver-smoke iwproxy-smoke proxysmoke-check proxy-smoke.json

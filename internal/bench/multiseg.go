@@ -70,6 +70,10 @@ func MultiSegmentThroughput(b *testing.B, segs int) {
 
 	errs := make(chan error, segs)
 	var next int64
+	// Each release ships one modified int32 as its diff payload, so
+	// the MB/s column is committed-payload throughput — the figure
+	// BENCH_*.json trends and `benchjson -compare` gates on.
+	b.SetBytes(4)
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	for i := 0; i < segs; i++ {

@@ -278,6 +278,7 @@ func (n *Node) AdoptMembership(ms protocol.Membership) bool {
 type memberMeta struct {
 	dead    bool
 	metrics string
+	proxy   bool
 }
 
 // viewsEqual reports whether two same-epoch views describe the same
@@ -294,11 +295,11 @@ func viewsEqual(a, b protocol.Membership) bool {
 	}
 	meta := make(map[string]memberMeta, len(a.Members))
 	for _, m := range a.Members {
-		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr}
+		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr, proxy: m.Proxy}
 	}
 	for _, m := range b.Members {
 		mm, ok := meta[m.Addr]
-		if !ok || mm.dead != m.Dead || mm.metrics != m.MetricsAddr {
+		if !ok || mm.dead != m.Dead || mm.metrics != m.MetricsAddr || mm.proxy != m.Proxy {
 			return false
 		}
 	}
@@ -330,11 +331,15 @@ func mergeViews(a, b protocol.Membership) protocol.Membership {
 	}
 	meta := make(map[string]memberMeta)
 	for _, m := range a.Members {
-		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr}
+		meta[m.Addr] = memberMeta{dead: m.Dead, metrics: m.MetricsAddr, proxy: m.Proxy}
 	}
 	for _, m := range b.Members {
 		mm := meta[m.Addr]
 		mm.dead = mm.dead || m.Dead
+		// The proxy role is a property of the node, not of either view:
+		// whichever half knows it wins, so a merge never demotes a proxy
+		// into a placement-eligible server.
+		mm.proxy = mm.proxy || m.Proxy
 		if m.MetricsAddr != "" && (mm.metrics == "" || m.MetricsAddr < mm.metrics) {
 			mm.metrics = m.MetricsAddr
 		}
@@ -350,6 +355,7 @@ func mergeViews(a, b protocol.Membership) protocol.Membership {
 			Addr:        addr,
 			Dead:        meta[addr].dead,
 			MetricsAddr: meta[addr].metrics,
+			Proxy:       meta[addr].proxy,
 		})
 	}
 	ov := make(map[string]string)

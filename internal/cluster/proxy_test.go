@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+
+	"interweave/internal/protocol"
+)
+
+// TestRingSkipsProxies pins the placement rule for the proxy role: a
+// proxy member gossips like anyone else but contributes no ring points
+// and is absent from Live(), so a proxy joining or leaving the
+// membership moves no data and changes no segment routing.
+func TestRingSkipsProxies(t *testing.T) {
+	servers := protocol.Membership{
+		Epoch: 1, Replicas: 1, VNodes: 16,
+		Members: []protocol.Member{
+			{Addr: "s1:7001"},
+			{Addr: "s2:7001"},
+		},
+	}
+	withProxy := servers.Clone()
+	withProxy.Members = append(withProxy.Members, protocol.Member{Addr: "p1:7788", Proxy: true})
+
+	base := BuildRing(servers)
+	ring := BuildRing(withProxy)
+
+	if got := ring.Live(); len(got) != 2 {
+		t.Fatalf("Live() with proxy = %v, want the 2 servers only", got)
+	}
+	for _, addr := range ring.Live() {
+		if addr == "p1:7788" {
+			t.Fatalf("proxy %q appears in Live()", addr)
+		}
+	}
+	// Ownership must be byte-identical with and without the proxy.
+	for _, seg := range []string{"s1:7001/a", "s1:7001/b", "s2:7001/counters", "s1:7001/deep/path"} {
+		if base.Owner(seg) != ring.Owner(seg) {
+			t.Fatalf("owner of %q moved when proxy joined: %q -> %q",
+				seg, base.Owner(seg), ring.Owner(seg))
+		}
+		if ring.Owner(seg) == "p1:7788" {
+			t.Fatalf("proxy owns %q", seg)
+		}
+	}
+}
+
+// TestMergeViewsKeepsProxyBit pins that the proxy role survives an
+// equal-epoch merge regardless of which side knows it: a merge must
+// never demote a proxy into a placement-eligible server.
+func TestMergeViewsKeepsProxyBit(t *testing.T) {
+	a := protocol.Membership{
+		Epoch: 4, Replicas: 1, VNodes: 16,
+		Members: []protocol.Member{
+			{Addr: "s1:7001"},
+			{Addr: "p1:7788", Proxy: true},
+		},
+	}
+	b := protocol.Membership{
+		Epoch: 4, Replicas: 1, VNodes: 16,
+		Members: []protocol.Member{
+			{Addr: "s1:7001"},
+			{Addr: "p1:7788"}, // this side never saw the ProxyHello
+			{Addr: "s2:7001"},
+		},
+	}
+	for _, pair := range [][2]protocol.Membership{{a, b}, {b, a}} {
+		out := mergeViews(pair[0], pair[1])
+		if out.Epoch != 5 {
+			t.Fatalf("merged epoch = %d, want 5", out.Epoch)
+		}
+		var found bool
+		for _, m := range out.Members {
+			if m.Addr == "p1:7788" {
+				found = true
+				if !m.Proxy {
+					t.Fatalf("merge dropped proxy bit: %+v", out.Members)
+				}
+			}
+			if m.Addr == "s1:7001" && m.Proxy {
+				t.Fatalf("merge invented a proxy bit on a server: %+v", out.Members)
+			}
+		}
+		if !found {
+			t.Fatalf("merge lost the proxy member: %+v", out.Members)
+		}
+	}
+}

@@ -37,9 +37,10 @@ type point struct {
 }
 
 // Ring is an immutable consistent-hash ring built from a Membership.
-// Dead members contribute no points, so excluding a failed node moves
-// exactly its arc to the successors; overrides pin individual segments
-// to a named owner regardless of hashing.
+// Dead members and proxy-role members contribute no points, so
+// excluding a failed node moves exactly its arc to the successors and
+// a proxy can join gossip without attracting ownership; overrides pin
+// individual segments to a named owner regardless of hashing.
 type Ring struct {
 	points    []point
 	live      []string
@@ -72,7 +73,10 @@ func BuildRing(ms protocol.Membership) *Ring {
 	}
 	r := &Ring{overrides: make(map[string]string, len(ms.Overrides))}
 	for _, m := range ms.Members {
-		if m.Dead {
+		// Proxies gossip like members but never own segments: like dead
+		// nodes they contribute no points, so a proxy joining or leaving
+		// the membership moves no data and changes no routing.
+		if m.Dead || m.Proxy {
 			continue
 		}
 		r.live = append(r.live, m.Addr)

@@ -38,6 +38,12 @@ type Options struct {
 	Profile *arch.Profile
 	// Name identifies the client to servers (diagnostics only).
 	Name string
+	// ProxyAddr, when non-empty, marks this client as a read fan-out
+	// proxy (DESIGN.md §11): connections introduce themselves with
+	// ProxyHello instead of Hello, carrying this address — the proxy's
+	// own downstream-facing listen address — so servers can exempt the
+	// session from MaxSessions admission and advertise the role.
+	ProxyAddr string
 	// Dial overrides TCP dialing (tests, custom transports).
 	Dial func(addr string) (net.Conn, error)
 	// DefaultPolicy is the coherence policy used by segments that
@@ -85,6 +91,12 @@ type Options struct {
 	// tracer disables span tracing entirely — no clock reads and no
 	// allocations on the hot paths.
 	Tracer *obs.Tracer
+	// OnNotify, when non-nil, receives every server-pushed Notify in
+	// addition to the client's own invalidation bookkeeping. It runs on
+	// the notify goroutine with no client lock held, so it may call back
+	// into the Client. The proxy tier uses it to trigger mirror pulls
+	// for segments it subscribed to with Forward rather than Open.
+	OnNotify func(seg string, version uint32)
 }
 
 // Client is one InterWeave client process.
@@ -275,12 +287,17 @@ func (c *Client) connTo(addr string) (*serverConn, error) {
 		c.ins.dials.Inc()
 	}
 	// Introduce ourselves; failure here surfaces on first real call.
-	go func() {
-		_, err := sc.call(&protocol.Hello{ClientName: c.opts.Name, Profile: c.prof.Name})
-		if err != nil {
-			_ = sc.close()
-		}
-	}()
+	// Proxies introduce with ProxyHello so the server exempts the
+	// session from MaxSessions admission (DESIGN.md §11). The intro
+	// frame is written synchronously — it must be the session-creating
+	// frame at the server, ahead of any concurrent first RPC, or the
+	// exemption is lost to a race — but its reply is drained in the
+	// background so dialing stays one write, not a round trip.
+	var intro protocol.Message = &protocol.Hello{ClientName: c.opts.Name, Profile: c.prof.Name}
+	if c.opts.ProxyAddr != "" {
+		intro = &protocol.ProxyHello{ProxyAddr: c.opts.ProxyAddr, Name: c.opts.Name}
+	}
+	sc.send(intro)
 	return sc, nil
 }
 
@@ -528,10 +545,14 @@ func (c *Client) sleepRetry(attempt int) bool {
 // onNotify handles server-pushed invalidations.
 func (c *Client) onNotify(segName string, version uint32) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if s, ok := c.segs[segName]; ok {
 		s.state.Invalidated = true
 		s.notifiedVersion = version
+	}
+	fn := c.opts.OnNotify
+	c.mu.Unlock()
+	if fn != nil {
+		fn(segName, version)
 	}
 }
 
@@ -624,6 +645,39 @@ func (sc *serverConn) close() error {
 // are returned as errors.
 func (sc *serverConn) call(m protocol.Message) (protocol.Message, error) {
 	return sc.callT(m, 0, protocol.TraceContext{})
+}
+
+// send writes one request synchronously but drains its reply in the
+// background, closing the connection if the server answered with an
+// error. Used for the Hello/ProxyHello introduction, whose frame must
+// precede any later call's on the wire (later calls serialize behind
+// the same write path under sc.mu) without costing a round trip.
+func (sc *serverConn) send(m protocol.Message) {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	id := sc.nextID
+	sc.nextID++
+	if sc.nextID == 0 {
+		sc.nextID = 1
+	}
+	ch := make(chan protocol.Message, 1)
+	sc.pending[id] = ch
+	err := protocol.WriteFrameCtx(sc.conn, id, m, protocol.TraceContext{})
+	sc.mu.Unlock()
+	if err != nil {
+		sc.fail(err)
+		return
+	}
+	go func() {
+		if reply, ok := <-ch; ok {
+			if _, isErr := reply.(*protocol.ErrorReply); isErr {
+				_ = sc.close()
+			}
+		}
+	}()
 }
 
 // callT is call with an optional timeout and an optional trace

@@ -217,6 +217,49 @@ func (c *Client) Migrate(segName, target string) error {
 	return nil
 }
 
+// Forward issues a raw protocol message against the server currently
+// routed for segName, with the client's full routing stack behind it:
+// the redirect-learned route (or the URL's home server) picks the
+// target, Redirect replies are followed and cached, transport failures
+// of retryable RPCs are retried with backoff, and reroutes consult the
+// ring. The reply is returned as-is; server-reported errors come back
+// as *protocol.ErrorReply in the error chain.
+//
+// This is the proxy tier's upstream primitive (DESIGN.md §11): a proxy
+// relays downstream WriteLock/WriteUnlock/TxCommit frames verbatim and
+// pulls mirror diffs with ReadLock, without materialising core segment
+// state for them. Note the retry semantics are the same as a direct
+// client's: WriteUnlock and TxCommit get at most one send per call.
+func (c *Client) Forward(segName string, m protocol.Message) (protocol.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("core: client closed")
+	}
+	return c.callRetry(segName, m, nil)
+}
+
+// SeedRoute pins the route for segName to addr, as if a redirect had
+// taught it. A proxy uses this to aim a segment at its configured
+// upstream — which may be another proxy, not the owner embedded in the
+// segment URL — before the first Forward; later redirects and reroutes
+// overwrite it normally.
+func (c *Client) SeedRoute(segName, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.routes[segName] = addr
+}
+
+// RouteTo reports the cached route for segName, or "" when none is
+// cached (the next request would fall back to the segment URL's home
+// server). Lets a proxy detect that rerouting abandoned its seeded
+// upstream and decide whether to re-seed.
+func (c *Client) RouteTo(segName string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routes[segName]
+}
+
 // ClusterEpoch returns the epoch of the cached cluster membership, or
 // zero when the client has never seen one.
 func (c *Client) ClusterEpoch() uint64 {

@@ -67,6 +67,11 @@ type Member struct {
 	// node's scrape endpoint from any one member. Empty when the node
 	// runs without -metrics-addr.
 	MetricsAddr string
+	// Proxy marks a read fan-out proxy (DESIGN.md §11): a member that
+	// participates in gossip so the fleet can see it, but contributes
+	// no hash-ring placement points — it owns no segments and is
+	// skipped by BuildRing exactly like a dead member.
+	Proxy bool
 }
 
 // Override pins one segment to an owner outside hash placement — the
@@ -260,16 +265,19 @@ func appendMembership(buf []byte, ms Membership) []byte {
 	for _, m := range ms.Members {
 		buf = wire.AppendString(buf, m.Addr)
 		// The member flag byte: bit 0 = dead, bit 1 = a MetricsAddr
-		// string follows. Cluster frames only flow between
-		// identically-configured cluster nodes, and decoders treat the
-		// byte as a bit set, so the advertisement extends the frame
-		// without a format break.
+		// string follows, bit 2 = proxy role. Cluster frames only flow
+		// between identically-configured cluster nodes, and decoders
+		// treat the byte as a bit set, so each advertisement extends
+		// the frame without a format break.
 		var flags uint8
 		if m.Dead {
 			flags |= 1
 		}
 		if m.MetricsAddr != "" {
 			flags |= 2
+		}
+		if m.Proxy {
+			flags |= 4
 		}
 		buf = wire.AppendU8(buf, flags)
 		if m.MetricsAddr != "" {
@@ -301,6 +309,7 @@ func readMembership(r *wire.Reader) (Membership, error) {
 		if flags&2 != 0 {
 			ms.Members[i].MetricsAddr = r.Str()
 		}
+		ms.Members[i].Proxy = flags&4 != 0
 	}
 	no := r.U16()
 	if r.Err() != nil {

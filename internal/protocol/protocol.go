@@ -584,6 +584,9 @@ func newMessage(t MsgType) (Message, error) {
 		if m := newSessionMessage(t); m != nil {
 			return m, nil
 		}
+		if m := newProxyMessage(t); m != nil {
+			return m, nil
+		}
 		return nil, fmt.Errorf("protocol: unknown message type %d", t)
 	}
 }

@@ -1,0 +1,57 @@
+package protocol
+
+// Proxy-tier message (DESIGN.md §11). A read fan-out proxy introduces
+// itself to its upstream with ProxyHello instead of Hello, so the
+// upstream can exempt the session from MaxSessions admission (a proxy
+// session replaces thousands of direct client sessions — refusing it
+// to protect capacity would be backwards) and so the fleet can
+// distinguish node roles. Like the session frames, the type byte
+// continues the existing numbering; peers that never send it
+// interoperate unchanged.
+
+import "interweave/internal/wire"
+
+// Proxy message type, continuing the numbering after the session
+// block (TypeSessionClose = 28).
+const (
+	// TypeProxyHello introduces a proxy to its upstream.
+	TypeProxyHello MsgType = iota + 29
+)
+
+// Compile-time guard: the proxy block starts right after the session
+// block. If a type is inserted in between, this fails to build.
+var _ [1]struct{} = [TypeProxyHello - TypeSessionClose]struct{}{}
+
+// ProxyHello introduces a read fan-out proxy to its upstream. It is
+// the session-creating frame of a proxy session, taking the place of
+// Hello; the server exempts the session from MaxSessions admission
+// and marks it as a proxy for the observability plane.
+type ProxyHello struct {
+	// ProxyAddr is the proxy's own downstream-facing client address,
+	// for diagnostics and gossip (it is the Member.Addr the proxy
+	// announces with the Proxy role flag).
+	ProxyAddr string
+	// Name is the proxy's self-chosen name, like Hello.ClientName.
+	Name string
+}
+
+// Type returns the frame type byte.
+func (*ProxyHello) Type() MsgType { return TypeProxyHello }
+
+func (m *ProxyHello) encode(buf []byte) []byte {
+	buf = wire.AppendString(buf, m.ProxyAddr)
+	return wire.AppendString(buf, m.Name)
+}
+
+func (m *ProxyHello) decode(r *wire.Reader) error {
+	m.ProxyAddr, m.Name = r.Str(), r.Str()
+	return r.Err()
+}
+
+// newProxyMessage allocates proxy-tier message types; nil for others.
+func newProxyMessage(t MsgType) Message {
+	if t == TypeProxyHello {
+		return &ProxyHello{}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package protocol
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestProxyHelloRoundTrip pins the ProxyHello wire encoding.
+func TestProxyHelloRoundTrip(t *testing.T) {
+	in := &ProxyHello{ProxyAddr: "127.0.0.1:7788", Name: "edge-proxy-3"}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 5, in); err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Fatalf("id = %d, want 5", id)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+}
+
+// TestMemberProxyFlagRoundTrip pins the member flag-byte encoding with
+// the proxy role bit (bit 2): every combination with dead (bit 0) and
+// metrics-addr (bit 1).
+func TestMemberProxyFlagRoundTrip(t *testing.T) {
+	ms := Membership{
+		Epoch: 3, Replicas: 1, VNodes: 8,
+		Members: []Member{
+			{Addr: "a:1", Proxy: true},
+			{Addr: "b:1", Proxy: true, Dead: true},
+			{Addr: "c:1", Proxy: true, MetricsAddr: "c:9"},
+			{Addr: "d:1", Proxy: true, Dead: true, MetricsAddr: "d:9"},
+			{Addr: "e:1"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, &RingReply{Ms: ms}); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.(*RingReply).Ms.Members, ms.Members) {
+		t.Fatalf("round trip: got %+v, want %+v", got.(*RingReply).Ms.Members, ms.Members)
+	}
+}

@@ -28,6 +28,7 @@ const (
 	smCheckpointSeconds = "iw_server_checkpoint_seconds"
 	smCheckpointErrors  = "iw_server_checkpoint_errors_total"
 	smSessions          = "iw_server_sessions"
+	smProxySessions     = "iw_server_proxy_sessions"
 	smConns             = "iw_server_conns"
 	smSessionsOpened    = "iw_server_sessions_opened_total"
 	smSessionsEvicted   = "iw_server_sessions_evicted_total"
@@ -70,6 +71,7 @@ type serverInstruments struct {
 	ckptSec           *obs.Histogram
 	ckptErrors        *obs.Counter
 	sessions          *obs.Gauge
+	proxySessions     *obs.Gauge
 	conns             *obs.Gauge
 
 	sessionsOpened  *obs.Counter
@@ -127,6 +129,8 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 			"Checkpoint passes that failed."),
 		sessions: reg.Gauge(smSessions,
 			"Currently open logical client sessions (a multiplexed connection carries many)."),
+		proxySessions: reg.Gauge(smProxySessions,
+			"Sessions introduced by ProxyHello (read fan-out proxies); exempt from MaxSessions admission."),
 		conns: reg.Gauge(smConns,
 			"Currently accepted TCP connections; sessions/conns is the multiplexing ratio."),
 		sessionsOpened: reg.Counter(smSessionsOpened,

@@ -123,8 +123,18 @@ type Server struct {
 	mu       sync.Mutex // lifecycle: conns, sessions, ln, closed, lastRing
 	conns    map[*wireConn]struct{}
 	sessions map[*session]struct{}
-	ln       net.Listener
-	closed   bool
+	// proxySessions counts the sessions created by ProxyHello; they are
+	// excluded from MaxSessions admission (DESIGN.md §11 — one proxy
+	// session replaces thousands of direct client sessions).
+	proxySessions int
+	// exemptSessions counts every admission-exempt session: proxy
+	// sessions plus cluster-plane RPC sessions (gossip/replication
+	// round trips on throwaway conns). Subtracted from the MaxSessions
+	// admission count so infrastructure traffic neither consumes nor
+	// is refused client capacity.
+	exemptSessions int
+	ln            net.Listener
+	closed        bool
 
 	// Resolved transport bounds (Options with defaults applied).
 	sessionSendQueue int
@@ -550,6 +560,10 @@ func (sess *session) dispatch(msg protocol.Message, sp *obs.Span) protocol.Messa
 	switch m := msg.(type) {
 	case *protocol.Hello:
 		sess.name, sess.profile = m.ClientName, m.Profile
+		return &protocol.Ack{}
+	case *protocol.ProxyHello:
+		sess.name, sess.profile = m.Name, "proxy"
+		sess.srv.markProxySession(sess)
 		return &protocol.Ack{}
 	case *protocol.OpenSegment:
 		return sess.handleOpen(m)

@@ -82,6 +82,15 @@ type session struct {
 	name    string
 	profile string
 
+	// proxy marks a session created by (or upgraded with) ProxyHello: a
+	// read fan-out proxy's upstream subscription, exempt from
+	// MaxSessions admission. Guarded by srv.mu.
+	proxy bool
+	// exempt marks a session excluded from MaxSessions admission:
+	// proxy sessions and sessions created by a cluster-plane RPC
+	// (a peer's or proxy's gossip round trip). Guarded by srv.mu.
+	exempt bool
+
 	// queued counts outbound frames currently sitting in the writer
 	// queue on this session's behalf; notifications are shed when it
 	// reaches the per-session bound.
@@ -228,11 +237,17 @@ func (wc *wireConn) handleSessionClose(sid, id uint32) {
 }
 
 // sessionFor resolves the session a frame is addressed to, creating
-// it lazily. A non-zero session must be created by a Hello — any
-// other first frame is answered CodeNoSession (the ID is unknown:
-// never created, or evicted). Creation passes admission control:
-// when Options.MaxSessions is reached the frame is refused with
-// CodeOverloaded and nothing is created.
+// it lazily. A non-zero session must be created by a Hello (or a
+// proxy's ProxyHello) — any other first frame is answered
+// CodeNoSession (the ID is unknown: never created, or evicted).
+// Creation passes admission control: when Options.MaxSessions is
+// reached the frame is refused with CodeOverloaded and nothing is
+// created. Proxy sessions are exempt from the cap and do not consume
+// it: one proxy session stands in for thousands of direct client
+// sessions, so refusing it to protect capacity would be backwards.
+// Sessions created by a cluster-plane frame (gossip, replication,
+// migration) are exempt for the same reason — they are peer
+// infrastructure round trips, not client load.
 func (wc *wireConn) sessionFor(sid uint32, msg protocol.Message) (*session, protocol.Message) {
 	wc.mu.Lock()
 	if sess, ok := wc.sessions[sid]; ok {
@@ -240,8 +255,10 @@ func (wc *wireConn) sessionFor(sid uint32, msg protocol.Message) (*session, prot
 		return sess, nil
 	}
 	wc.mu.Unlock()
+	_, isProxy := msg.(*protocol.ProxyHello)
+	exempt := isProxy || isClusterFrame(msg)
 	if sid != 0 {
-		if _, isHello := msg.(*protocol.Hello); !isHello {
+		if _, isHello := msg.(*protocol.Hello); !isHello && !isProxy {
 			return nil, errReply(protocol.CodeNoSession, "no session %d on this connection (send Hello first)", sid)
 		}
 	}
@@ -252,7 +269,7 @@ func (wc *wireConn) sessionFor(sid uint32, msg protocol.Message) (*session, prot
 		s.mu.Unlock()
 		return nil, errReply(protocol.CodeInternal, "server shutting down")
 	}
-	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+	if !exempt && s.opts.MaxSessions > 0 && len(s.sessions)-s.exemptSessions >= s.opts.MaxSessions {
 		if s.ins != nil {
 			s.ins.sessionsRefused.Inc()
 		}
@@ -260,15 +277,59 @@ func (wc *wireConn) sessionFor(sid uint32, msg protocol.Message) (*session, prot
 		return nil, errReply(protocol.CodeOverloaded, "session cap %d reached", s.opts.MaxSessions)
 	}
 	s.sessions[sess] = struct{}{}
+	if exempt {
+		sess.exempt = true
+		s.exemptSessions++
+	}
+	if isProxy {
+		sess.proxy = true
+		s.proxySessions++
+	}
 	if s.ins != nil {
 		s.ins.sessions.Set(int64(len(s.sessions)))
 		s.ins.sessionsOpened.Inc()
+		if isProxy {
+			s.ins.proxySessions.Set(int64(s.proxySessions))
+		}
 	}
 	s.mu.Unlock()
 	wc.mu.Lock()
 	wc.sessions[sid] = sess
 	wc.mu.Unlock()
 	return sess, nil
+}
+
+// markProxySession upgrades an existing session to proxy status (the
+// ProxyHello dispatch path — covers a session created earlier by a
+// different first frame). Idempotent.
+func (s *Server) markProxySession(sess *session) {
+	s.mu.Lock()
+	if !sess.proxy && !sess.closed.Load() {
+		sess.proxy = true
+		s.proxySessions++
+		if !sess.exempt {
+			sess.exempt = true
+			s.exemptSessions++
+		}
+		if s.ins != nil {
+			s.ins.proxySessions.Set(int64(s.proxySessions))
+		}
+	}
+	s.mu.Unlock()
+}
+
+// isClusterFrame reports whether msg is a cluster-plane RPC
+// (gossip, replication, migration). A session created by one of these
+// is a peer server's or proxy's infrastructure round trip — often on a
+// throwaway connection — not client load, so it bypasses MaxSessions
+// admission and does not consume the budget.
+func isClusterFrame(msg protocol.Message) bool {
+	switch msg.(type) {
+	case *protocol.RingGet, *protocol.RingPush, *protocol.Replicate,
+		*protocol.Pull, *protocol.Migrate:
+		return true
+	}
+	return false
 }
 
 // sendConnLevel queues a frame that belongs to no live session (a
@@ -385,6 +446,15 @@ func (s *Server) teardownSession(sess *session, evictReason string) {
 	wc.mu.Unlock()
 	s.mu.Lock()
 	delete(s.sessions, sess)
+	if sess.proxy {
+		s.proxySessions--
+		if s.ins != nil {
+			s.ins.proxySessions.Set(int64(s.proxySessions))
+		}
+	}
+	if sess.exempt {
+		s.exemptSessions--
+	}
 	if s.ins != nil {
 		s.ins.sessions.Set(int64(len(s.sessions)))
 		if evictReason != "" {

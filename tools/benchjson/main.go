@@ -19,9 +19,9 @@
 //
 // With -compare <baseline.json> the run additionally checks the fresh
 // results against a committed snapshot: every benchmark matched by
-// -compare-pattern whose ns/op worsened by more than
-// -compare-threshold (a fraction, default 0.20) is a regression and
-// the tool exits non-zero. Benchmarks present on only one side are
+// -compare-pattern whose ns/op worsened — or whose MB/s throughput
+// dropped — by more than -compare-threshold (a fraction, default
+// 0.20) is a regression and the tool exits non-zero. Benchmarks present on only one side are
 // reported as warnings, never failures, so adding or renaming a
 // benchmark does not require regenerating the baseline first.
 package main
@@ -58,6 +58,7 @@ type result struct {
 	Procs       int                `json:"procs"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
@@ -90,7 +91,7 @@ func run(args []string) error {
 	benchtime := fs.String("benchtime", "", "override -benchtime (e.g. 100ms, 10x)")
 	compare := fs.String("compare", "", "baseline BENCH_*.json to check for ns/op regressions")
 	comparePattern := fs.String("compare-pattern", ".", "regexp selecting benchmark names to compare")
-	compareThreshold := fs.Float64("compare-threshold", 0.20, "allowed fractional ns/op slowdown before failing")
+	compareThreshold := fs.Float64("compare-threshold", 0.20, "allowed fractional ns/op slowdown or MB/s drop before failing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,11 +148,12 @@ func run(args []string) error {
 	return nil
 }
 
-// compareBaseline checks the fresh document's ns/op figures against a
-// committed baseline snapshot and returns an error if any selected
-// benchmark slowed down by more than the threshold fraction. Entries
-// missing from either side only warn: a new benchmark has no history,
-// and a retired one has no current figure.
+// compareBaseline checks the fresh document's ns/op and MB/s figures
+// against a committed baseline snapshot and returns an error if any
+// selected benchmark slowed down — or lost throughput — by more than
+// the threshold fraction. Entries missing from either side only warn:
+// a new benchmark has no history, and a retired one has no current
+// figure.
 func compareBaseline(doc document, baselinePath, pattern string, threshold float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -187,17 +189,31 @@ func compareBaseline(doc document, baselinePath, pattern string, threshold float
 			continue
 		}
 		delete(baseline, key(r))
-		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
-			continue
+		matched := false
+		if b.NsPerOp > 0 && r.NsPerOp > 0 {
+			matched = true
+			slowdown := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			fmt.Printf("benchjson: compare: %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+				key(r), b.NsPerOp, r.NsPerOp, 100*slowdown)
+			if slowdown > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.1f%% > %.0f%% threshold)",
+						key(r), b.NsPerOp, r.NsPerOp, 100*slowdown, 100*threshold))
+			}
 		}
-		compared++
-		slowdown := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
-		fmt.Printf("benchjson: compare: %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
-			key(r), b.NsPerOp, r.NsPerOp, 100*slowdown)
-		if slowdown > threshold {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.1f%% > %.0f%% threshold)",
-					key(r), b.NsPerOp, r.NsPerOp, 100*slowdown, 100*threshold))
+		if b.MBPerSec > 0 && r.MBPerSec > 0 {
+			matched = true
+			drop := (b.MBPerSec - r.MBPerSec) / b.MBPerSec
+			fmt.Printf("benchjson: compare: %-50s %12.2f -> %12.2f MB/s  (%+.1f%%)\n",
+				key(r), b.MBPerSec, r.MBPerSec, -100*drop)
+			if drop > threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2f -> %.2f MB/s (-%.1f%% > %.0f%% threshold)",
+						key(r), b.MBPerSec, r.MBPerSec, 100*drop, 100*threshold))
+			}
+		}
+		if matched {
+			compared++
 		}
 	}
 	for k := range baseline {
@@ -266,6 +282,8 @@ func parseBench(pkg string, out []byte) ([]result, error) {
 			switch fields[i+1] {
 			case "ns/op":
 				r.NsPerOp = v
+			case "MB/s":
+				r.MBPerSec = v
 			case "B/op":
 				r.BytesPerOp = v
 			case "allocs/op":

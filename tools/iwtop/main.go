@@ -71,10 +71,15 @@ type config struct {
 	TopSegments int
 }
 
-// nodeDoc is one node's row in the fleet document.
+// nodeDoc is one node's row in the fleet document. Role and the
+// upstream-lag fields are additive to schema interweave-iwtop/1:
+// existing consumers that never look at them parse unchanged.
 type nodeDoc struct {
-	Addr          string   `json:"addr"`
-	MetricsAddr   string   `json:"metrics_addr"`
+	Addr        string `json:"addr"`
+	MetricsAddr string `json:"metrics_addr"`
+	// Role distinguishes node kinds: "server" owns segments, "proxy"
+	// is a read fan-out proxy (DESIGN.md §11) mirroring them.
+	Role          string   `json:"role"`
 	Dead          bool     `json:"dead,omitempty"`
 	Err           string   `json:"err,omitempty"`
 	Health        string   `json:"health"`
@@ -83,7 +88,11 @@ type nodeDoc struct {
 	Sessions      float64  `json:"sessions"`
 	Conns         float64  `json:"conns"`
 	RPCCount      uint64   `json:"rpc_count"`
-	Burning       []string `json:"burning,omitempty"`
+	// Proxy-only: how far the worst mirror trails its upstream, in
+	// versions and in seconds since the last confirmed sync.
+	UpstreamLagVersions float64  `json:"upstream_lag_versions,omitempty"`
+	UpstreamLagSeconds  float64  `json:"upstream_lag_seconds,omitempty"`
+	Burning             []string `json:"burning,omitempty"`
 
 	snap     obs.Snapshot
 	segments []server.SegmentDebug
@@ -188,7 +197,11 @@ func (a *app) tick() fleetDoc {
 		doc.Epoch = ms.Epoch
 		ring := cluster.BuildRing(ms)
 		for _, m := range ms.Members {
-			nodes = append(nodes, nodeDoc{Addr: m.Addr, MetricsAddr: m.MetricsAddr, Dead: m.Dead})
+			role := "server"
+			if m.Proxy {
+				role = "proxy"
+			}
+			nodes = append(nodes, nodeDoc{Addr: m.Addr, MetricsAddr: m.MetricsAddr, Dead: m.Dead, Role: role})
 		}
 		defer func() { a.fillOwners(doc.Segments, ring) }()
 	}
@@ -273,16 +286,34 @@ func (a *app) scrape(n *nodeDoc) {
 		return
 	}
 	n.snap = snap
-	n.Sessions = snap.Gauges["iw_server_sessions"]
-	n.Conns = snap.Gauges["iw_server_connections"]
-	n.UptimeSeconds = snap.Gauges["iw_server_uptime_seconds"]
+	// Direct -metrics scrapes have no membership to learn the role
+	// from; the scraped surface itself tells (a proxy exports
+	// iw_proxy_uptime_seconds, a server iw_server_uptime_seconds).
+	if n.Role == "" {
+		if _, isProxy := snap.Gauges["iw_proxy_uptime_seconds"]; isProxy {
+			n.Role = "proxy"
+		} else {
+			n.Role = "server"
+		}
+	}
+	if n.Role == "proxy" {
+		n.Sessions = snap.Gauges["iw_proxy_sessions"]
+		n.UptimeSeconds = snap.Gauges["iw_proxy_uptime_seconds"]
+		n.UpstreamLagVersions = snap.Gauges["iw_proxy_upstream_lag_versions"]
+		n.UpstreamLagSeconds = snap.Gauges["iw_proxy_upstream_lag_seconds"]
+	} else {
+		n.Sessions = snap.Gauges["iw_server_sessions"]
+		n.Conns = snap.Gauges["iw_server_conns"]
+		n.UptimeSeconds = snap.Gauges["iw_server_uptime_seconds"]
+	}
 	for k, h := range snap.Histograms {
 		if strings.HasPrefix(k, "iw_server_rpc_seconds{") {
 			n.RPCCount += h.Count
 		}
 	}
 
-	// /healthz: the verdict is valid at 200 and 503 alike.
+	// /healthz: the verdict is valid at 200 and 503 alike. Proxies
+	// serve the same document shape minus the SLO block.
 	var h server.Health
 	if err := a.getJSON(n.MetricsAddr, "/healthz", &h); err != nil {
 		n.Err = err.Error()
@@ -295,6 +326,9 @@ func (a *app) scrape(n *nodeDoc) {
 		}
 	}
 
+	if n.Role == "proxy" {
+		return // proxies own no segments, and serve no /debug/segments
+	}
 	var segs []server.SegmentDebug
 	if err := a.getJSON(n.MetricsAddr, "/debug/segments", &segs); err != nil {
 		n.Err = err.Error()
@@ -442,7 +476,7 @@ func (a *app) render(out io.Writer, doc fleetDoc) {
 		doc.Scraped, len(doc.Nodes), doc.Epoch, rate, doc.At.Format(time.RFC3339))
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tHEALTH\tUPTIME\tSESSIONS\tCONNS\tRPCS\tNOTES")
+	fmt.Fprintln(tw, "NODE\tROLE\tHEALTH\tUPTIME\tSESSIONS\tCONNS\tRPCS\tLAG\tNOTES")
 	for _, n := range doc.Nodes {
 		notes := n.Err
 		if notes == "" && len(n.Reasons) > 0 {
@@ -451,9 +485,13 @@ func (a *app) render(out io.Writer, doc fleetDoc) {
 		if n.Dead {
 			notes = strings.TrimSpace("dead " + notes)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%d\t%s\n",
-			n.Addr, n.Health, (time.Duration(n.UptimeSeconds) * time.Second).String(),
-			n.Sessions, n.Conns, n.RPCCount, notes)
+		lag := "-"
+		if n.Role == "proxy" {
+			lag = fmt.Sprintf("%.0fv/%.1fs", n.UpstreamLagVersions, n.UpstreamLagSeconds)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\t%.0f\t%d\t%s\t%s\n",
+			n.Addr, n.Role, n.Health, (time.Duration(n.UptimeSeconds) * time.Second).String(),
+			n.Sessions, n.Conns, n.RPCCount, lag, notes)
 	}
 	tw.Flush()
 

@@ -18,6 +18,17 @@
 // optional -subscribe fraction subscribes sessions to their segment
 // to exercise the notification fan-out and shed path.
 //
+// -read-ratio mixes write-path traffic into the session schedule: a
+// scheduled op is a ReadLock with probability r and a no-op
+// WriteLock/WriteUnlock pair otherwise (exercising lock grants and,
+// through a proxy, write forwarding — version churn stays with the
+// writer pool). -via-proxy points the session connections at a read
+// fan-out proxy (DESIGN.md §11) while the seeder and writer pool keep
+// talking to the origin; the report then carries the read-staleness
+// percentiles — how many versions behind the writers' last commit
+// each read's answer was — which is the tier's staleness bound made
+// measurable.
+//
 // Usage:
 //
 //	go run ./tools/loadgen                         # self-contained: in-process server
@@ -73,6 +84,8 @@ func main() {
 	flag.IntVar(&cfg.Writers, "writers", 2, "background writer clients churning the segments")
 	flag.DurationVar(&cfg.WriteEvery, "write-every", 20*time.Millisecond, "per-writer release interval")
 	flag.Float64Var(&cfg.Subscribe, "subscribe", 0, "fraction of sessions subscribing to their segment (exercises notify/shed)")
+	flag.Float64Var(&cfg.ReadRatio, "read-ratio", 1, "fraction of scheduled session ops that are reads; the rest are no-op write lock/unlock pairs")
+	flag.StringVar(&cfg.ViaProxy, "via-proxy", "", "route the session connections through this proxy address (seeder and writers stay on -addr)")
 	flag.IntVar(&cfg.OpWorkers, "op-workers", 256, "concurrent operation issuers")
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", 0, "in-process server session cap (0 = unlimited)")
 	flag.BoolVar(&cfg.GroupCommit, "group-commit", false, "enable group commit on the in-process server")
@@ -97,6 +110,8 @@ type config struct {
 	Writers     int           `json:"writers"`
 	WriteEvery  time.Duration `json:"-"`
 	Subscribe   float64       `json:"subscribe_fraction"`
+	ReadRatio   float64       `json:"read_ratio"`
+	ViaProxy    string        `json:"via_proxy,omitempty"`
 	OpWorkers   int           `json:"op_workers"`
 	MaxSessions int           `json:"max_sessions"`
 	GroupCommit bool          `json:"group_commit"`
@@ -109,9 +124,20 @@ type config struct {
 // full Client would keep: which segment it reads and the version it
 // last saw.
 type loadSession struct {
-	s    *core.MuxSession
-	seg  string
-	have atomic.Uint32
+	s      *core.MuxSession
+	seg    string
+	segIdx int
+	have   atomic.Uint32
+}
+
+// storeMax raises a monotonic version register.
+func storeMax(a *atomic.Uint32, v uint32) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // report is the -json SLO document.
@@ -134,9 +160,15 @@ type report struct {
 		Rate     float64 `json:"achieved_ops_per_sec"`
 		Fresh    int64   `json:"fresh"`
 		Diffs    int64   `json:"diffs"`
+		Writes   int64   `json:"writes"`
 		Notifies int64   `json:"notifies"`
 	} `json:"ops"`
 	ReadLock histReport `json:"readlock_seconds"`
+	// Staleness is the observed read staleness in versions: for each
+	// read, how far the answered version lagged the writers' newest
+	// committed version at that moment. Always ~0 against the origin;
+	// through a proxy it measures the tier's staleness bound.
+	Staleness histReport `json:"read_staleness_versions"`
 	// Health is the server's own post-run verdict (in-process SLO
 	// tracker, or a -health fetch); absent when neither is available.
 	Health *server.Health `json:"health,omitempty"`
@@ -229,6 +261,10 @@ func run(cfg config) error {
 	}
 
 	// Background writers churn the segments so read locks see diffs.
+	// committed[i] tracks the newest version the writer pool has
+	// released for segment i — the reference the read-staleness
+	// percentiles are measured against.
+	committed := make([]atomic.Uint32, len(segNames))
 	stopWriters := make(chan struct{})
 	var writerWG sync.WaitGroup
 	var writeErrs atomic.Int64
@@ -243,7 +279,7 @@ func run(cfg config) error {
 		writerWG.Add(1)
 		go func(w int, wc *core.Client) {
 			defer writerWG.Done()
-			runWriter(w, wc, cfg, segNames, stopWriters, &writeErrs)
+			runWriter(w, wc, cfg, segNames, committed, stopWriters, &writeErrs)
 		}(w, wc)
 	}
 	_ = seeder.Close()
@@ -253,9 +289,14 @@ func run(cfg config) error {
 	var evicted atomic.Int64
 	var notifies atomic.Int64
 	profiles := arch.Profiles()
+	dialAddr := cfg.Addr
+	if cfg.ViaProxy != "" {
+		dialAddr = cfg.ViaProxy
+		fmt.Printf("sessions via proxy %s\n", dialAddr)
+	}
 	mcs := make([]*core.MuxConn, cfg.Conns)
 	for i := range mcs {
-		mc, err := core.DialMux(cfg.Addr, core.MuxOptions{
+		mc, err := core.DialMux(dialAddr, core.MuxOptions{
 			OnEvict:  func(*core.MuxSession, string) { evicted.Add(1) },
 			OnNotify: func(*core.MuxSession, string, uint32) { notifies.Add(1) },
 		})
@@ -286,7 +327,7 @@ func run(cfg config) error {
 					refused.Add(1)
 					continue
 				}
-				ls := &loadSession{s: ms, seg: segNames[i%len(segNames)]}
+				ls := &loadSession{s: ms, seg: segNames[i%len(segNames)], segIdx: i % len(segNames)}
 				if cfg.Subscribe > 0 && float64(i%1000) < cfg.Subscribe*1000 {
 					if _, err := ms.Call(&protocol.Subscribe{Seg: ls.seg, Policy: coherence.Full()}); err != nil {
 						fmt.Fprintf(os.Stderr, "loadgen: subscribe %s: %v\n", ls.seg, err)
@@ -319,7 +360,10 @@ func run(cfg config) error {
 	hist := reg.Histogram("loadgen_readlock_seconds",
 		"ReadLock round-trip latency measured from intended (open-loop) start.",
 		obs.DurationBuckets)
-	var issued, done, opErrs, fresh, diffs atomic.Int64
+	staleHist := reg.Histogram("loadgen_read_staleness_versions",
+		"Observed read staleness: versions behind the writers' newest commit.",
+		versionBuckets)
+	var issued, done, opErrs, fresh, diffs, writes atomic.Int64
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -344,12 +388,30 @@ func run(cfg config) error {
 	}()
 	var opWG sync.WaitGroup
 	var rr atomic.Uint64
+	readPerMille := int64(cfg.ReadRatio * 1000)
 	for w := 0; w < cfg.OpWorkers; w++ {
 		opWG.Add(1)
 		go func() {
 			defer opWG.Done()
 			for intended := range ops {
-				ls := held[rr.Add(1)%uint64(len(held))]
+				seq := rr.Add(1)
+				ls := held[seq%uint64(len(held))]
+				if int64(seq%1000) >= readPerMille {
+					// Write-path op: grab and release the write lock with
+					// no diff. Versions don't move, but the lock grant —
+					// and, through a proxy, the forward — is real.
+					if _, err := ls.s.Call(&protocol.WriteLock{Seg: ls.seg}); err != nil {
+						opErrs.Add(1)
+						continue
+					}
+					if _, err := ls.s.Call(&protocol.WriteUnlock{Seg: ls.seg}); err != nil {
+						opErrs.Add(1)
+						continue
+					}
+					writes.Add(1)
+					done.Add(1)
+					continue
+				}
 				have := ls.have.Load()
 				reply, err := ls.s.Call(&protocol.ReadLock{Seg: ls.seg, HaveVersion: have})
 				hist.ObserveSince(intended)
@@ -363,6 +425,14 @@ func run(cfg config) error {
 					} else if lr.Diff != nil {
 						diffs.Add(1)
 						ls.have.Store(lr.Diff.Version)
+					}
+					// Staleness: the answered version vs the newest the
+					// writer pool had committed. Writers race reads, so
+					// clamp the occasional negative to zero.
+					if want := committed[ls.segIdx].Load(); want > ls.have.Load() {
+						staleHist.Observe(float64(want - ls.have.Load()))
+					} else {
+						staleHist.Observe(0)
 					}
 				}
 				_, _ = ls.s.Call(&protocol.ReadUnlock{Seg: ls.seg})
@@ -395,8 +465,10 @@ func run(cfg config) error {
 	rep.Ops.Rate = float64(done.Load()) / elapsed.Seconds()
 	rep.Ops.Fresh = fresh.Load()
 	rep.Ops.Diffs = diffs.Load()
+	rep.Ops.Writes = writes.Load()
 	rep.Ops.Notifies = notifies.Load()
 	rep.ReadLock = summarize(hist.Snapshot())
+	rep.Staleness = summarize(staleHist.Snapshot())
 	if inproc != nil {
 		h := inproc.Health(time.Now())
 		rep.Health = &h
@@ -415,6 +487,10 @@ func run(cfg config) error {
 	fmt.Printf("ReadLock latency (open-loop): mean=%s p50=%s p90=%s p99=%s p99.9=%s\n",
 		secs(rep.ReadLock.Mean), secs(rep.ReadLock.P50), secs(rep.ReadLock.P90),
 		secs(rep.ReadLock.P99), secs(rep.ReadLock.P999))
+	if rep.Staleness.Count > 0 {
+		fmt.Printf("read staleness (versions behind writers): mean=%.2f p50=%.0f p90=%.0f p99=%.0f\n",
+			rep.Staleness.Mean, rep.Staleness.P50, rep.Staleness.P90, rep.Staleness.P99)
+	}
 	if rep.Health != nil {
 		line := "server health: " + rep.Health.Status
 		if len(rep.Health.Reasons) > 0 {
@@ -473,6 +549,9 @@ func secs(v float64) string {
 // arrayUnits is the int32 array length each hot segment holds.
 const arrayUnits = 64
 
+// versionBuckets is the staleness ladder, in whole versions.
+var versionBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 var arrayT = func() *types.Type {
 	t, err := types.ArrayOf(types.Int32(), arrayUnits)
 	if err != nil {
@@ -499,7 +578,7 @@ func seedSegment(c *core.Client, name string) error {
 
 // runWriter churns its share of the segments: write-lock, bump one
 // int, release — at the configured interval, until stopped.
-func runWriter(w int, wc *core.Client, cfg config, segNames []string, stop <-chan struct{}, errs *atomic.Int64) {
+func runWriter(w int, wc *core.Client, cfg config, segNames []string, committed []atomic.Uint32, stop <-chan struct{}, errs *atomic.Int64) {
 	rng := rand.New(rand.NewSource(int64(w) + 1))
 	handles := make([]*core.Segment, len(segNames))
 	addrs := make([]mem.Addr, len(segNames))
@@ -541,6 +620,8 @@ func runWriter(w int, wc *core.Client, cfg config, segNames []string, stop <-cha
 		}
 		if err := wc.WUnlock(h); err != nil {
 			errs.Add(1)
+			continue
 		}
+		storeMax(&committed[si], h.Version())
 	}
 }

@@ -1,0 +1,215 @@
+// Command proxysmoke asserts the proxy tier's flagship property —
+// fan-out independence (DESIGN.md §11, CAPACITY.md) — against a live
+// origin + proxy-tree topology, after a loadgen run through the leaf
+// proxy. It is the check behind `make proxy-smoke`.
+//
+// Default mode reads the loadgen JSON report and scrapes the origin's
+// and the leaf proxy's /metrics, then requires:
+//
+//   - the run was clean: every session opened, zero op errors, and
+//     the observed read staleness p99 within -max-staleness;
+//   - reader independence: the origin holds at most -max-origin-sessions
+//     ordinary sessions (the writers and the seeder — not the reader
+//     population, which lives at the leaf) while the leaf opened at
+//     least -min-leaf-sessions downstream sessions and at least one
+//     proxy session is registered at the origin;
+//   - fan-out amplification happened at the edge: the leaf's
+//     iw_proxy_downstream_notifies_total is at least the origin's
+//     iw_server_notifications_total, which itself tracks the proxy
+//     subscriptions, not the reader count.
+//
+// With -wait-status the tool instead polls the leaf's /healthz until
+// its verdict matches (e.g. "degraded" after the leaf's upstream is
+// killed, "ok" once it recovers), which is how the smoke's chaos step
+// observes graceful degradation and recovery.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	report := flag.String("report", "", "loadgen JSON report to validate")
+	origin := flag.String("origin", "", "origin server metrics address (host:port)")
+	leaf := flag.String("leaf", "", "leaf proxy metrics address (host:port)")
+	maxStaleness := flag.Float64("max-staleness", 64, "maximum allowed read-staleness p99, in versions")
+	minLeafSessions := flag.Float64("min-leaf-sessions", 1000, "minimum downstream sessions the leaf proxy must have opened")
+	maxOriginSessions := flag.Float64("max-origin-sessions", 100, "maximum ordinary sessions the origin may hold")
+	waitStatus := flag.String("wait-status", "", "poll the leaf /healthz until its status equals this value, then exit")
+	timeout := flag.Duration("timeout", 15*time.Second, "overall deadline for -wait-status polling")
+	flag.Parse()
+
+	if err := run(*report, *origin, *leaf, *maxStaleness, *minLeafSessions, *maxOriginSessions, *waitStatus, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "proxysmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(report, origin, leaf string, maxStaleness, minLeafSessions, maxOriginSessions float64, waitStatus string, timeout time.Duration) error {
+	if waitStatus != "" {
+		return waitForStatus(leaf, waitStatus, timeout)
+	}
+	if err := checkReport(report, maxStaleness); err != nil {
+		return err
+	}
+	om, err := scrape(origin)
+	if err != nil {
+		return fmt.Errorf("scraping origin %s: %w", origin, err)
+	}
+	lm, err := scrape(leaf)
+	if err != nil {
+		return fmt.Errorf("scraping leaf %s: %w", leaf, err)
+	}
+
+	originNotifies := om["iw_server_notifications_total"]
+	originSessions := om["iw_server_sessions"]
+	proxySessions := om["iw_server_proxy_sessions"]
+	leafSessions := lm["iw_proxy_sessions_opened_total"]
+	leafReads := lm["iw_proxy_reads_total"]
+	leafDownstream := lm["iw_proxy_downstream_notifies_total"]
+
+	fmt.Printf("proxysmoke: origin sessions=%.0f proxy_sessions=%.0f notifications=%.0f\n",
+		originSessions, proxySessions, originNotifies)
+	fmt.Printf("proxysmoke: leaf sessions_opened=%.0f reads=%.0f downstream_notifies=%.0f\n",
+		leafSessions, leafReads, leafDownstream)
+
+	if proxySessions < 1 {
+		return fmt.Errorf("origin reports %.0f proxy sessions, want >= 1 (did the tree connect?)", proxySessions)
+	}
+	if leafSessions < minLeafSessions {
+		return fmt.Errorf("leaf opened %.0f downstream sessions, want >= %.0f", leafSessions, minLeafSessions)
+	}
+	if originSessions > maxOriginSessions {
+		return fmt.Errorf("origin holds %.0f ordinary sessions, want <= %.0f — the reader population leaked past the proxies",
+			originSessions, maxOriginSessions)
+	}
+	if leafReads <= 0 {
+		return fmt.Errorf("leaf served no reads")
+	}
+	if originNotifies <= 0 {
+		return fmt.Errorf("origin pushed no notifications — the proxies never subscribed")
+	}
+	if leafDownstream < originNotifies {
+		return fmt.Errorf("leaf fanned out %.0f notifications vs %.0f at the origin — amplification should happen at the edge, not the origin",
+			leafDownstream, originNotifies)
+	}
+	fmt.Printf("proxysmoke: ok — %.0f readers fanned out at the edge, origin notify cost tracked its proxy subscriptions\n", leafSessions)
+	return nil
+}
+
+// checkReport validates the loadgen run: clean open, zero errors,
+// bounded observed staleness.
+func checkReport(path string, maxStaleness float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		Schema   string `json:"schema"`
+		Sessions struct {
+			Target  int   `json:"target"`
+			Open    int   `json:"open"`
+			Refused int64 `json:"refused"`
+		} `json:"sessions"`
+		Ops struct {
+			Done   int64 `json:"done"`
+			Errors int64 `json:"errors"`
+		} `json:"ops"`
+		Staleness struct {
+			Count uint64  `json:"count"`
+			P99   float64 `json:"p99"`
+		} `json:"read_staleness_versions"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if !strings.HasPrefix(rep.Schema, "interweave-loadgen/") {
+		return fmt.Errorf("%s has schema %q, want interweave-loadgen/*", path, rep.Schema)
+	}
+	if rep.Sessions.Open != rep.Sessions.Target || rep.Sessions.Refused != 0 {
+		return fmt.Errorf("sessions: opened %d/%d, %d refused", rep.Sessions.Open, rep.Sessions.Target, rep.Sessions.Refused)
+	}
+	if rep.Ops.Errors != 0 {
+		return fmt.Errorf("%d op errors (of %d ops)", rep.Ops.Errors, rep.Ops.Done)
+	}
+	if rep.Ops.Done == 0 {
+		return fmt.Errorf("no operations completed")
+	}
+	if rep.Staleness.Count == 0 {
+		return fmt.Errorf("no read-staleness samples recorded — were the reads routed through the proxy?")
+	}
+	if rep.Staleness.P99 > maxStaleness {
+		return fmt.Errorf("read staleness p99 %.0f versions exceeds bound %.0f", rep.Staleness.P99, maxStaleness)
+	}
+	fmt.Printf("proxysmoke: loadgen clean — %d ops, 0 errors, staleness p99 %.0f versions (bound %.0f)\n",
+		rep.Ops.Done, rep.Staleness.P99, maxStaleness)
+	return nil
+}
+
+// waitForStatus polls the leaf's /healthz until its verdict equals
+// want or the deadline passes.
+func waitForStatus(leaf, want string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	last := "(unreachable)"
+	for {
+		var h struct {
+			Status string `json:"status"`
+		}
+		resp, err := http.Get("http://" + leaf + "/healthz")
+		if err == nil {
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if rerr == nil && json.Unmarshal(body, &h) == nil {
+				last = h.Status
+				if h.Status == want {
+					fmt.Printf("proxysmoke: leaf %s reached status %q\n", leaf, want)
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leaf %s never reached status %q within %s (last: %s)", leaf, want, timeout, last)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// scrape fetches a /metrics endpoint and parses the unlabelled
+// Prometheus text samples into a name -> value map; labelled series
+// (histogram buckets, per-segment gauges) are skipped — the smoke
+// only reads scalar counters and gauges.
+func scrape(addr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 8<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.ContainsRune(fields[0], '{') {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, sc.Err()
+}
