@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke iwtop-smoke proxy-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
+.PHONY: all build vet test race race-short bench bench-json bench-regress loadgen-slo loadgen-smoke iwtop-smoke proxy-smoke evict-smoke figures fig4 fig5 fig6 fig7 examples cluster-demo cover doccheck linkcheck clean
 
 all: build vet test
 
@@ -116,6 +116,32 @@ proxy-smoke:
 	./proxysmoke-check -wait-status ok -leaf 127.0.0.1:9993 -timeout 15s; \
 	echo "proxy-smoke: fan-out independent of reader count; degraded/recovered cleanly (proxy-smoke.json)"
 
+# Cold-segment eviction smoke (also run in CI, DESIGN.md §12): a
+# journal-mode server with a resident budget ~4x smaller than the
+# loadgen working set (32 hot segments) serves reads + writes + via-
+# proxy reads with zero client-visible errors while the evictor drops
+# and reloads segments; evictsmoke gates on a clean report, positive
+# eviction/fault counters, and resident bytes <= budget + one segment.
+evict-smoke:
+	@set -e; \
+	$(GO) build -o iwserver-smoke ./cmd/iwserver; \
+	$(GO) build -o iwproxy-smoke ./cmd/iwproxy; \
+	$(GO) build -o evictsmoke-check ./tools/evictsmoke; \
+	rm -rf evict-smoke-journal; \
+	trap 'kill $$S0 $$P1 2>/dev/null; wait $$S0 $$P1 2>/dev/null; rm -rf iwserver-smoke iwproxy-smoke evictsmoke-check evict-smoke-journal' EXIT; \
+	./iwserver-smoke -quiet -addr 127.0.0.1:7795 -metrics-addr 127.0.0.1:9995 \
+		-journal-dir evict-smoke-journal \
+		-max-resident-bytes 16384 -evict-interval 100ms & S0=$$!; \
+	./iwproxy-smoke -quiet -addr 127.0.0.1:7796 -upstream 127.0.0.1:7795 \
+		-max-lag 8 -sync-every 250ms & P1=$$!; \
+	sleep 1; \
+	$(GO) run ./tools/loadgen -addr 127.0.0.1:7795 -via-proxy 127.0.0.1:7796 \
+		-sessions 200 -conns 8 -rate 400 -duration 5s \
+		-read-ratio 0.7 -subscribe 0.2 -segments 32 -writers 8 \
+		-json evict-smoke.json; \
+	./evictsmoke-check -report evict-smoke.json -metrics 127.0.0.1:9995 -budget 16384; \
+	echo "evict-smoke: working set outgrew the 16KB budget with zero client-visible errors (evict-smoke.json)"
+
 # Figure regeneration (EXPERIMENTS.md): -iters 3 matches the
 # recorded tables.
 figures:
@@ -150,4 +176,5 @@ linkcheck:
 	$(GO) run ./tools/linkcheck README.md DESIGN.md PROTOCOL.md EXPERIMENTS.md OBSERVABILITY.md CAPACITY.md
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json iwtop-smoke.json iwtop-smoke.err iwserver-smoke iwproxy-smoke proxysmoke-check proxy-smoke.json
+	rm -f cover.out test_output.txt bench_output.txt bench-regress.json bench-smoke.json loadgen-slo.json loadgen-smoke.json iwtop-smoke.json iwtop-smoke.err iwserver-smoke iwproxy-smoke proxysmoke-check proxy-smoke.json evictsmoke-check evict-smoke.json
+	rm -rf evict-smoke-journal

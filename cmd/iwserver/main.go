@@ -20,6 +20,20 @@
 // of the last compacted base, and -journal-compact-bytes bounds each
 // segment's log between compactions.
 //
+// Cold-segment eviction (DESIGN.md §12) lets a journal-mode server
+// address more state than RAM:
+//
+//	iwserver -addr :7777 -journal-dir /var/lib/interweave \
+//	  -max-resident-bytes 268435456 -evict-idle-age 10m
+//
+// A background sweep drops the in-memory image of idle segments —
+// least-recently-touched first — whenever the estimated resident
+// footprint exceeds -max-resident-bytes, and (independently) any
+// segment untouched for -evict-idle-age; each eviction first forces a
+// compaction so the journal base captures the state exactly. The next
+// touch faults the segment back in transparently. Both flags require
+// -journal-dir and are refused with -checkpoint.
+//
 // For resilience testing the listener can be wrapped in a seeded
 // fault schedule (internal/faultnet):
 //
@@ -110,6 +124,9 @@ func run(args []string) error {
 	every := fs.Duration("every", 30*time.Second, "checkpoint interval")
 	journalDir := fs.String("journal-dir", "", "log-structured journal directory: releases append before ack, recovery is base+replay (mutually exclusive with -checkpoint)")
 	journalCompact := fs.Int64("journal-compact-bytes", server.DefaultJournalCompactBytes, "per-segment log size that triggers compaction into a fresh base (negative = only periodic/Close compaction)")
+	maxResident := fs.Int64("max-resident-bytes", 0, "in-memory budget across segments: idle journaled segments evict (LRU) to stay under it and fault back in on touch (0 = unlimited, requires -journal-dir)")
+	evictIdleAge := fs.Duration("evict-idle-age", 0, "evict any journaled segment untouched this long, even under budget (0 = off, requires -journal-dir)")
+	evictInterval := fs.Duration("evict-interval", 0, "eviction sweep cadence (0 = default, negative = off)")
 	quiet := fs.Bool("quiet", false, "suppress diagnostics")
 	maxSessions := fs.Int("max-sessions", 0, "cap on concurrent logical sessions, refusals answer CodeOverloaded (0 = unlimited)")
 	sessionQueue := fs.Int("session-queue", 0, "outbound frames one session may queue before notifications shed it (0 = default)")
@@ -144,6 +161,9 @@ func run(args []string) error {
 		CheckpointEvery:     *every,
 		JournalDir:          *journalDir,
 		JournalCompactBytes: *journalCompact,
+		MaxResidentBytes:    *maxResident,
+		EvictIdleAge:        *evictIdleAge,
+		EvictInterval:       *evictInterval,
 		MaxSessions:         *maxSessions,
 		SessionSendQueue:    *sessionQueue,
 		ConnSendQueue:       *connQueue,

@@ -682,3 +682,84 @@ func TestOpenRedirectMismatchTyped(t *testing.T) {
 		t.Errorf("Open error %v is not ErrRedirectLoop", err)
 	}
 }
+
+// TestClusterPromoteWhileEvicted is the eviction/failover cross case
+// (DESIGN.md §12): both replicas of a segment have their in-memory
+// copies evicted to their journals when the primary dies. The
+// promotion pipeline must fault the state back in — on the peer
+// answering the catch-up Pull and on the new owner adopting it —
+// before serving, so failover lands on the replicated bytes, not an
+// empty stub.
+func TestClusterPromoteWhileEvicted(t *testing.T) {
+	nodes := startChaosCluster(t, 3, 2, 5*time.Millisecond)
+	seg := nodes[0].addr + "/evc"
+	primary := nodeAt(t, nodes, nodes[0].node.Owner(seg))
+	var survivors []*chaosNode
+	for _, n := range nodes {
+		if n != primary {
+			survivors = append(survivors, n)
+		}
+	}
+
+	c := newChaosClient(t, fastRetry("evict-writer"))
+	if err := c.RefreshRing(survivors[0].addr); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.Alloc(h, types.Int32(), 4, "vals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 1, 2, 3, 4) // version 1
+	if err := c.WLock(h); err != nil {
+		t.Fatal(err)
+	}
+	writeVals(t, c, h, blk.Addr, 10, 20, 30, 40) // version 2
+
+	// Replication is replicate-before-acknowledge: both replicas hold
+	// version 2 now. Evict their in-memory copies to the journal.
+	for _, n := range survivors {
+		snap := n.srv.SegmentSnapshot(seg)
+		if snap == nil || snap.Version != 2 {
+			t.Fatalf("replica %s at %+v before eviction, want version 2", n.addr, snap)
+		}
+		if !n.srv.EvictSegment(seg) {
+			t.Fatalf("EvictSegment refused on replica %s", n.addr)
+		}
+	}
+
+	primary.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for survivors[0].node.Owner(seg) == primary.addr {
+		if time.Now().After(deadline) {
+			t.Fatal("ownership never moved off the dead primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fresh reader through the surviving ring sees the committed
+	// data: the promotion faulted the evicted copies in.
+	r := newChaosClient(t, fastRetry("evict-reader"))
+	if err := r.RefreshRing(survivors[0].addr); err != nil {
+		t.Fatal(err)
+	}
+	readVals(t, r, seg, "vals", 10, 20, 30, 40)
+
+	newOwner := nodeAt(t, nodes, survivors[0].node.Owner(seg))
+	if snap := newOwner.srv.SegmentSnapshot(seg); snap == nil || snap.Version != 2 {
+		t.Errorf("promoted owner holds %+v, want version 2", snap)
+	}
+	var faults uint64
+	for _, n := range survivors {
+		faults += counterSum(n.reg.Snapshot(), "iw_server_segment_faults_total")
+	}
+	if faults == 0 {
+		t.Error("promotion over evicted replicas recorded no segment fault-ins")
+	}
+}

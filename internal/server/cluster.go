@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"interweave/internal/cluster"
 	"interweave/internal/obs"
@@ -250,7 +251,11 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 			return errReply(protocol.CodeInternal, "%v", err)
 		}
 		s.lockSeg(st)
+		// The pointer swap makes the segment resident whatever its
+		// prior state (an evicted stub included).
 		st.seg = seg
+		st.evictedVer = 0
+		st.lastTouch.Store(time.Now().UnixNano())
 		st.applied = appliedFromEntries(m.Applied)
 		st.mu.Unlock()
 		// A snapshot supersedes everything journaled so far: install
@@ -269,6 +274,10 @@ func (sess *session) handleReplicate(m *protocol.Replicate) protocol.Message {
 		return errReply(protocol.CodeInternal, "%v", err)
 	}
 	s.lockSeg(st)
+	if err := s.ensureResident(st); err != nil {
+		st.mu.Unlock()
+		return errReply(protocol.CodeInternal, "replicate fault-in: %v", err)
+	}
 	if st.seg.Version != m.PrevVersion {
 		ver := st.seg.Version
 		st.mu.Unlock()
@@ -331,6 +340,11 @@ func (sess *session) handlePull(m *protocol.Pull) protocol.Message {
 	}
 	s.lockSeg(st)
 	defer st.mu.Unlock()
+	// A promotion may pull from a replica whose copy is evicted:
+	// fault it in before answering, so the reply carries real state.
+	if err := s.ensureResident(st); err != nil {
+		return errReply(protocol.CodeInternal, "pull fault-in: %v", err)
+	}
 	reply := &protocol.PullReply{Version: st.seg.Version, Applied: entriesFromApplied(st.applied)}
 	if st.seg.Version > m.HaveVersion {
 		d, err := st.seg.CollectDiff(m.HaveVersion)
@@ -505,6 +519,12 @@ func (s *Server) catchUpReplica(addr string, job *replicationJob, replicaVer uin
 		return rr, err
 	}
 	s.lockSeg(job.st)
+	// The release fan-out holds the write lock (or the flushing flag),
+	// which fences eviction; this call is defensive.
+	if err := s.ensureResident(job.st); err != nil {
+		job.st.mu.Unlock()
+		return nil, err
+	}
 	d, err := job.st.seg.CollectDiff(replicaVer)
 	job.st.mu.Unlock()
 	if err != nil {
@@ -648,7 +668,9 @@ func (s *Server) onEpochChange(ms protocol.Membership) {
 // to perform once it is released.
 func (s *Server) demoteSegLocked(st *segState) []func() {
 	var out []func()
-	name, ver := st.seg.Name, st.seg.Version
+	// An evicted stub demotes like anything else: the journal reset
+	// below is what matters, plus a fresh empty image replacing it.
+	name, ver := st.name, st.residentVersionLocked()
 	for cl := range st.subs {
 		target := cl
 		out = append(out, func() {
@@ -668,6 +690,7 @@ func (s *Server) demoteSegLocked(st *segState) []func() {
 		seg.SetDiffCacheCap(n)
 	}
 	st.seg = seg
+	st.evictedVer = 0
 	st.applied = make(map[string]appliedWrite)
 	if s.journal != nil {
 		// The journal must not outlive the reset: a restart would
@@ -698,7 +721,9 @@ func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
 		haveVer := uint32(0)
 		if st, ok := s.reg.get(seg); ok {
 			s.lockSeg(st)
-			haveVer = st.seg.Version
+			// The stub's version answers the probe without faulting
+			// the image in; only an actual catch-up apply needs it.
+			haveVer = st.residentVersionLocked()
 			st.mu.Unlock()
 		}
 		reply, err := s.cluster.Call(addr, &protocol.Pull{Seg: seg, HaveVersion: haveVer})
@@ -712,6 +737,11 @@ func (s *Server) promoteSegment(seg string, ring *cluster.Ring, self string) {
 		}
 		if st, err := s.getSeg(seg, true); err == nil {
 			s.lockSeg(st)
+			if ferr := s.ensureResident(st); ferr != nil {
+				s.logf("promotion fault-in %s: %v", seg, ferr)
+				st.mu.Unlock()
+				continue
+			}
 			if pr.Version > st.seg.Version {
 				prevVer := st.seg.Version
 				if _, aerr := st.seg.ApplyReplicatedDiff(pr.Diff, pr.Version); aerr != nil {
@@ -789,6 +819,11 @@ func (sess *session) handleMigrate(m *protocol.Migrate) protocol.Message {
 		}
 	}
 	st.writer = sess
+	if err := s.ensureResident(st); err != nil {
+		releaseWriter(st, sess)
+		st.mu.Unlock()
+		return errReply(protocol.CodeInternal, "migrate fault-in: %v", err)
+	}
 	raw := st.seg.encode()
 	applied := entriesFromApplied(st.applied)
 	version := st.seg.Version

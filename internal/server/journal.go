@@ -170,6 +170,14 @@ func (s *Server) compactJournalSeg(st *segState) error {
 		return err
 	}
 	s.lockSeg(st)
+	if st.seg == nil {
+		// Evicted: the eviction already forced a compaction, so the
+		// base + tail on disk capture the state exactly and there is
+		// nothing to fold (a fault-in would only rebuild the bytes we
+		// would re-encode).
+		st.mu.Unlock()
+		return nil
+	}
 	buf := st.seg.encode()
 	buf = appendApplied(buf, st.applied)
 	ver := st.seg.Version

@@ -49,6 +49,11 @@ const (
 	smSegSubscribers    = "iw_server_segment_subscribers"
 	smSegWaiters        = "iw_server_segment_waiters"
 	smSegCacheHits      = "iw_server_segment_cache_hits"
+	smSegsResident      = "iw_server_segments_resident"
+	smResidentBytes     = "iw_server_resident_bytes"
+	smSegEvictions      = "iw_server_segment_evictions_total"
+	smSegFaults         = "iw_server_segment_faults_total"
+	smSegFaultSec       = "iw_server_segment_fault_seconds"
 )
 
 // serverInstruments holds the server's metric handles. nil disables
@@ -87,6 +92,10 @@ type serverInstruments struct {
 	journalReplayCatchup *obs.Counter
 	journalCompactions   *obs.Counter
 	journalTruncatedTail *obs.Counter
+
+	segEvictions *obs.Counter
+	segFaults    *obs.Counter
+	segFaultSec  *obs.Histogram
 }
 
 func newServerInstruments(reg *obs.Registry) *serverInstruments {
@@ -158,6 +167,13 @@ func newServerInstruments(reg *obs.Registry) *serverInstruments {
 			"Segment journals folded into a fresh checkpoint base (log truncated)."),
 		journalTruncatedTail: reg.Counter(smJournalTruncated,
 			"Journal loads that found and dropped a torn or CRC-failing tail record."),
+		segEvictions: reg.Counter(smSegEvictions,
+			"Cold-segment evictions: in-memory images dropped after a forced compaction, leaving a journal-backed stub (DESIGN.md §12)."),
+		segFaults: reg.Counter(smSegFaults,
+			"Evicted segments faulted back in from the journal on a touch."),
+		segFaultSec: reg.Histogram(smSegFaultSec,
+			"Fault-in time per evicted segment: base decode plus tail replay.",
+			obs.DurationBuckets),
 	}
 }
 
@@ -192,15 +208,23 @@ func reqName(m protocol.Message) string {
 // sizes are read outside the segment lock (the journal has its own).
 func (s *Server) collectServerGauges(emit obs.GaugeEmit) {
 	emit(smUptime, "Seconds since this server was constructed.", time.Since(s.start).Seconds())
+	var residentSegs, residentBytes int64
 	for _, st := range s.reg.snapshot() {
 		s.lockSeg(st)
 		l := obs.L("seg", st.name)
-		emit(smSegVersion, "Current version of each segment.", float64(st.seg.Version), l)
-		emit(smSegBlocks, "Blocks in each segment.", float64(st.seg.NumBlocks()), l)
-		emit(smSegUnits, "Primitive units in each segment.", float64(st.seg.TotalUnits()), l)
+		emit(smSegVersion, "Current version of each segment.", float64(st.residentVersionLocked()), l)
 		emit(smSegSubscribers, "Clients subscribed to each segment's notifications.", float64(len(st.subs)), l)
 		emit(smSegWaiters, "Writers queued for each segment's write lock.", float64(len(st.waiters)), l)
-		emit(smSegCacheHits, "Diff-cache hits served from each segment's cached diff window.", float64(st.seg.CacheHits()), l)
+		// The block/unit/cache gauges describe the in-memory image and
+		// are skipped for evicted segments rather than emitted as
+		// misleading zeros; a scrape never faults a segment in.
+		if st.seg != nil {
+			residentSegs++
+			residentBytes += st.seg.MemBytes()
+			emit(smSegBlocks, "Blocks in each segment.", float64(st.seg.NumBlocks()), l)
+			emit(smSegUnits, "Primitive units in each segment.", float64(st.seg.TotalUnits()), l)
+			emit(smSegCacheHits, "Diff-cache hits served from each segment's cached diff window.", float64(st.seg.CacheHits()), l)
+		}
 		st.mu.Unlock()
 		if s.journal != nil {
 			if jl, err := s.journal.Segment(st.name); err == nil {
@@ -208,6 +232,8 @@ func (s *Server) collectServerGauges(emit obs.GaugeEmit) {
 			}
 		}
 	}
+	emit(smSegsResident, "Segments whose in-memory image is resident (not evicted to the journal).", float64(residentSegs))
+	emit(smResidentBytes, "Estimated heap footprint of all resident segment images; the evictor keeps this under Options.MaxResidentBytes.", float64(residentBytes))
 }
 
 // SegmentDebug is one segment's entry in the /debug/segments JSON
@@ -238,6 +264,13 @@ type SegmentDebug struct {
 	// JournalBytes is the on-disk length of the segment's journal
 	// log, zero when the server is not in journal mode.
 	JournalBytes int64 `json:"journal_bytes"`
+	// Resident reports whether the segment's in-memory image is
+	// loaded; false means it was evicted to its journal and will
+	// fault back in on the next touch (DESIGN.md §12).
+	Resident bool `json:"resident"`
+	// MemBytes is the estimated heap footprint of the resident image,
+	// zero while evicted.
+	MemBytes int64 `json:"mem_bytes"`
 }
 
 // DebugSegments snapshots per-segment state for the /debug/segments
@@ -259,19 +292,25 @@ func (s *Server) DebugSegments() []SegmentDebug {
 		}
 		sd := SegmentDebug{
 			Name:            st.name,
-			Version:         st.seg.Version,
-			Blocks:          st.seg.NumBlocks(),
-			Units:           st.seg.TotalUnits(),
-			Descriptors:     len(st.seg.DescSerials()),
+			Version:         st.residentVersionLocked(),
 			Subscribers:     len(st.subs),
 			WriterHeld:      st.writer != nil,
 			Waiters:         len(st.waiters),
 			AppliedWriters:  len(st.applied),
 			Sessions:        len(attached),
-			CacheHits:       st.seg.CacheHits(),
 			PendingReleases: len(st.pending),
 			GroupFlushes:    st.gcFlushes,
 			GroupReleases:   st.gcReleases,
+			Resident:        st.seg != nil,
+		}
+		// Image-shape fields describe the resident copy; a debug
+		// snapshot never faults a segment in.
+		if st.seg != nil {
+			sd.Blocks = st.seg.NumBlocks()
+			sd.Units = st.seg.TotalUnits()
+			sd.Descriptors = len(st.seg.DescSerials())
+			sd.CacheHits = st.seg.CacheHits()
+			sd.MemBytes = st.seg.MemBytes()
 		}
 		st.mu.Unlock()
 		if s.journal != nil {

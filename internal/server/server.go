@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interweave/internal/cluster"
@@ -106,6 +107,23 @@ type Options struct {
 	// Serve starts. Zero means DefaultSLOSampleEvery; negative
 	// disables the sampler (tests drive SampleSLO manually).
 	SLOSampleEvery time.Duration
+	// MaxResidentBytes, when positive, is the in-memory budget across
+	// all segments: the background evictor drops the in-memory image
+	// of idle journaled segments, least-recently-touched first, until
+	// the estimated resident footprint fits the budget (± one
+	// segment). Evicted segments fault back in from the journal on
+	// the next touch, transparently to clients, replicas, and
+	// proxies (DESIGN.md §12). Requires JournalDir.
+	MaxResidentBytes int64
+	// EvictIdleAge, when positive, evicts any journaled segment not
+	// touched for this long even when the budget is not exceeded.
+	// Requires JournalDir.
+	EvictIdleAge time.Duration
+	// EvictInterval is the cadence of the background eviction sweep
+	// Serve starts when MaxResidentBytes or EvictIdleAge is set. Zero
+	// means DefaultEvictInterval; negative disables the sweep (tests
+	// and operators drive EvictPass manually).
+	EvictInterval time.Duration
 }
 
 // Server is an InterWeave server managing an arbitrary number of
@@ -217,6 +235,18 @@ type segState struct {
 	// /debug/segments.
 	gcFlushes  uint64
 	gcReleases uint64
+
+	// Cold-segment eviction (evict.go, DESIGN.md §12). seg == nil
+	// means the in-memory image has been evicted; evictedVer is the
+	// version the journal's base captures (valid only while seg is
+	// nil — the stub the eviction leaves behind is this field, the
+	// in-memory applied table above, and the journal files on disk).
+	// Every touch path calls ensureResident before reading seg.
+	evictedVer uint32
+	// lastTouch is the UnixNano of the segment's most recent touch,
+	// stamped by ensureResident and read by the eviction sweep's LRU
+	// ordering. Atomic so the sweep can read it without st.mu.
+	lastTouch atomic.Int64
 }
 
 // appliedWrite is the recorded outcome of a write release.
@@ -279,6 +309,16 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.CheckpointDir != "" && opts.JournalDir != "" {
 		return nil, errors.New("server: CheckpointDir and JournalDir are mutually exclusive")
+	}
+	if (opts.MaxResidentBytes > 0 || opts.EvictIdleAge > 0) && opts.JournalDir == "" {
+		// Refuse loudly rather than silently never evicting: eviction
+		// reloads segments from the journal's base + tail, and a
+		// CheckpointDir-mode base may be arbitrarily stale, so dropping
+		// the in-memory image there would lose acknowledged writes.
+		if opts.CheckpointDir != "" {
+			return nil, errors.New("server: MaxResidentBytes/EvictIdleAge require JournalDir; CheckpointDir checkpoints lag the live state and cannot back eviction")
+		}
+		return nil, errors.New("server: MaxResidentBytes/EvictIdleAge require JournalDir (cold segments reload from the journal)")
 	}
 	if opts.CheckpointDir != "" {
 		if err := s.restore(); err != nil {
@@ -374,6 +414,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	if s.slo != nil && s.opts.SLOSampleEvery >= 0 {
 		s.wg.Add(1)
 		go s.sloSampleLoop()
+	}
+	if s.journal != nil && s.opts.EvictInterval >= 0 &&
+		(s.opts.MaxResidentBytes > 0 || s.opts.EvictIdleAge > 0) {
+		s.wg.Add(1)
+		go s.evictLoop()
 	}
 
 	for {
@@ -481,6 +526,7 @@ func (s *Server) newSegState(name string) *segState {
 		applied: make(map[string]appliedWrite),
 	}
 	st.flushDone = sync.NewCond(&st.mu)
+	st.lastTouch.Store(time.Now().UnixNano())
 	if s.opts.DiffCacheCap != 0 {
 		n := s.opts.DiffCacheCap
 		if n < 0 {
@@ -603,6 +649,9 @@ func (sess *session) handleOpen(m *protocol.OpenSegment) protocol.Message {
 	}
 	s.lockSeg(st)
 	defer st.mu.Unlock()
+	if err := s.ensureResident(st); err != nil {
+		return errReply(protocol.CodeInternal, "%v", err)
+	}
 	return &protocol.OpenReply{
 		Created: created,
 		Version: st.seg.Version,
@@ -689,6 +738,9 @@ func (sess *session) handleReadLock(m *protocol.ReadLock, sp *obs.Span) protocol
 	}
 	s.lockSeg(st)
 	defer st.mu.Unlock()
+	if err := s.ensureResident(st); err != nil {
+		return errReply(protocol.CodeInternal, "%v", err)
+	}
 	reply := freshnessReply(st, sess, m.HaveVersion, m.Policy, sp)
 	if lr, ok := reply.(*protocol.LockReply); ok && lr.Fresh {
 		if sub, subbed := st.subs[sess]; subbed {
@@ -760,6 +812,11 @@ func (sess *session) handleWriteLock(m *protocol.WriteLock, sp *obs.Span) protoc
 		st.mu.Unlock()
 		return red
 	}
+	if err := s.ensureResident(st); err != nil {
+		releaseWriter(st, sess)
+		st.mu.Unlock()
+		return errReply(protocol.CodeInternal, "%v", err)
+	}
 	// A writer always works against the current version.
 	reply := freshnessReply(st, sess, m.HaveVersion, coherence.Full(), sp)
 	if _, isErr := reply.(*protocol.ErrorReply); isErr {
@@ -819,6 +876,14 @@ func (sess *session) handleWriteUnlock(m *protocol.WriteUnlock, sp *obs.Span) pr
 			st.mu.Unlock()
 			return errReply(protocol.CodeLockState, "write lock not held")
 		}
+	}
+	// The writer fence means the image cannot have been evicted since
+	// WriteLock faulted it in; this call is defensive and stamps
+	// lastTouch for the eviction LRU clock.
+	if err := s.ensureResident(st); err != nil {
+		releaseWriter(st, sess)
+		st.mu.Unlock()
+		return errReply(protocol.CodeInternal, "%v", err)
 	}
 	prevVer := st.seg.Version
 	version := prevVer
@@ -934,7 +999,10 @@ func (sess *session) handleResume(m *protocol.Resume) protocol.Message {
 	}
 	s.lockSeg(st)
 	defer st.mu.Unlock()
-	rr := &protocol.ResumeReply{CurrentVersion: st.seg.Version}
+	// A resume probe is answered from the stub without faulting the
+	// segment in: the current version and the applied-writer table
+	// both survive eviction in memory.
+	rr := &protocol.ResumeReply{CurrentVersion: st.residentVersionLocked()}
 	if ap, ok := st.applied[m.WriterID]; ok && ap.seq == m.Seq {
 		rr.Applied = true
 		rr.AppliedVersion = ap.version
@@ -1044,6 +1112,11 @@ func (s *Server) SegmentSnapshot(name string) *Segment {
 		return nil
 	}
 	st.mu.Lock()
+	if err := s.ensureResident(st); err != nil {
+		s.logf("snapshot %s: fault-in: %v", name, err)
+		st.mu.Unlock()
+		return nil
+	}
 	seg := st.seg
 	st.mu.Unlock()
 	return seg

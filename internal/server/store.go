@@ -54,6 +54,9 @@ type Blk struct {
 	// and MIPs the cell is a 1-based index into vars.
 	cells []uint64
 	vars  [][]byte
+	// varBytes is the summed length of vars, maintained by setVar so
+	// MemBytes never has to walk the slices.
+	varBytes int
 	// subVer is the per-subblock version array.
 	subVer []uint32
 	// createdVer is the segment version that introduced the block.
@@ -508,6 +511,7 @@ func (b *Blk) setVar(u int, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	if idx := b.cells[u]; idx != 0 {
+		b.varBytes += len(cp) - len(b.vars[idx-1])
 		b.vars[idx-1] = cp // reuse the slot
 		return
 	}
@@ -516,6 +520,7 @@ func (b *Blk) setVar(u int, data []byte) {
 		return
 	}
 	b.vars = append(b.vars, cp)
+	b.varBytes += len(cp)
 	b.cells[u] = uint64(len(b.vars))
 }
 
@@ -749,6 +754,37 @@ func (s *Segment) SetDiffCacheCap(n int) {
 		delete(s.diffCache, s.cacheKeys[0])
 		s.cacheKeys = s.cacheKeys[1:]
 	}
+}
+
+// blkOverheadBytes approximates the fixed per-block footprint beyond
+// cells, subblock versions, and variable-length payloads: the Blk
+// struct itself, the descriptor-geometry slices, and the version-list
+// node. The eviction budget only needs to be proportional, not exact.
+const blkOverheadBytes = 256
+
+// MemBytes estimates the segment's resident heap footprint: block
+// cells, subblock version arrays, variable-length payloads, cached
+// diffs, and descriptors. The cold-segment evictor compares the sum
+// across segments against Options.MaxResidentBytes. Callers hold the
+// segment's lock.
+func (s *Segment) MemBytes() int64 {
+	var n int64
+	for e := s.head.next; e != s.tail; e = e.next {
+		b := e.blk
+		if b == nil {
+			n += 32 // marker node
+			continue
+		}
+		n += int64(len(b.cells))*8 + int64(len(b.subVer))*4 + int64(b.varBytes) + blkOverheadBytes
+	}
+	for _, d := range s.diffCache {
+		n += int64(len(d))
+	}
+	for _, d := range s.descs {
+		n += int64(len(d))
+	}
+	n += int64(len(s.freedLog)) * 8
+	return n
 }
 
 // Blocks returns the segment's blocks in serial order (for tools and

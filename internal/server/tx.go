@@ -87,6 +87,11 @@ func (sess *session) handleTxCommit(m *protocol.TxCommit, sp *obs.Span) protocol
 		if st.writer != sess {
 			return abortLocked(errReply(protocol.CodeLockState, "write lock on %q not held", m.Parts[i].Seg))
 		}
+		// The held write locks fence eviction, so the parts are
+		// resident; this call is defensive and stamps the LRU clock.
+		if err := s.ensureResident(st); err != nil {
+			return abortLocked(errReply(protocol.CodeInternal, "%v", err))
+		}
 		snaps[i] = partSnap{base: st.seg, prevVer: st.seg.Version, cacheCap: st.seg.cacheCap}
 		if m.Parts[i].Diff != nil && !m.Parts[i].Diff.Empty() {
 			snaps[i].img = st.seg.encode()

@@ -118,6 +118,11 @@ type segDoc struct {
 	Waiters     int    `json:"waiters"`
 	GroupFlush  uint64 `json:"group_flushes"`
 	GroupRel    uint64 `json:"group_releases"`
+	// Resident counts the nodes holding the segment's image in
+	// memory; the remainder have evicted it to their journals. Bytes
+	// is the summed resident footprint across those nodes.
+	Resident int   `json:"resident"`
+	Bytes    int64 `json:"mem_bytes"`
 }
 
 // fleetDoc is the schema-stable JSON snapshot -json emits per tick.
@@ -395,6 +400,10 @@ func (a *app) merge(doc *fleetDoc) {
 			row.Waiters += sd.Waiters
 			row.GroupFlush += sd.GroupFlushes
 			row.GroupRel += sd.GroupReleases
+			if sd.Resident {
+				row.Resident++
+				row.Bytes += sd.MemBytes
+			}
 		}
 	}
 	for rpc, h := range merged {
@@ -515,10 +524,10 @@ func (a *app) render(out io.Writer, doc fleetDoc) {
 	if len(doc.Segments) > 0 {
 		fmt.Fprintln(out, "\nHOTTEST SEGMENTS")
 		tw = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "SEGMENT\tOWNER\tVERSION\tSUBS\tSESSIONS\tWAITERS\tGC-FLUSH\tGC-REL")
+		fmt.Fprintln(tw, "SEGMENT\tOWNER\tVERSION\tSUBS\tSESSIONS\tWAITERS\tGC-FLUSH\tGC-REL\tRES\tBYTES")
 		for _, s := range doc.Segments {
-			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
-				s.Name, s.Owner, s.Version, s.Subscribers, s.Sessions, s.Waiters, s.GroupFlush, s.GroupRel)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				s.Name, s.Owner, s.Version, s.Subscribers, s.Sessions, s.Waiters, s.GroupFlush, s.GroupRel, s.Resident, s.Bytes)
 		}
 		tw.Flush()
 	}
